@@ -1,0 +1,72 @@
+package softft
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Benchmark wraps one of the built-in soft-computing benchmarks (the
+// paper's Table I suite) for use through the public API.
+type Benchmark struct {
+	w *workloads.Workload
+}
+
+// Benchmarks lists the names of the built-in benchmarks.
+func Benchmarks() []string { return workloads.Names() }
+
+// GetBenchmark returns a built-in benchmark by name.
+func GetBenchmark(name string) (*Benchmark, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("softft: unknown benchmark %q (have %v)", name, workloads.Names())
+	}
+	return &Benchmark{w: w}, nil
+}
+
+// Name returns the benchmark's name.
+func (b *Benchmark) Name() string { return b.w.Name }
+
+// Description returns a one-line description.
+func (b *Benchmark) Description() string {
+	return fmt.Sprintf("%s (%s, %s) — %s", b.w.Desc, b.w.Suite, b.w.Category, b.w.Judge.Describe())
+}
+
+// Program compiles the benchmark.
+func (b *Benchmark) Program() (*Program, error) {
+	mod, err := b.w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{name: b.w.Name, mod: mod.Clone()}, nil
+}
+
+// Source returns the benchmark's source code.
+func (b *Benchmark) Source() string { return b.w.Source }
+
+// TrainInput returns the profiling input (larger, different content from
+// the test input, per the paper's methodology).
+func (b *Benchmark) TrainInput() *Input { return b.input(workloads.Train) }
+
+// TestInput returns the evaluation input.
+func (b *Benchmark) TestInput() *Input { return b.input(workloads.Test) }
+
+func (b *Benchmark) input(kind workloads.InputKind) *Input {
+	in := NewInput()
+	in.binds = append(in.binds, func(m *vm.Machine) error { return b.w.Bind(m, kind) })
+	return in
+}
+
+// NewCampaign returns a Campaign prefilled with the benchmark's output
+// global and fidelity judgment, evaluated on the test input's dimensions.
+func (b *Benchmark) NewCampaign(trials int) Campaign {
+	return Campaign{
+		Trials: trials,
+		Output: b.w.Output,
+		Measure: func(golden, test []uint64) float64 {
+			return b.w.Measure(golden, test, workloads.Test)
+		},
+		Acceptable: b.w.Acceptable,
+	}
+}

@@ -1,0 +1,41 @@
+package softft
+
+import (
+	"repro/internal/cfc"
+	"repro/internal/ir"
+)
+
+// CFCStats describes control-flow-check instrumentation.
+type CFCStats struct {
+	Blocks    int // blocks that received an entry signature check
+	Checks    int // signature checks inserted
+	Unchecked int // fan-in blocks the scheme could not check
+}
+
+// WithControlFlowChecks returns a copy of the program instrumented with
+// CFCSS-style signature checks, the complementary technique the paper
+// recommends for branch-target faults (which register duplication and
+// value checks do not cover). Compose with Protect: protect first, then
+// add control-flow checks.
+func (p *Program) WithControlFlowChecks() (*Program, CFCStats, error) {
+	mod := p.mod.Clone()
+	// Continue check IDs past any already present so reports stay unique.
+	maxID := 0
+	for _, f := range mod.Funcs {
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.CheckID > maxID {
+				maxID = in.CheckID
+			}
+			return true
+		})
+	}
+	stats, _, err := cfc.Protect(mod, maxID+1)
+	if err != nil {
+		return nil, CFCStats{}, err
+	}
+	return &Program{name: p.name + "+cfc", mod: mod}, CFCStats{
+		Blocks:    stats.Blocks,
+		Checks:    stats.Checks,
+		Unchecked: stats.Unchecked,
+	}, nil
+}

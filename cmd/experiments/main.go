@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures on the
+// reproduced stack.
+//
+// Usage:
+//
+//	experiments                      # everything, default trial count
+//	experiments -run fig11,fig12     # selected experiments
+//	experiments -trials 1000         # paper-scale campaigns (slower)
+//	experiments -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated: tableI,tableII,fig1,fig2,fig10,fig11,fig12,fig13,crossval,falsepos,branchfaults,recovery,multiprofile or 'all'")
+		trials  = flag.Int("trials", 300, "fault injections per benchmark/technique (paper: 1000)")
+		seed    = flag.Int64("seed", 2014, "campaign seed")
+		outPath = flag.String("out", "", "also write results to this file")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	type step struct {
+		name string
+		run  func() (string, error)
+	}
+	steps := []step{
+		{"tableI", func() (string, error) { return experiments.TableI(), nil }},
+		{"tableII", func() (string, error) { return experiments.TableII(), nil }},
+		{"fig1", func() (string, error) { return experiments.Fig1(cfg) }},
+		{"fig2", func() (string, error) { _, t, err := experiments.Fig2(cfg); return t, err }},
+		{"fig10", func() (string, error) { _, t, err := experiments.Fig10(); return t, err }},
+		{"fig11", func() (string, error) {
+			_, t, err := experiments.Fig11(cfg)
+			if err != nil {
+				return "", err
+			}
+			fd, err := experiments.FullDupUSDC(cfg)
+			if err != nil {
+				return "", err
+			}
+			return t + fmt.Sprintf("\nFull duplication mean USDC rate: %.2f%% (paper: 1.4%% at 57%% overhead)\n", 100*fd), nil
+		}},
+		{"fig12", func() (string, error) { _, t, err := experiments.Fig12(); return t, err }},
+		{"fig13", func() (string, error) { _, t, err := experiments.Fig13(cfg); return t, err }},
+		{"crossval", func() (string, error) { _, t, err := experiments.CrossValidation(cfg); return t, err }},
+		{"falsepos", func() (string, error) { _, t, err := experiments.FalsePositivesAll(); return t, err }},
+		{"branchfaults", func() (string, error) { _, t, err := experiments.BranchFaults(cfg); return t, err }},
+		{"recovery", func() (string, error) { _, t, err := experiments.Recovery(cfg); return t, err }},
+		{"multiprofile", func() (string, error) { _, t, err := experiments.MultiInputProfiling(); return t, err }},
+	}
+
+	start := time.Now()
+	for _, s := range steps {
+		if !sel(s.name) {
+			continue
+		}
+		t0 := time.Now()
+		text, err := s.run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", s.name, err))
+		}
+		fmt.Fprintf(out, "==== %s (%.1fs) ====\n%s\n", s.name, time.Since(t0).Seconds(), text)
+	}
+	fmt.Fprintf(out, "total: %.1fs, %d trials per campaign, seed %d\n",
+		time.Since(start).Seconds(), *trials, *seed)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

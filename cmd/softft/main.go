@@ -1,0 +1,192 @@
+// Command softft compiles, protects, runs and fault-tests a single
+// benchmark (or a user program) from the command line.
+//
+// Usage:
+//
+//	softft -list
+//	softft -bench jpegdec -mode dupval -stats
+//	softft -bench jpegdec -mode dupval -inject 500
+//	softft -bench mp3dec -dump
+//	softft -src prog.sf -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list built-in benchmarks")
+		bench   = flag.String("bench", "", "built-in benchmark name")
+		src     = flag.String("src", "", "compile a source file instead of a benchmark")
+		mode    = flag.String("mode", "original", "protection: original | dup | dupval | fulldup")
+		dump    = flag.Bool("dump", false, "print the (protected) IR")
+		run     = flag.Bool("run", false, "run fault-free and print statistics")
+		stats   = flag.Bool("stats", false, "print protection statistics")
+		inject  = flag.Int("inject", 0, "run a fault-injection campaign with N trials")
+		seed    = flag.Int64("seed", 2014, "campaign seed")
+		profOut = flag.String("profile-out", "", "write the value profile to this file")
+		profIn  = flag.String("profile-in", "", "read a saved value profile instead of re-profiling")
+		useCFC  = flag.Bool("cfc", false, "add signature-based control-flow checks")
+		trace   = flag.Int64("trace", 0, "print an execution trace of up to N instructions")
+		branch  = flag.Bool("branch-faults", false, "inject branch-target faults instead of register bit flips")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range softft.Benchmarks() {
+			b, _ := softft.GetBenchmark(name)
+			fmt.Printf("%-10s %s\n", name, b.Description())
+		}
+		return
+	}
+
+	if *bench == "" && *src == "" {
+		fmt.Fprintln(os.Stderr, "softft: need -bench, -src or -list; see -help")
+		os.Exit(2)
+	}
+
+	var (
+		prog *softft.Program
+		bm   *softft.Benchmark
+		err  error
+	)
+	if *src != "" {
+		data, rerr := os.ReadFile(*src)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		prog, err = softft.Compile(*src, string(data))
+	} else {
+		bm, err = softft.GetBenchmark(*bench)
+		if err == nil {
+			prog, err = bm.Program()
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var m softft.Mode
+	switch *mode {
+	case "original":
+		m = softft.Original
+	case "dup":
+		m = softft.DuplicationOnly
+	case "dupval":
+		m = softft.DuplicationWithValueChecks
+	case "fulldup":
+		m = softft.FullDuplication
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if m != softft.Original {
+		var prof *softft.Profile
+		if m == softft.DuplicationWithValueChecks {
+			if *profIn != "" {
+				f, err := os.Open(*profIn)
+				if err != nil {
+					fatal(err)
+				}
+				prof, err = softft.LoadProfile(f, prog.Name())
+				f.Close()
+				if err != nil {
+					fatal(err)
+				}
+			} else {
+				if bm == nil {
+					fatal(fmt.Errorf("-mode dupval needs a built-in benchmark or -profile-in"))
+				}
+				prof, err = prog.ProfileValues(bm.TrainInput())
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if *profOut != "" {
+				f, err := os.Create(*profOut)
+				if err != nil {
+					fatal(err)
+				}
+				if err := prof.Save(f, prog.Name()); err != nil {
+					fatal(err)
+				}
+				f.Close()
+			}
+		}
+		var st softft.Stats
+		prog, st, err = prog.Protect(m, prof)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Printf("protection %s: %d static instrs, %d state vars, %d duplicated, %d dup checks, %d value checks\n",
+				m, st.TotalInstrs, st.StateVars, st.DuplicatedInstrs, st.DupChecks, st.ValueChecks)
+		}
+	} else if *stats {
+		fmt.Printf("original: %d static instrs\n", prog.NumInstrs())
+	}
+
+	if *useCFC {
+		var cs softft.CFCStats
+		prog, cs, err = prog.WithControlFlowChecks()
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Printf("control-flow checks: %d blocks, %d checks, %d uncheckable fan-ins\n",
+				cs.Blocks, cs.Checks, cs.Unchecked)
+		}
+	}
+
+	if *dump {
+		fmt.Print(prog.Dump())
+	}
+
+	if *run || *trace > 0 {
+		in := softft.NewInput()
+		if bm != nil {
+			in = bm.TestInput()
+		}
+		var res *softft.Result
+		if *trace > 0 {
+			res, err = prog.Trace(in, os.Stdout, *trace)
+		} else {
+			res, err = prog.Run(in)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ran %s: %d dynamic instrs, %d cycles, %d check failures\n",
+			prog.Name(), res.Dyn, res.Cycles, res.CheckFailures)
+	}
+
+	if *inject > 0 {
+		if bm == nil {
+			fatal(fmt.Errorf("-inject needs a built-in benchmark (fidelity judgment)"))
+		}
+		c := bm.NewCampaign(*inject)
+		c.Seed = *seed
+		c.BranchTargets = *branch
+		out, err := prog.InjectFaults(bm.TestInput(), c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s under %s: %s\n", bm.Name(), m, out)
+		fmt.Printf("  SDCs=%d (acceptable %d, unacceptable %d)  USDC rate %.2f%%\n",
+			out.SDCs, out.ASDCs, out.USDCs, 100*out.USDCRate())
+		if out.SWDetected > 0 {
+			fmt.Printf("  SWDetect breakdown: %d duplication, %d value, %d control-flow\n",
+				out.SWDetectedDup, out.SWDetectedValue, out.SWDetectedCFC)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "softft:", err)
+	os.Exit(1)
+}

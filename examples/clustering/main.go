@@ -1,0 +1,63 @@
+// Clustering: protect the kmeans benchmark and show that unacceptable
+// label corruptions (more than 10% of points relabeled) become detections.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	bench, err := softft.GetBenchmark("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := bench.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the fault-free clustering first.
+	res, err := prog.Run(bench.TestInput())
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, err := res.Ints("out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[int64]int{}
+	for _, l := range labels[:96] {
+		counts[l]++
+	}
+	fmt.Printf("fault-free clustering of 96 points into %d clusters: %v\n", len(counts), counts)
+
+	prof, err := prog.ProfileValues(bench.TrainInput())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hard, stats, err := prog.Protect(softft.DuplicationWithValueChecks, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protection: %d state vars (iteration/assignment state), %d value checks\n",
+		stats.StateVars, stats.ValueChecks)
+
+	c := bench.NewCampaign(600)
+	before, err := prog.InjectFaults(bench.TestInput(), c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := hard.InjectFaults(bench.TestInput(), c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunprotected: %s\n", before)
+	fmt.Printf("protected:   %s\n", after)
+	fmt.Printf("\nunacceptable relabelings (>10%% of points): %d -> %d per %d faults\n",
+		before.USDCs, after.USDCs, c.Trials)
+}

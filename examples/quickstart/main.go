@@ -1,0 +1,90 @@
+// Quickstart: protect a small image filter with the softft library and
+// measure what a transient fault can do to it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// A brightness/contrast filter with a running average: `avg` and the loop
+// counter are loop-carried state variables; the per-pixel math is soft.
+const source = `
+global int in[1024];
+global int params[1];
+global int out[1024];
+
+void main() {
+	int n = params[0];
+	int avg = 0;
+	for (int i = 0; i < n; i += 1) {
+		avg = (avg * 7 + in[i]) >> 3;     // exponential moving average
+		int v = in[i] + ((in[i] - avg) >> 1); // local contrast boost
+		out[i] = clampi(v, 0, 255);
+	}
+}`
+
+func main() {
+	// 1. Compile.
+	prog, err := softft.Compile("contrast", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d static IR instructions\n", prog.Name(), prog.NumInstrs())
+
+	// 2. Build inputs: a training image for profiling, a test image to run.
+	train := softft.NewInput().SetInts("in", ramp(1024, 3)).SetInts("params", []int64{1024})
+	test := softft.NewInput().SetInts("in", ramp(512, 7)).SetInts("params", []int64{512})
+
+	// 3. Value-profile on the training input (one-time offline step).
+	prof, err := prog.ProfileValues(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Protect: duplicate state-variable producer chains, add expected
+	// value checks on the soft computation.
+	hard, stats, err := prog.Protect(softft.DuplicationWithValueChecks, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protected: %d state vars, %d instrs duplicated, %d dup checks, %d value checks\n",
+		stats.StateVars, stats.DuplicatedInstrs, stats.DupChecks, stats.ValueChecks)
+
+	// 5. Fault-free cost.
+	base, err := prog.Run(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prot, err := hard.Run(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runtime: %d -> %d cycles (%.1f%% overhead)\n",
+		base.Cycles, prot.Cycles, 100*(float64(prot.Cycles)/float64(base.Cycles)-1))
+
+	// 6. Fault injection: compare unprotected vs protected.
+	campaign := softft.Campaign{Trials: 400, Seed: 1, Output: "out"}
+	for _, p := range []*softft.Program{prog, hard} {
+		out, err := p.InjectFaults(test, campaign)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %s\n", p.Name()+":", out)
+	}
+}
+
+// ramp builds a deterministic sawtooth test image.
+func ramp(n int, step int64) []int64 {
+	out := make([]int64, n)
+	v := int64(0)
+	for i := range out {
+		v = (v + step) % 256
+		out[i] = v
+	}
+	return out
+}

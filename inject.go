@@ -1,0 +1,180 @@
+package softft
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/vm"
+)
+
+// Campaign configures a fault-injection campaign against a program.
+type Campaign struct {
+	// Trials is the number of single-bit fault injections.
+	Trials int
+	// BranchTargets switches the fault model from register bit flips to
+	// branch-target corruptions (see Program.WithControlFlowChecks).
+	BranchTargets bool
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Output names the global holding the program's result.
+	Output string
+	// Measure scores a faulty output against the fault-free output; nil
+	// means any numerical difference is unacceptable.
+	Measure func(golden, test []uint64) float64
+	// Acceptable judges a Measure value; nil with nil Measure means only
+	// bit-exact outputs are acceptable.
+	Acceptable func(v float64) bool
+}
+
+// Outcomes aggregates a campaign: counts per outcome class plus the
+// SDC/ASDC decomposition (see the paper's §IV-C taxonomy).
+type Outcomes struct {
+	Trials     int
+	Masked     int // correct or acceptable-quality output
+	HWDetected int // hardware symptom within the detection window
+	SWDetected int // a software check fired
+	Failures   int // crash or runaway execution
+	USDCs      int // unacceptable silent data corruptions
+	SDCs       int // any numerically different completed output
+	ASDCs      int // acceptable SDCs
+	// Detected by duplication comparisons, expected-value checks, and
+	// control-flow signature checks respectively.
+	SWDetectedDup, SWDetectedValue, SWDetectedCFC int
+	// GoldenDyn/GoldenCycles describe the fault-free run.
+	GoldenDyn, GoldenCycles int64
+}
+
+// Coverage returns the fraction of faults that were masked or detected.
+func (o *Outcomes) Coverage() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.Masked+o.HWDetected+o.SWDetected) / float64(o.Trials)
+}
+
+// USDCRate returns unacceptable silent corruptions as a fraction of trials.
+func (o *Outcomes) USDCRate() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.USDCs) / float64(o.Trials)
+}
+
+func (o *Outcomes) String() string {
+	return fmt.Sprintf("trials=%d masked=%d hw=%d sw=%d fail=%d usdc=%d (coverage %.1f%%)",
+		o.Trials, o.Masked, o.HWDetected, o.SWDetected, o.Failures, o.USDCs, 100*o.Coverage())
+}
+
+// InjectFaults runs a fault-injection campaign: each trial flips one bit of
+// one live register at a random point of execution and classifies the
+// outcome.
+func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
+	if c.Output == "" {
+		return nil, fmt.Errorf("softft: campaign needs an Output global")
+	}
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	measure := c.Measure
+	acceptable := c.Acceptable
+	if measure == nil {
+		measure = func(golden, test []uint64) float64 { return 0 }
+		acceptable = func(float64) bool { return false }
+	} else if acceptable == nil {
+		return nil, fmt.Errorf("softft: campaign with Measure needs Acceptable")
+	}
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = c.Trials
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	if c.BranchTargets {
+		cfg.Kind = vm.FaultBranchTarget
+	}
+	target := fault.Target{
+		Name:       p.name,
+		Bind:       func(m *vm.Machine) error { return in.bind(m) },
+		Output:     c.Output,
+		Measure:    measure,
+		Acceptable: acceptable,
+	}
+	rep, err := fault.Run(target, p.mod, p.name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ta := rep.Tally
+	return &Outcomes{
+		Trials:          ta.N,
+		Masked:          ta.Count[fault.Masked],
+		HWDetected:      ta.Count[fault.HWDetect],
+		SWDetected:      ta.Count[fault.SWDetect],
+		Failures:        ta.Count[fault.Failure],
+		USDCs:           ta.Count[fault.USDC],
+		SDCs:            ta.SDC,
+		ASDCs:           ta.ASDC,
+		SWDetectedDup:   ta.SWDetectDup,
+		SWDetectedValue: ta.SWDetectValue,
+		SWDetectedCFC:   ta.SWDetectCFC,
+		GoldenDyn:       rep.GoldenDyn,
+		GoldenCycles:    rep.GoldenCycles,
+	}, nil
+}
+
+// RecoveryOutcome summarizes a campaign run under restart recovery
+// (paper §IV-D): every software detection re-executes the program, which
+// for a transient fault yields the correct output.
+type RecoveryOutcome struct {
+	Trials    int
+	Recovered int     // detections converted into correct completions
+	StillUSDC int     // unacceptable outputs that escaped detection
+	Failures  int     // crashes / runaway executions
+	Overhead  float64 // mean slowdown vs the fault-free run, incl. re-execution
+}
+
+// InjectFaultsWithRecovery runs a campaign in which software detections
+// trigger restart recovery. It errors if any recovered run's output differs
+// from the fault-free output (it cannot, for transient faults — the check
+// is an internal soundness assertion).
+func (p *Program) InjectFaultsWithRecovery(in *Input, c Campaign) (*RecoveryOutcome, error) {
+	if c.Output == "" {
+		return nil, fmt.Errorf("softft: campaign needs an Output global")
+	}
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	measure := c.Measure
+	acceptable := c.Acceptable
+	if measure == nil {
+		measure = func(golden, test []uint64) float64 { return 0 }
+		acceptable = func(float64) bool { return false }
+	} else if acceptable == nil {
+		return nil, fmt.Errorf("softft: campaign with Measure needs Acceptable")
+	}
+	cfg := fault.DefaultConfig()
+	cfg.Trials = c.Trials
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	if c.BranchTargets {
+		cfg.Kind = vm.FaultBranchTarget
+	}
+	target := fault.Target{
+		Name:       p.name,
+		Bind:       func(m *vm.Machine) error { return in.bind(m) },
+		Output:     c.Output,
+		Measure:    measure,
+		Acceptable: acceptable,
+	}
+	rep, err := fault.RunWithRecovery(target, p.mod, p.name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryOutcome{
+		Trials:    rep.Trials,
+		Recovered: rep.Recovered,
+		StillUSDC: rep.StillUSDC,
+		Failures:  rep.Failures,
+		Overhead:  rep.RecoveryOverhead(),
+	}, nil
+}

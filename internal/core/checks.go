@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// CheckForm distinguishes the three expected-value check shapes of paper
+// Figure 6.
+type CheckForm uint8
+
+// Check forms.
+const (
+	FormSingle CheckForm = iota // one frequent value (Fig. 6a)
+	FormTwo                     // two frequent values (Fig. 6b)
+	FormRange                   // compact range (Fig. 6c)
+)
+
+func (f CheckForm) String() string {
+	switch f {
+	case FormSingle:
+		return "single"
+	case FormTwo:
+		return "two"
+	}
+	return "range"
+}
+
+// CheckSpec is a planned expected-value check for one instruction.
+type CheckSpec struct {
+	Form     CheckForm
+	V1, V2   float64 // expected values (single/two)
+	Lo, Hi   float64 // range bounds
+	Coverage float64 // fraction of profiled values the check admits
+}
+
+// AmenableCheck decides whether in, given its value profile, qualifies for
+// an expected-value check, preferring the cheapest sufficient form:
+// single value, then two values, then a compact range (Algorithm 2).
+func AmenableCheck(in *ir.Instr, h *profile.Histogram, p Params) (CheckSpec, bool) {
+	if h == nil || h.Total < p.MinSamples {
+		return CheckSpec{}, false
+	}
+	if !checkEligible(in) {
+		return CheckSpec{}, false
+	}
+	if vals, cov := h.TopValues(1); len(vals) == 1 && cov >= p.MinValueCoverage {
+		return CheckSpec{Form: FormSingle, V1: vals[0], Coverage: cov}, true
+	}
+	if vals, cov := h.TopValues(2); len(vals) == 2 && cov >= p.MinValueCoverage {
+		return CheckSpec{Form: FormTwo, V1: vals[0], V2: vals[1], Coverage: cov}, true
+	}
+	r, cov := h.CompactRange(p.RangeThreshold)
+	if cov >= p.MinRangeCoverage && r.Hi-r.Lo <= p.RangeThreshold {
+		return CheckSpec{Form: FormRange, Lo: r.Lo, Hi: r.Hi, Coverage: cov}, true
+	}
+	return CheckSpec{}, false
+}
+
+// checkEligible reports whether an instruction's value is a sensible check
+// target: a real data computation or a table-lookup load. Comparisons
+// (always 0/1, consumed by branches) and pointer arithmetic are excluded.
+func checkEligible(in *ir.Instr) bool {
+	if in.Ty != ir.I64 && in.Ty != ir.F64 {
+		return false
+	}
+	if in.Op.IsCompare() {
+		return false
+	}
+	switch in.Op {
+	case ir.OpLoad, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpNeg,
+		ir.OpIToF, ir.OpFToI, ir.OpIntrinsic:
+		return true
+	}
+	return false
+}
+
+// buildCheckInstr materializes a CheckSpec as an IR check instruction
+// guarding v.
+func buildCheckInstr(m *ir.Module, v *ir.Instr, spec CheckSpec, checkID int) *ir.Instr {
+	mk := func(x float64) ir.Value {
+		if v.Ty == ir.F64 {
+			return ir.ConstFloat(x)
+		}
+		return ir.ConstInt(int64(x))
+	}
+	in := &ir.Instr{Ty: ir.Void, Check: ir.CheckValue, CheckID: checkID, UID: m.NewUID()}
+	switch spec.Form {
+	case FormSingle:
+		in.Op = ir.OpValCheck
+		in.Args = []ir.Value{v, mk(spec.V1)}
+	case FormTwo:
+		in.Op = ir.OpValCheck
+		in.Args = []ir.Value{v, mk(spec.V1), mk(spec.V2)}
+	default:
+		lo, hi := spec.Lo, spec.Hi
+		if v.Ty == ir.I64 {
+			lo, hi = math.Floor(lo), math.Ceil(hi) // round outward
+		}
+		in.Op = ir.OpRangeCheck
+		in.Args = []ir.Value{v, mk(lo), mk(hi)}
+	}
+	return in
+}
+
+// planChecks computes the check-amenable set for a function from profiles,
+// keyed by instruction.
+func planChecks(f *ir.Func, prof *profile.Data, p Params) map[*ir.Instr]CheckSpec {
+	specs := make(map[*ir.Instr]CheckSpec)
+	if prof == nil {
+		return specs
+	}
+	f.Instrs(func(in *ir.Instr) bool {
+		if spec, ok := AmenableCheck(in, prof.Hist(in.UID), p); ok {
+			specs[in] = spec
+		}
+		return true
+	})
+	return specs
+}
+
+// applyOpt1 implements paper Optimization 1: when several instructions on
+// one producer chain are amenable, keep only the check deepest in the chain
+// (i.e. drop any candidate that transitively produces another candidate
+// through pure computation). Candidates in keep are never dropped (they
+// were promised by Optimization 2 in lieu of duplication).
+func applyOpt1(specs map[*ir.Instr]CheckSpec, keep map[*ir.Instr]bool) {
+	// For every candidate, walk its producers (stopping at chain
+	// terminators) and drop candidates found strictly above it.
+	stop := func(in *ir.Instr) bool { return !in.Op.IsArith() }
+	var drop []*ir.Instr
+	for cand := range specs {
+		ir.Producers(cand, stop, func(p *ir.Instr) {
+			if p == cand {
+				return
+			}
+			if _, isCand := specs[p]; isCand && !keep[p] {
+				drop = append(drop, p)
+			}
+		})
+	}
+	for _, d := range drop {
+		delete(specs, d)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import "repro/internal/ir"
+
+// duplicator clones producer chains within one function. Cloned
+// instructions are placed immediately after their originals, so dominance
+// is preserved structurally. State-variable phis get mirror phis so the
+// redundant computation is carried independently across iterations
+// (paper Figure 4: crc vs crcD).
+type duplicator struct {
+	fn  *ir.Func
+	mod *ir.Module
+
+	// dupPhi maps a state-variable phi to its mirror.
+	dupPhi map[*ir.Instr]*ir.Instr
+	// memo maps an original instruction to its clone (or to itself where
+	// the chain terminated).
+	memo map[*ir.Instr]ir.Value
+
+	// checkable marks instructions where Optimization 2 terminates
+	// duplication; hitting one records it in mustCheck.
+	checkable map[*ir.Instr]CheckSpec
+	opt2      bool
+	dupLoads  bool
+	mustCheck map[*ir.Instr]bool
+
+	cloned int // clones + mirror phis created
+}
+
+func newDuplicator(fn *ir.Func, checkable map[*ir.Instr]CheckSpec, opt2 bool) *duplicator {
+	return &duplicator{
+		fn:        fn,
+		mod:       fn.Module,
+		dupPhi:    make(map[*ir.Instr]*ir.Instr),
+		memo:      make(map[*ir.Instr]ir.Value),
+		checkable: checkable,
+		opt2:      opt2,
+		mustCheck: make(map[*ir.Instr]bool),
+	}
+}
+
+// terminates reports whether the chain stops at in (the clone would be the
+// original value itself). Loads terminate to save memory traffic — a
+// corrupted address is expected to surface as an out-of-bounds symptom
+// (paper §III-B). Calls and allocas have effects; phis terminate unless
+// they are state variables being mirrored.
+func (d *duplicator) terminates(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpLoad:
+		return !d.dupLoads
+	case ir.OpCall, ir.OpAlloca:
+		return true
+	case ir.OpPhi:
+		_, mirrored := d.dupPhi[in]
+		return !mirrored
+	}
+	if !in.Op.IsArith() {
+		return true
+	}
+	return false
+}
+
+// dup returns the redundant version of v, cloning its producer chain as
+// needed. Non-instruction values (constants, params, globals) are shared.
+func (d *duplicator) dup(v ir.Value) ir.Value {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return v
+	}
+	if mirror, ok := d.dupPhi[in]; ok {
+		return mirror
+	}
+	if r, ok := d.memo[in]; ok {
+		return r
+	}
+	if d.terminates(in) {
+		d.memo[in] = in
+		return in
+	}
+	if d.opt2 {
+		if _, amen := d.checkable[in]; amen {
+			// Optimization 2: stop duplicating; a value check on the
+			// original stands in for the rest of the chain.
+			d.mustCheck[in] = true
+			d.memo[in] = in
+			return in
+		}
+	}
+	clone := &ir.Instr{
+		Op: in.Op, Ty: in.Ty, Intrinsic: in.Intrinsic,
+		UID: d.mod.NewUID(),
+	}
+	// Install the mapping before recursing so (impossible in well-formed
+	// SSA outside phis, but cheap) cycles cannot loop forever.
+	d.memo[in] = clone
+	for _, a := range in.Args {
+		clone.Args = append(clone.Args, d.dup(a))
+	}
+	in.Blk.InsertAfterInstr(clone, in)
+	d.cloned++
+	return clone
+}
+
+// mirrorStateVars creates the mirror phi for every state variable up front
+// (so mutually recursive state updates resolve), then fills their edges and
+// inserts a comparison check on every back edge.
+//
+// checkID numbering continues from nextCheckID; the new next id is
+// returned.
+func (d *duplicator) mirrorStateVars(svs []*StateVar, nextCheckID int) (dupChecks, next int) {
+	// Pass 1: create empty mirrors.
+	for _, sv := range svs {
+		mirror := &ir.Instr{Op: ir.OpPhi, Ty: sv.Phi.Ty, UID: d.mod.NewUID()}
+		sv.Phi.Blk.InsertAfterInstr(mirror, sv.Phi)
+		d.dupPhi[sv.Phi] = mirror
+	}
+	// Pass 2: fill edges; in-loop edges use duplicated chains.
+	for _, sv := range svs {
+		mirror := d.dupPhi[sv.Phi]
+		inLoop := make(map[*ir.Block]bool)
+		for _, u := range sv.Updates {
+			inLoop[u.Pred] = true
+		}
+		for i, pred := range sv.Phi.Preds {
+			v := sv.Phi.Args[i]
+			if inLoop[pred] {
+				ir.AddIncoming(mirror, d.dup(v), pred)
+			} else {
+				ir.AddIncoming(mirror, v, pred) // initial value is shared
+			}
+		}
+	}
+	// Pass 3: prune mirrors that ended up identical to their originals
+	// (every edge shared), and insert the comparison checks for the rest.
+	for _, sv := range svs {
+		mirror := d.dupPhi[sv.Phi]
+		identical := true
+		for i, a := range mirror.Args {
+			if a != sv.Phi.Args[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			// Other duplicated chains may already reference the mirror;
+			// redirect them to the original before deleting it.
+			d.fn.Instrs(func(u *ir.Instr) bool {
+				u.ReplaceArg(mirror, sv.Phi)
+				return true
+			})
+			blk := mirror.Blk
+			blk.Instrs = removeInstr(blk.Instrs, mirror)
+			delete(d.dupPhi, sv.Phi)
+			continue
+		}
+		d.cloned++ // the mirror phi itself is redundant work
+		for i, pred := range sv.Phi.Preds {
+			if orig, dup := sv.Phi.Args[i], mirror.Args[i]; orig != dup {
+				chk := &ir.Instr{
+					Op: ir.OpCmpCheck, Ty: ir.Void,
+					Args:    []ir.Value{orig, dup},
+					Check:   ir.CheckDup,
+					CheckID: nextCheckID,
+					UID:     d.mod.NewUID(),
+				}
+				nextCheckID++
+				dupChecks++
+				pred.InsertBeforeTerminator(chk)
+			}
+		}
+	}
+	return dupChecks, nextCheckID
+}
+
+func removeInstr(list []*ir.Instr, in *ir.Instr) []*ir.Instr {
+	out := list[:0]
+	for _, x := range list {
+		if x != in {
+			out = append(out, x)
+		}
+	}
+	return out
+}

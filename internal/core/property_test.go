@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// progGen emits random but well-formed mini-C programs with loops, branches
+// and array traffic — the property test corpus for "protection never
+// changes fault-free semantics".
+type progGen struct {
+	rng      *rand.Rand
+	b        strings.Builder
+	vars     []string // readable
+	writable []string // assignable (excludes loop induction variables)
+	next     int
+}
+
+func (g *progGen) fresh() string {
+	g.next++
+	return fmt.Sprintf("v%d", g.next)
+}
+
+func (g *progGen) anyVar() string {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+func (g *progGen) anyWritable() string {
+	return g.writable[g.rng.Intn(len(g.writable))]
+}
+
+// expr produces an int expression over live variables; depth-bounded and
+// division-free (so random programs cannot trap).
+func (g *progGen) expr(depth int) string {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return g.anyVar()
+		case 1:
+			return fmt.Sprintf("%d", g.rng.Intn(100))
+		default:
+			return fmt.Sprintf("in[(%s) & 63]", g.anyVar())
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(len(ops))], g.expr(depth-1))
+}
+
+func (g *progGen) stmt(depth int) {
+	switch g.rng.Intn(6) {
+	case 0, 1: // assignment
+		fmt.Fprintf(&g.b, "%s = %s;\n", g.anyWritable(), g.expr(2))
+	case 2: // new variable
+		v := g.fresh()
+		fmt.Fprintf(&g.b, "int %s = %s;\n", v, g.expr(2))
+		g.vars = append(g.vars, v)
+		g.writable = append(g.writable, v)
+	case 3: // store
+		fmt.Fprintf(&g.b, "out[(%s) & 63] = %s;\n", g.expr(1), g.expr(2))
+	case 4: // if
+		if depth == 0 {
+			fmt.Fprintf(&g.b, "%s = %s;\n", g.anyWritable(), g.expr(2))
+			return
+		}
+		fmt.Fprintf(&g.b, "if ((%s) > %d) {\n", g.expr(1), g.rng.Intn(200))
+		mark, wmark := len(g.vars), len(g.writable)
+		g.stmt(depth - 1)
+		g.vars, g.writable = g.vars[:mark], g.writable[:wmark]
+		g.b.WriteString("} else {\n")
+		g.stmt(depth - 1)
+		g.vars, g.writable = g.vars[:mark], g.writable[:wmark]
+		g.b.WriteString("}\n")
+	default: // counted loop with an accumulator (guaranteed state vars)
+		if depth == 0 {
+			fmt.Fprintf(&g.b, "%s = %s;\n", g.anyWritable(), g.expr(2))
+			return
+		}
+		acc := g.fresh()
+		fmt.Fprintf(&g.b, "int %s = 0;\n", acc)
+		g.vars = append(g.vars, acc)
+		g.writable = append(g.writable, acc)
+		mark, wmark := len(g.vars), len(g.writable)
+		n := 2 + g.rng.Intn(12)
+		iv := g.fresh()
+		fmt.Fprintf(&g.b, "for (int %s = 0; %s < %d; %s += 1) {\n", iv, iv, n, iv)
+		g.vars = append(g.vars, iv) // readable in the body, never assigned
+		fmt.Fprintf(&g.b, "%s = (%s + %s) & 0xffff;\n", acc, acc, g.expr(2))
+		g.stmt(depth - 1)
+		g.b.WriteString("}\n")
+		g.vars, g.writable = g.vars[:mark], g.writable[:wmark]
+	}
+}
+
+func (g *progGen) generate(nStmts int) string {
+	g.b.WriteString("global int in[64];\nglobal int out[64];\nvoid main() {\n")
+	g.vars = []string{"seed"}
+	g.writable = []string{"seed"}
+	g.b.WriteString("int seed = in[0];\n")
+	for i := 0; i < nStmts; i++ {
+		g.stmt(2)
+	}
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+// TestProtectionPreservesSemanticsOnRandomPrograms is the transformation's
+// main correctness property: for random programs and random inputs, every
+// protection mode leaves the fault-free output bit-identical and fires no
+// duplication checks.
+func TestProtectionPreservesSemanticsOnRandomPrograms(t *testing.T) {
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		g := &progGen{rng: rng, next: 0}
+		src := g.generate(3 + rng.Intn(5))
+
+		mod, err := lang.Compile(fmt.Sprintf("rnd%d", trial), src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+
+		input := make([]int64, 64)
+		for i := range input {
+			input[i] = int64(rng.Intn(512) - 256)
+		}
+
+		run := func(m2 *ir.Module, opts vm.RunOptions) ([]int64, *vm.Result) {
+			mach, err := vm.New(m2, vm.DefaultConfig())
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := mach.BindInputInts("in", input); err != nil {
+				t.Fatal(err)
+			}
+			mach.Reset()
+			res := mach.Run(opts)
+			if res.Trap != nil {
+				t.Fatalf("trial %d: trap %v\n%s", trial, res.Trap, src)
+			}
+			out, _ := mach.ReadGlobalInts("out")
+			return out, res
+		}
+
+		golden, _ := run(mod, vm.RunOptions{})
+
+		// Profile for DupVal.
+		profMach, _ := vm.New(mod.Clone(), vm.DefaultConfig())
+		profMach.BindInputInts("in", input)
+		profMach.Reset()
+		col := profile.NewCollector(profile.DefaultBins)
+		if res := profMach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+			t.Fatalf("trial %d: profiling trap %v", trial, res.Trap)
+		}
+
+		for _, mode := range []Mode{ModeDupOnly, ModeDupVal, ModeFullDup} {
+			prot := mod.Clone()
+			var pd *profile.Data
+			if mode == ModeDupVal {
+				pd = col.Data()
+			}
+			if _, err := Protect(prot, mode, pd, DefaultParams()); err != nil {
+				t.Fatalf("trial %d: %s: %v\n%s", trial, mode, err, src)
+			}
+			if err := prot.Verify(); err != nil {
+				t.Fatalf("trial %d: %s verify: %v", trial, mode, err)
+			}
+			out, res := run(prot, vm.RunOptions{CountChecks: true})
+			for i := range golden {
+				if out[i] != golden[i] {
+					t.Fatalf("trial %d: %s changed out[%d]: %d != %d\n%s\n%s",
+						trial, mode, i, out[i], golden[i], src, prot.String())
+				}
+			}
+			// Duplication comparisons must never fire fault-free. (Value
+			// checks may: the profile is exact here, so they must not
+			// either — CountChecks is a hard zero in this setting.)
+			if res.CheckFails != 0 {
+				t.Fatalf("trial %d: %s fired %d checks fault-free (profiled on the same input)\n%s",
+					trial, mode, res.CheckFails, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// Protect applies the selected protection scheme to m in place and returns
+// static statistics. Callers that need the unprotected module afterwards
+// should Clone first. prof may be nil for ModeOriginal, ModeDupOnly and
+// ModeFullDup; ModeDupVal requires it.
+func Protect(m *ir.Module, mode Mode, prof *profile.Data, p Params) (*Stats, error) {
+	total := m.NumInstrs()
+	stats := &Stats{Mode: mode, TotalInstrs: total}
+
+	switch mode {
+	case ModeOriginal:
+		return stats, nil
+
+	case ModeFullDup:
+		nextID := 1
+		for _, f := range m.Funcs {
+			fs, next, err := fullDuplicate(f, nextID)
+			if err != nil {
+				return nil, err
+			}
+			nextID = next
+			stats.StateVars += fs.StateVars
+			stats.DupInstrs += fs.DupInstrs
+			stats.DupChecks += fs.DupChecks
+		}
+
+	case ModeDupOnly, ModeDupVal:
+		if mode == ModeDupVal && prof == nil {
+			return nil, fmt.Errorf("core: %s requires value profiles", mode)
+		}
+		nextID := 1
+		for _, f := range m.Funcs {
+			svs := FindStateVars(f)
+			stats.StateVars += len(svs)
+
+			var specs map[*ir.Instr]CheckSpec
+			if mode == ModeDupVal {
+				specs = planChecks(f, prof, p)
+			}
+
+			d := newDuplicator(f, specs, mode == ModeDupVal && p.Opt2)
+			d.dupLoads = p.DupThroughLoads
+			dupChecks, next := d.mirrorStateVars(svs, nextID)
+			nextID = next
+			stats.DupInstrs += d.cloned
+			stats.DupChecks += dupChecks
+
+			if mode == ModeDupVal {
+				// Optimization 1 prunes shallow checks, but never the ones
+				// Optimization 2 promised in lieu of duplication.
+				if p.Opt1 {
+					applyOpt1(specs, d.mustCheck)
+				}
+				// Deterministic insertion order: walk instructions in
+				// block order so CheckIDs are stable across runs.
+				var targets []*ir.Instr
+				f.Instrs(func(in *ir.Instr) bool {
+					if _, ok := specs[in]; ok {
+						targets = append(targets, in)
+					}
+					return true
+				})
+				for _, in := range targets {
+					chk := buildCheckInstr(m, in, specs[in], nextID)
+					nextID++
+					in.Blk.InsertAfterInstr(chk, in)
+					stats.ValueChecks++
+					stats.CheckedInstr++
+				}
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	}
+
+	m.Renumber()
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("core: %s produced invalid IR: %w", mode, err)
+	}
+	return stats, nil
+}

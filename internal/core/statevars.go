@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/ir"
+
+// StateVar is a loop-carried variable: a phi node in a loop header with at
+// least one incoming value defined inside the loop. Corruption of such a
+// variable snowballs across iterations (paper §III), so its producer chain
+// is duplicated.
+type StateVar struct {
+	Phi  *ir.Instr
+	Loop *ir.Loop
+	// Updates lists the in-loop incoming edges: the latch block and the
+	// value that flows around the back edge.
+	Updates []StateUpdate
+}
+
+// StateUpdate is one back-edge update of a state variable.
+type StateUpdate struct {
+	Pred  *ir.Block
+	Value ir.Value
+}
+
+// FindStateVars identifies all state variables of f. The function's CFG
+// must be current; the dominator tree and loops are computed internally.
+func FindStateVars(f *ir.Func) []*StateVar {
+	f.ComputeCFG()
+	dt := ir.BuildDomTree(f)
+	loops := ir.FindLoops(f, dt)
+	var out []*StateVar
+	for _, l := range loops {
+		for _, phi := range l.Header.Phis() {
+			sv := &StateVar{Phi: phi, Loop: l}
+			for i, pred := range phi.Preds {
+				if l.Contains(pred) {
+					sv.Updates = append(sv.Updates, StateUpdate{Pred: pred, Value: phi.Args[i]})
+				}
+			}
+			if len(sv.Updates) > 0 {
+				out = append(out, sv)
+			}
+		}
+	}
+	return out
+}

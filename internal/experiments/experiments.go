@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the reproduced stack: it compiles each benchmark, profiles
+// it on its training input, builds the protected variants (Dup only,
+// Dup + val chks, full duplication), runs fault-injection campaigns, and
+// renders the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// Techniques evaluated throughout the paper.
+var Techniques = []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+
+// Variant is one protected build of one workload.
+type Variant struct {
+	Mode   core.Mode
+	Module *ir.Module
+	Stats  *core.Stats
+}
+
+// Prepared caches everything derivable without fault injection for one
+// workload: the compiled module, its training profile, and all variants.
+type Prepared struct {
+	Workload *workloads.Workload
+	Profile  *profile.Data
+	Variants map[core.Mode]*Variant
+	// Golden cycle counts per mode on the test input (Figure 12).
+	Cycles map[core.Mode]int64
+	Dyn    map[core.Mode]int64
+}
+
+var (
+	prepMu    sync.Mutex
+	prepCache = map[string]*Prepared{}
+)
+
+// Prepare compiles, profiles and protects one workload (cached).
+func Prepare(w *workloads.Workload) (*Prepared, error) {
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if p, ok := prepCache[w.Name]; ok {
+		return p, nil
+	}
+	mod, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+
+	// Value profiling on the training input (one-time offline step, §III-C1).
+	mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Bind(mach, workloads.Train); err != nil {
+		return nil, err
+	}
+	mach.Reset()
+	col := profile.NewCollector(profile.DefaultBins)
+	if res := mach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+		return nil, fmt.Errorf("%s: profiling trapped: %v", w.Name, res.Trap)
+	}
+
+	p := &Prepared{
+		Workload: w,
+		Profile:  col.Data(),
+		Variants: map[core.Mode]*Variant{},
+		Cycles:   map[core.Mode]int64{},
+		Dyn:      map[core.Mode]int64{},
+	}
+	for _, mode := range Techniques {
+		m := mod.Clone()
+		var prof *profile.Data
+		if mode == core.ModeDupVal {
+			prof = p.Profile
+		}
+		stats, err := core.Protect(m, mode, prof, core.DefaultParams())
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
+		}
+		p.Variants[mode] = &Variant{Mode: mode, Module: m, Stats: stats}
+
+		// Fault-free timing on the test input.
+		tm, err := vm.New(m, vm.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Bind(tm, workloads.Test); err != nil {
+			return nil, err
+		}
+		tm.Reset()
+		res := tm.Run(vm.RunOptions{CountChecks: true})
+		if res.Trap != nil {
+			return nil, fmt.Errorf("%s/%s: timing run trapped: %v", w.Name, mode, res.Trap)
+		}
+		p.Cycles[mode] = res.Cycles
+		p.Dyn[mode] = res.Dyn
+	}
+	prepCache[w.Name] = p
+	return p, nil
+}
+
+// Overhead returns the runtime overhead of mode vs the original build.
+func (p *Prepared) Overhead(mode core.Mode) float64 {
+	base := p.Cycles[core.ModeOriginal]
+	if base == 0 {
+		return 0
+	}
+	return float64(p.Cycles[mode])/float64(base) - 1
+}
+
+// Campaign runs a fault campaign for one workload/mode pair on the given
+// input kind.
+func Campaign(p *Prepared, mode core.Mode, kind workloads.InputKind, cfg fault.Config) (*fault.Report, error) {
+	return fault.Run(p.Workload.Target(kind), p.Variants[mode].Module, mode.String(), cfg)
+}
+
+// GeoMean returns the geometric mean of 1+x values minus 1 (for overheads)
+// — the conventional way to average overhead factors.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		prod *= 1 + x
+	}
+	return math.Pow(prod, 1/float64(len(xs))) - 1
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,330 @@
+// Package fault implements the paper's statistical fault injection (SFI)
+// campaign: single bit flips randomized in time (dynamic instruction index)
+// and space (live register, bit position), run to completion, and
+// classified into the five outcome categories of §IV-C — Masked, HWDetect,
+// SWDetect, Failure, USDC — with the finer SDC/ASDC split used by Figures 2
+// and 13 and the large-vs-small value-change attribution of Figure 2.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Outcome is the paper's five-way classification of one injection trial.
+type Outcome uint8
+
+// Outcomes.
+const (
+	Masked   Outcome = iota // output correct or of acceptable quality
+	HWDetect                // hardware symptom within the detection window
+	SWDetect                // a software check fired
+	Failure                 // crash, out-of-window symptom, or infinite loop
+	USDC                    // completed with unacceptable output
+)
+
+var outcomeNames = [...]string{"Masked", "HWDetect", "SWDetect", "Failure", "USDC"}
+
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Kind selects the fault model: register bit flips (the paper's model,
+	// default) or branch-target corruptions (the class the paper defers to
+	// signature-based control-flow checking).
+	Kind vm.FaultKind
+	// Trials is the number of injections (paper: 1000 per benchmark).
+	Trials int
+	// Seed makes the whole campaign deterministic.
+	Seed int64
+	// SymptomWindow is the detection window in dynamic instructions for a
+	// trap to count as HWDetect rather than Failure (paper: 1000 cycles).
+	SymptomWindow int64
+	// WatchdogFactor bounds runaway runs at golden_dyn * factor.
+	WatchdogFactor int64
+	// LargeChange is the relative value-change threshold separating
+	// Figure 2's "large" and "small" corruptions.
+	LargeChange float64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Target abstracts the program under injection: how to bind its inputs,
+// where its output lives, and how to judge output quality. Package
+// workloads adapts each benchmark to a Target; library users can wrap
+// their own programs.
+type Target struct {
+	Name string
+	// Bind installs the inputs on a fresh machine.
+	Bind func(m *vm.Machine) error
+	// Output is the global holding the program result.
+	Output string
+	// Measure scores a faulty output against the golden output.
+	Measure func(golden, test []uint64) float64
+	// Acceptable judges a measured fidelity value.
+	Acceptable func(v float64) bool
+}
+
+// DefaultConfig mirrors the paper's setup at reduced trial count.
+func DefaultConfig() Config {
+	return Config{
+		Trials:         1000,
+		Seed:           2014, // MICRO 2014
+		SymptomWindow:  1000,
+		WatchdogFactor: 20,
+		LargeChange:    1.0,
+	}
+}
+
+// Trial is the record of one injection.
+type Trial struct {
+	Outcome    Outcome
+	CheckKind  ir.CheckKind // which check class detected (SWDetect only)
+	SDC        bool         // completed with numerically different output
+	Acceptable bool         // fidelity above threshold (SDC only)
+	Fidelity   float64      // measured fidelity (SDC only)
+	RelChange  float64      // relative change of the corrupted register
+	TrapKind   vm.TrapKind
+}
+
+// Tally aggregates a campaign.
+type Tally struct {
+	N int
+	// Five-way outcome counts (ASDCs are counted under Masked, as in the
+	// paper's Figure 11 classification).
+	Count [5]int
+	// SWDetect attribution.
+	SWDetectDup, SWDetectValue, SWDetectCFC int
+	// SDC view (Figures 2 and 13): any numerically different completed
+	// output. SDC = ASDC + USDC.
+	SDC, ASDC int
+	// USDC attribution by corrupted-value change magnitude (Figure 2).
+	USDCLarge, USDCSmall int
+}
+
+// Frac returns outcome o as a fraction of trials.
+func (t *Tally) Frac(o Outcome) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Count[o]) / float64(t.N)
+}
+
+// Coverage is the paper's fault-coverage definition: Masked + SWDetect +
+// HWDetect over all trials.
+func (t *Tally) Coverage() float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Count[Masked]+t.Count[HWDetect]+t.Count[SWDetect]) / float64(t.N)
+}
+
+// MarginOfError returns the 95%-confidence margin for a proportion p
+// estimated from this tally (Leveugle et al.).
+func (t *Tally) MarginOfError(p float64) float64 {
+	if t.N == 0 {
+		return 1
+	}
+	return 1.96 * math.Sqrt(p*(1-p)/float64(t.N))
+}
+
+// Report is the result of one campaign.
+type Report struct {
+	Workload  string
+	Technique string
+	Tally     Tally
+	Trials    []Trial
+	// Golden-run statistics.
+	GoldenDyn    int64
+	GoldenCycles int64
+	// DisabledChecks is the number of checks squelched because they fired
+	// on the fault-free run (persistent false positives).
+	DisabledChecks int
+}
+
+// Run executes a fault-injection campaign for one target on one (possibly
+// protected) module. The module is not mutated.
+func Run(t Target, mod *ir.Module, technique string, cfg Config) (*Report, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("fault: non-positive trial count")
+	}
+	if cfg.WatchdogFactor <= 0 {
+		cfg.WatchdogFactor = 20
+	}
+
+	// Golden run: outputs, dynamic length, and persistently failing checks.
+	goldenMach, err := newMachine(t, mod, 0)
+	if err != nil {
+		return nil, err
+	}
+	goldenRes := goldenMach.Run(vm.RunOptions{CountChecks: true})
+	if goldenRes.Trap != nil {
+		return nil, fmt.Errorf("fault: golden run trapped: %v", goldenRes.Trap)
+	}
+	golden, err := goldenMach.ReadGlobal(t.Output)
+	if err != nil {
+		return nil, err
+	}
+	disabled := make(map[int]bool)
+	for id, n := range goldenRes.PerCheckFails {
+		if n > 0 {
+			disabled[id] = true
+		}
+	}
+
+	rep := &Report{
+		Workload:       t.Name,
+		Technique:      technique,
+		GoldenDyn:      goldenRes.Dyn,
+		GoldenCycles:   goldenRes.Cycles,
+		DisabledChecks: len(disabled),
+		Trials:         make([]Trial, cfg.Trials),
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	var wg sync.WaitGroup
+	// Buffered so the feeding loop below never blocks even if every worker
+	// exits early on a setup error.
+	trialCh := make(chan int, cfg.Trials)
+	errCh := make(chan error, workers)
+	maxDyn := goldenRes.Dyn*cfg.WatchdogFactor + 100_000
+
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mach, err := newMachine(t, mod, maxDyn)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := range trialCh {
+				rep.Trials[i] = runTrial(mach, t, cfg, golden, goldenRes.Dyn, disabled, i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		trialCh <- i
+	}
+	close(trialCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	for _, tr := range rep.Trials {
+		ta := &rep.Tally
+		ta.N++
+		ta.Count[tr.Outcome]++
+		if tr.Outcome == SWDetect {
+			switch tr.CheckKind {
+			case ir.CheckDup:
+				ta.SWDetectDup++
+			case ir.CheckCFC:
+				ta.SWDetectCFC++
+			default:
+				ta.SWDetectValue++
+			}
+		}
+		if tr.SDC {
+			ta.SDC++
+			if tr.Acceptable {
+				ta.ASDC++
+			} else if tr.RelChange >= cfg.LargeChange {
+				ta.USDCLarge++
+			} else {
+				ta.USDCSmall++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// newMachine builds a machine with the target's inputs bound. maxDyn of 0
+// keeps the default watchdog (golden runs must never hit it).
+func newMachine(t Target, mod *ir.Module, maxDyn int64) (*vm.Machine, error) {
+	vmCfg := vm.DefaultConfig()
+	if maxDyn > 0 {
+		vmCfg.MaxDyn = maxDyn
+	}
+	mach, err := vm.New(mod, vmCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Bind(mach); err != nil {
+		return nil, err
+	}
+	mach.Reset()
+	return mach, nil
+}
+
+// runTrial injects one fault and classifies the outcome.
+func runTrial(mach *vm.Machine, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int) Trial {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
+	plan := &vm.FaultPlan{
+		Kind:       cfg.Kind,
+		TriggerDyn: rng.Int63n(goldenDyn),
+		PickSlot:   func(n int) int { return rng.Intn(n) },
+		PickBit:    func() int { return rng.Intn(64) },
+	}
+	mach.Reset()
+	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled})
+
+	tr := Trial{RelChange: plan.RelChange}
+	if res.Trap != nil {
+		tr.TrapKind = res.Trap.Kind
+		switch {
+		case res.Trap.Kind == vm.TrapCheck:
+			tr.Outcome = SWDetect
+			tr.CheckKind = res.Trap.CheckKind
+		case res.Trap.Kind == vm.TrapWatchdog:
+			tr.Outcome = Failure
+		case res.Trap.IsSymptom() && res.Trap.Dyn-plan.TriggerDyn <= cfg.SymptomWindow:
+			tr.Outcome = HWDetect
+		default:
+			tr.Outcome = Failure
+		}
+		return tr
+	}
+
+	out, err := mach.ReadGlobal(t.Output)
+	if err != nil {
+		tr.Outcome = Failure
+		return tr
+	}
+	same := true
+	for i := range golden {
+		if out[i] != golden[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		tr.Outcome = Masked
+		return tr
+	}
+	tr.SDC = true
+	tr.Fidelity = t.Measure(golden, out)
+	tr.Acceptable = t.Acceptable(tr.Fidelity)
+	if tr.Acceptable {
+		tr.Outcome = Masked // acceptable-quality results count as Masked (§IV-C)
+	} else {
+		tr.Outcome = USDC
+	}
+	return tr
+}

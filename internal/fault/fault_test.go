@@ -1,0 +1,180 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/profile"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// smallCampaign runs a reduced campaign for tests.
+func smallCampaign(t *testing.T, name string, mode core.Mode, trials int) *fault.Report {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("no workload %s", name)
+	}
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := mod.Clone()
+	var prof *profile.Data
+	if mode == core.ModeDupVal {
+		mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Bind(mach, workloads.Train); err != nil {
+			t.Fatal(err)
+		}
+		mach.Reset()
+		col := profile.NewCollector(profile.DefaultBins)
+		if res := mach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+			t.Fatalf("profiling trapped: %v", res.Trap)
+		}
+		prof = col.Data()
+	}
+	if _, err := core.Protect(prot, mode, prof, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fault.DefaultConfig()
+	cfg.Trials = trials
+	rep, err := fault.Run(w.Target(workloads.Test), prot, mode.String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCampaignCountsAreConsistent(t *testing.T) {
+	rep := smallCampaign(t, "tiff2bw", core.ModeOriginal, 150)
+	ta := rep.Tally
+	if ta.N != 150 {
+		t.Fatalf("N = %d", ta.N)
+	}
+	sum := 0
+	for _, c := range ta.Count {
+		sum += c
+	}
+	if sum != ta.N {
+		t.Fatalf("outcome counts sum to %d != %d", sum, ta.N)
+	}
+	if ta.SDC != ta.ASDC+ta.USDCLarge+ta.USDCSmall {
+		t.Fatalf("SDC split inconsistent: %d != %d+%d+%d", ta.SDC, ta.ASDC, ta.USDCLarge, ta.USDCSmall)
+	}
+	if ta.Count[fault.USDC] != ta.USDCLarge+ta.USDCSmall {
+		t.Fatalf("fault.USDC attribution inconsistent")
+	}
+	if ta.Count[fault.SWDetect] != 0 {
+		t.Fatal("unmodified binary cannot have SWDetects (no checks present)")
+	}
+	if cov := ta.Coverage(); cov < 0 || cov > 1 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestCampaignIsDeterministic(t *testing.T) {
+	r1 := smallCampaign(t, "kmeans", core.ModeOriginal, 60)
+	r2 := smallCampaign(t, "kmeans", core.ModeOriginal, 60)
+	if r1.Tally != r2.Tally {
+		t.Fatalf("tallies differ:\n%+v\n%+v", r1.Tally, r2.Tally)
+	}
+	for i := range r1.Trials {
+		if r1.Trials[i].Outcome != r2.Trials[i].Outcome {
+			t.Fatalf("trial %d outcome differs", i)
+		}
+	}
+}
+
+func TestProtectionProducesSWDetects(t *testing.T) {
+	rep := smallCampaign(t, "g721dec", core.ModeDupOnly, 200)
+	if rep.Tally.Count[fault.SWDetect] == 0 {
+		t.Fatalf("DupOnly produced no SWDetects in 200 trials: %+v", rep.Tally)
+	}
+	if rep.Tally.SWDetectDup == 0 {
+		t.Fatal("SWDetects not attributed to duplication checks")
+	}
+}
+
+func TestDupValUsesValueChecks(t *testing.T) {
+	rep := smallCampaign(t, "jpegdec", core.ModeDupVal, 200)
+	if rep.Tally.Count[fault.SWDetect] == 0 {
+		t.Fatalf("DupVal produced no SWDetects: %+v", rep.Tally)
+	}
+	t.Logf("fault.SWDetect dup=%d value=%d", rep.Tally.SWDetectDup, rep.Tally.SWDetectValue)
+}
+
+// TestProtectionReducesUSDCs is the paper's headline claim in miniature:
+// protected binaries must not have more USDCs than the original, and
+// coverage must not degrade.
+func TestProtectionReducesUSDCs(t *testing.T) {
+	const trials = 250
+	for _, name := range []string{"g721dec", "segm"} {
+		orig := smallCampaign(t, name, core.ModeOriginal, trials)
+		dup := smallCampaign(t, name, core.ModeDupOnly, trials)
+		if dup.Tally.Count[fault.USDC] > orig.Tally.Count[fault.USDC] {
+			t.Errorf("%s: DupOnly USDCs %d > original %d", name, dup.Tally.Count[fault.USDC], orig.Tally.Count[fault.USDC])
+		}
+		t.Logf("%s: fault.USDC %d -> %d, coverage %.3f -> %.3f", name,
+			orig.Tally.Count[fault.USDC], dup.Tally.Count[fault.USDC],
+			orig.Tally.Coverage(), dup.Tally.Coverage())
+	}
+}
+
+func TestMarginOfError(t *testing.T) {
+	ta := fault.Tally{N: 1000}
+	// Paper: 13000 injections -> 3.1% margin at 95% for p=0.5... for
+	// n=1000, p=0.5: 1.96*sqrt(.25/1000) = 3.1%.
+	m := ta.MarginOfError(0.5)
+	if m < 0.030 || m > 0.032 {
+		t.Fatalf("margin = %v, want ~0.031", m)
+	}
+}
+
+func TestFalsePositiveMeasurement(t *testing.T) {
+	w := workloads.ByName("jpegdec")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile on train, protect, measure check fires on test input.
+	mach, _ := vm.New(mod.Clone(), vm.DefaultConfig())
+	if err := w.Bind(mach, workloads.Train); err != nil {
+		t.Fatal(err)
+	}
+	mach.Reset()
+	col := profile.NewCollector(profile.DefaultBins)
+	mach.Run(vm.RunOptions{Profiler: col})
+
+	prot := mod.Clone()
+	if _, err := core.Protect(prot, core.ModeDupVal, col.Data(), core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fault.FalsePositives(w.Target(workloads.Test), prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dyn == 0 {
+		t.Fatal("no instructions executed")
+	}
+	cs := fault.CountChecks(prot)
+	if cs.ValueChecks == 0 {
+		t.Fatal("protected module has no value checks")
+	}
+	t.Logf("false positives: %d fails in %d instrs (%d checks); 1 per %.0f",
+		rep.CheckFails, rep.Dyn, cs.ValueChecks, rep.InstrPerFail)
+}
+
+func TestGoldenFiringChecksAreDisabled(t *testing.T) {
+	// A campaign on a DupVal binary must not classify every trial as
+	// fault.SWDetect due to a persistently false-firing check.
+	rep := smallCampaign(t, "svm", core.ModeDupVal, 100)
+	if rep.Tally.Count[fault.SWDetect] == rep.Tally.N {
+		t.Fatal("all trials fault.SWDetect: golden-firing checks not squelched")
+	}
+	t.Logf("disabled checks: %d", rep.DisabledChecks)
+}

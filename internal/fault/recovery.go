@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Recovery support (paper §IV-D): the scheme is detection-only and relies
+// on an external recovery mechanism (Encore, checkpointing). This file
+// models the simplest sound recovery — restart-and-re-execute: when a check
+// fires, the program is re-run from its inputs. A transient fault does not
+// recur, so the re-execution is fault-free and its output is correct; the
+// price is the wasted work up to the detection point plus one clean run.
+
+// RecoveryReport summarizes a campaign under restart recovery.
+type RecoveryReport struct {
+	Workload  string
+	Technique string
+	Trials    int
+	// Recovered counts trials where a software check fired and the re-run
+	// produced the golden output (always, for a transient fault).
+	Recovered int
+	// StillUSDC counts trials that completed with unacceptable output
+	// despite protection (no check fired).
+	StillUSDC int
+	// Failures counts crashes/hangs. They too are restarted (a deployed
+	// system restarts after any detected anomaly — the paper treats
+	// hardware symptoms as recovery triggers as well), so they contribute
+	// re-execution cost but are reported separately from software
+	// detections.
+	Failures int
+	// MeanCycles is the average cycles per trial including the
+	// re-execution cost of every restarted (detected or crashed) trial;
+	// GoldenCycles is the fault-free cost.
+	MeanCycles   float64
+	GoldenCycles int64
+}
+
+// RecoveryOverhead is the mean per-trial slowdown versus the fault-free run.
+func (r *RecoveryReport) RecoveryOverhead() float64 {
+	if r.GoldenCycles == 0 {
+		return 0
+	}
+	return r.MeanCycles/float64(r.GoldenCycles) - 1
+}
+
+// RunWithRecovery executes a campaign in which every software detection
+// triggers a restart: the trial is re-run without the fault and the final
+// output must match the golden output bit for bit.
+func RunWithRecovery(t Target, mod *ir.Module, technique string, cfg Config) (*RecoveryReport, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("fault: non-positive trial count")
+	}
+	if cfg.WatchdogFactor <= 0 {
+		cfg.WatchdogFactor = 20
+	}
+
+	goldenMach, err := newMachine(t, mod, 0)
+	if err != nil {
+		return nil, err
+	}
+	goldenRes := goldenMach.Run(vm.RunOptions{CountChecks: true})
+	if goldenRes.Trap != nil {
+		return nil, fmt.Errorf("fault: golden run trapped: %v", goldenRes.Trap)
+	}
+	golden, err := goldenMach.ReadGlobal(t.Output)
+	if err != nil {
+		return nil, err
+	}
+	disabled := make(map[int]bool)
+	for id, n := range goldenRes.PerCheckFails {
+		if n > 0 {
+			disabled[id] = true
+		}
+	}
+
+	rep := &RecoveryReport{
+		Workload: t.Name, Technique: technique,
+		Trials: cfg.Trials, GoldenCycles: goldenRes.Cycles,
+	}
+	mach, err := newMachine(t, mod, goldenRes.Dyn*cfg.WatchdogFactor+100_000)
+	if err != nil {
+		return nil, err
+	}
+
+	var totalCycles int64
+	for i := 0; i < cfg.Trials; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		plan := &vm.FaultPlan{
+			Kind:       cfg.Kind,
+			TriggerDyn: rng.Int63n(goldenRes.Dyn),
+			PickSlot:   func(n int) int { return rng.Intn(n) },
+			PickBit:    func() int { return rng.Intn(64) },
+		}
+		mach.Reset()
+		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled})
+		totalCycles += res.Cycles
+
+		if res.Trap != nil {
+			// Restart: re-execute without the fault. Both software
+			// detections and hardware symptoms/crashes trigger recovery.
+			mach.Reset()
+			rerun := mach.Run(vm.RunOptions{DisabledChecks: disabled})
+			totalCycles += rerun.Cycles
+			if rerun.Trap != nil {
+				return nil, fmt.Errorf("fault: recovery re-run trapped: %v", rerun.Trap)
+			}
+			out, err := mach.ReadGlobal(t.Output)
+			if err != nil {
+				return nil, err
+			}
+			for j := range golden {
+				if out[j] != golden[j] {
+					return nil, fmt.Errorf("fault: recovery produced wrong output at word %d", j)
+				}
+			}
+			if res.Trap.Kind == vm.TrapCheck {
+				rep.Recovered++
+			} else {
+				rep.Failures++
+			}
+			continue
+		}
+		out, err := mach.ReadGlobal(t.Output)
+		if err != nil {
+			return nil, err
+		}
+		same := true
+		for j := range golden {
+			if out[j] != golden[j] {
+				same = false
+				break
+			}
+		}
+		if !same && !t.Acceptable(t.Measure(golden, out)) {
+			rep.StillUSDC++
+		}
+	}
+	rep.MeanCycles = float64(totalCycles) / float64(cfg.Trials)
+	return rep, nil
+}

@@ -1,0 +1,197 @@
+// Package fidelity implements the application-level output quality metrics
+// of the paper's Table I: PSNR for images/video/waveforms, segmental SNR
+// for audio, classification error for machine-learning outputs, and matrix
+// mismatch for computer-vision outputs. Each workload pairs one metric with
+// an acceptability threshold; outputs below threshold are Unacceptable
+// Silent Data Corruptions (USDCs).
+package fidelity
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric identifies a quality measure.
+type Metric uint8
+
+// Metrics used by the benchmark suite.
+const (
+	MetricPSNR     Metric = iota // peak signal-to-noise ratio, dB
+	MetricSegSNR                 // segmental SNR, dB
+	MetricClassErr               // % label mismatch
+	MetricMismatch               // % matrix element mismatch
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricPSNR:
+		return "PSNR"
+	case MetricSegSNR:
+		return "Segmental SNR"
+	case MetricClassErr:
+		return "Classification error"
+	case MetricMismatch:
+		return "Matrix mismatch"
+	}
+	return fmt.Sprintf("metric(%d)", uint8(m))
+}
+
+// Unit returns the metric's display unit.
+func (m Metric) Unit() string {
+	if m == MetricPSNR || m == MetricSegSNR {
+		return "dB"
+	}
+	return "%"
+}
+
+// PSNR computes the peak signal-to-noise ratio between a reference and a
+// test signal, in dB, with the given peak value (255 for 8-bit images).
+// Identical signals yield +Inf.
+func PSNR(ref, test []float64, peak float64) float64 {
+	n := len(ref)
+	if len(test) < n {
+		n = len(test)
+	}
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	var mse float64
+	for i := 0; i < n; i++ {
+		d := ref[i] - test[i]
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return math.Inf(-1) // corrupted beyond measure
+		}
+		mse += d * d
+	}
+	mse /= float64(n)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// PSNRInts is PSNR over integer samples.
+func PSNRInts(ref, test []int64, peak float64) float64 {
+	return PSNR(intsToFloats(ref), intsToFloats(test), peak)
+}
+
+// SegmentalSNR computes the mean per-frame SNR in dB over frames of the
+// given length, clamping each frame's SNR into [-10, 80] dB as is standard
+// for segmental SNR, so silence and perfection do not dominate the mean.
+func SegmentalSNR(ref, test []float64, frame int) float64 {
+	n := len(ref)
+	if len(test) < n {
+		n = len(test)
+	}
+	if frame <= 0 || n < frame {
+		return -10
+	}
+	const loClamp, hiClamp = -10.0, 80.0
+	var sum float64
+	frames := 0
+	for off := 0; off+frame <= n; off += frame {
+		var sig, noise float64
+		for i := off; i < off+frame; i++ {
+			sig += ref[i] * ref[i]
+			d := ref[i] - test[i]
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				return loClamp
+			}
+			noise += d * d
+		}
+		var snr float64
+		switch {
+		case noise == 0:
+			snr = hiClamp
+		case sig == 0:
+			snr = loClamp
+		default:
+			snr = 10 * math.Log10(sig/noise)
+		}
+		snr = math.Max(loClamp, math.Min(hiClamp, snr))
+		sum += snr
+		frames++
+	}
+	return sum / float64(frames)
+}
+
+// SegmentalSNRInts is SegmentalSNR over integer samples.
+func SegmentalSNRInts(ref, test []int64, frame int) float64 {
+	return SegmentalSNR(intsToFloats(ref), intsToFloats(test), frame)
+}
+
+// ClassificationError returns the percentage of labels that differ between
+// reference and test (0..100). Length mismatch counts missing entries as
+// errors.
+func ClassificationError(ref, test []int64) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	bad := 0
+	for i, r := range ref {
+		if i >= len(test) || test[i] != r {
+			bad++
+		}
+	}
+	return 100 * float64(bad) / float64(len(ref))
+}
+
+// MatrixMismatch returns the percentage of elements differing by more than
+// tol (0..100).
+func MatrixMismatch(ref, test []int64, tol int64) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	bad := 0
+	for i, r := range ref {
+		var tv int64
+		if i < len(test) {
+			tv = test[i]
+		}
+		d := r - tv
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			bad++
+		}
+	}
+	return 100 * float64(bad) / float64(len(ref))
+}
+
+func intsToFloats(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Judgment couples a metric with a threshold and direction.
+type Judgment struct {
+	Metric    Metric
+	Threshold float64
+	// HigherIsBetter: PSNR/SegSNR pass when value >= Threshold;
+	// error/mismatch metrics pass when value <= Threshold.
+	HigherIsBetter bool
+}
+
+// Acceptable reports whether a measured value passes the judgment.
+func (j Judgment) Acceptable(value float64) bool {
+	if math.IsNaN(value) {
+		return false
+	}
+	if j.HigherIsBetter {
+		return value >= j.Threshold
+	}
+	return value <= j.Threshold
+}
+
+// Describe renders the acceptance rule, e.g. "PSNR (>= 30 dB)".
+func (j Judgment) Describe() string {
+	op := "<="
+	if j.HigherIsBetter {
+		op = ">="
+	}
+	return fmt.Sprintf("%s (%s %g %s)", j.Metric, op, j.Threshold, j.Metric.Unit())
+}

@@ -1,0 +1,138 @@
+package fidelity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSNRIdenticalIsInfinite(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if !math.IsInf(PSNR(a, a, 255), 1) {
+		t.Fatal("identical signals should give +Inf PSNR")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// MSE = 1, peak 255 -> 10*log10(255^2) = 48.1308 dB.
+	ref := []float64{10, 20, 30, 40}
+	test := []float64{11, 19, 31, 39}
+	got := PSNR(ref, test, 255)
+	want := 10 * math.Log10(255*255)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestPSNRDecreasesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]float64, 256)
+	for i := range ref {
+		ref[i] = float64(rng.Intn(256))
+	}
+	addNoise := func(scale float64) []float64 {
+		out := make([]float64, len(ref))
+		for i := range out {
+			out[i] = ref[i] + rng.NormFloat64()*scale
+		}
+		return out
+	}
+	small := PSNR(ref, addNoise(1), 255)
+	big := PSNR(ref, addNoise(30), 255)
+	if small <= big {
+		t.Fatalf("PSNR should drop with noise: small=%v big=%v", small, big)
+	}
+}
+
+func TestPSNRHandlesNaN(t *testing.T) {
+	ref := []float64{1, 2}
+	test := []float64{math.NaN(), 2}
+	if !math.IsInf(PSNR(ref, test, 255), -1) {
+		t.Fatal("NaN test signal should give -Inf PSNR")
+	}
+}
+
+func TestSegmentalSNRClamps(t *testing.T) {
+	ref := make([]float64, 64)
+	for i := range ref {
+		ref[i] = math.Sin(float64(i) / 3)
+	}
+	if got := SegmentalSNR(ref, ref, 16); got != 80 {
+		t.Fatalf("perfect signal SegSNR = %v, want 80 (clamped)", got)
+	}
+	garbage := make([]float64, 64)
+	for i := range garbage {
+		garbage[i] = 1e9
+	}
+	if got := SegmentalSNR(ref, garbage, 16); got != -10 {
+		t.Fatalf("garbage SegSNR = %v, want -10 (clamped)", got)
+	}
+}
+
+func TestClassificationError(t *testing.T) {
+	ref := []int64{0, 1, 1, 0, 2}
+	test := []int64{0, 1, 0, 0, 2}
+	if got := ClassificationError(ref, test); got != 20 {
+		t.Fatalf("err = %v, want 20", got)
+	}
+	if got := ClassificationError(ref, ref); got != 0 {
+		t.Fatalf("self err = %v", got)
+	}
+	if got := ClassificationError(ref, test[:2]); got != 60 {
+		t.Fatalf("short test err = %v, want 60", got)
+	}
+}
+
+func TestMatrixMismatch(t *testing.T) {
+	ref := []int64{10, 20, 30, 40}
+	test := []int64{10, 25, 30, 100}
+	if got := MatrixMismatch(ref, test, 0); got != 50 {
+		t.Fatalf("mismatch = %v, want 50", got)
+	}
+	if got := MatrixMismatch(ref, test, 5); got != 25 {
+		t.Fatalf("mismatch tol=5 = %v, want 25", got)
+	}
+}
+
+func TestJudgmentDirections(t *testing.T) {
+	psnr := Judgment{Metric: MetricPSNR, Threshold: 30, HigherIsBetter: true}
+	if !psnr.Acceptable(35) || psnr.Acceptable(25) || psnr.Acceptable(math.NaN()) {
+		t.Fatal("PSNR judgment wrong")
+	}
+	classify := Judgment{Metric: MetricClassErr, Threshold: 10}
+	if !classify.Acceptable(5) || classify.Acceptable(15) {
+		t.Fatal("classification judgment wrong")
+	}
+	if !psnr.Acceptable(math.Inf(1)) {
+		t.Fatal("perfect output must be acceptable")
+	}
+}
+
+// Property: PSNR is symmetric in which signal carries the noise sign, and
+// scaling noise down never lowers PSNR.
+func TestPSNRMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 32 + rng.Intn(64)
+		ref := make([]float64, n)
+		noise := make([]float64, n)
+		for i := range ref {
+			ref[i] = float64(rng.Intn(256))
+			noise[i] = rng.NormFloat64() * 10
+		}
+		mk := func(scale float64) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = ref[i] + noise[i]*scale
+			}
+			return out
+		}
+		full := PSNR(ref, mk(1), 255)
+		half := PSNR(ref, mk(0.5), 255)
+		return half >= full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package ir
+
+import "fmt"
+
+// Builder provides a cursor-style API for constructing IR. It appends
+// instructions to a current block and hands out fresh UIDs from the module.
+type Builder struct {
+	Fn  *Func
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at a new entry block of f.
+func NewBuilder(f *Func) *Builder {
+	b := &Builder{Fn: f}
+	if len(f.Blocks) == 0 {
+		b.Cur = f.NewBlock("entry")
+	} else {
+		b.Cur = f.Blocks[0]
+	}
+	return b
+}
+
+// Block creates (but does not enter) a new block.
+func (b *Builder) Block(name string) *Block { return b.Fn.NewBlock(name) }
+
+// SetBlock moves the cursor to blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// Emit appends a raw instruction to the current block and assigns its UID.
+func (b *Builder) Emit(in *Instr) *Instr {
+	in.UID = b.Fn.Module.NewUID()
+	b.Cur.Append(in)
+	return in
+}
+
+func (b *Builder) emit(op Op, ty Type, args ...Value) *Instr {
+	return b.Emit(&Instr{Op: op, Ty: ty, Args: args})
+}
+
+// resultType gives arithmetic result types; comparisons produce I64.
+func resultType(op Op, lhs Value) Type {
+	if op.IsCompare() {
+		return I64
+	}
+	return lhs.Type()
+}
+
+// Bin emits a binary arithmetic/bitwise/compare operation.
+func (b *Builder) Bin(op Op, lhs, rhs Value) *Instr {
+	return b.emit(op, resultType(op, lhs), lhs, rhs)
+}
+
+// Neg emits unary negation.
+func (b *Builder) Neg(v Value) *Instr { return b.emit(OpNeg, v.Type(), v) }
+
+// IToF emits an int-to-float conversion.
+func (b *Builder) IToF(v Value) *Instr { return b.emit(OpIToF, F64, v) }
+
+// FToI emits a float-to-int (truncating) conversion.
+func (b *Builder) FToI(v Value) *Instr { return b.emit(OpFToI, I64, v) }
+
+// Alloca reserves size stack words.
+func (b *Builder) Alloca(size int) *Instr {
+	return b.emit(OpAlloca, Ptr, ConstInt(int64(size)))
+}
+
+// Load emits a typed load from ptr.
+func (b *Builder) Load(ty Type, ptr Value) *Instr { return b.emit(OpLoad, ty, ptr) }
+
+// Store emits a store of v to ptr.
+func (b *Builder) Store(ptr, v Value) *Instr { return b.emit(OpStore, Void, ptr, v) }
+
+// PtrAdd emits pointer arithmetic: ptr + idx words.
+func (b *Builder) PtrAdd(ptr, idx Value) *Instr { return b.emit(OpPtrAdd, Ptr, ptr, idx) }
+
+// Phi emits an empty phi of the given type; edges are added with AddIncoming.
+func (b *Builder) Phi(ty Type) *Instr { return b.emit(OpPhi, ty) }
+
+// AddIncoming appends an edge to a phi instruction.
+func AddIncoming(phi *Instr, v Value, pred *Block) {
+	if phi.Op != OpPhi {
+		panic(fmt.Sprintf("ir: AddIncoming on %s", phi.Op))
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Preds = append(phi.Preds, pred)
+}
+
+// Jmp terminates the current block with an unconditional branch.
+func (b *Builder) Jmp(to *Block) *Instr {
+	in := b.emit(OpJmp, Void)
+	in.Then = to
+	return in
+}
+
+// Br terminates the current block with a conditional branch.
+func (b *Builder) Br(cond Value, then, els *Block) *Instr {
+	in := b.emit(OpBr, Void, cond)
+	in.Then = then
+	in.Else = els
+	return in
+}
+
+// Ret terminates the current block with a return; v may be nil.
+func (b *Builder) Ret(v Value) *Instr {
+	if v == nil {
+		return b.emit(OpRet, Void)
+	}
+	return b.emit(OpRet, Void, v)
+}
+
+// Call emits a direct call.
+func (b *Builder) Call(callee *Func, args ...Value) *Instr {
+	in := b.emit(OpCall, callee.RetTy, args...)
+	in.Callee = callee
+	return in
+}
+
+// Intrin emits a math intrinsic of the given result type.
+func (b *Builder) Intrin(k Intrinsic, ty Type, args ...Value) *Instr {
+	in := b.emit(OpIntrinsic, ty, args...)
+	in.Intrinsic = k
+	return in
+}

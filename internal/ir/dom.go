@@ -1,0 +1,160 @@
+package ir
+
+// DomTree holds immediate-dominator information for a function, computed
+// with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	Fn *Func
+	// Idom[b.Index] is the immediate dominator block, nil for entry and
+	// unreachable blocks.
+	Idom []*Block
+	// Children[b.Index] lists blocks immediately dominated by b.
+	Children [][]*Block
+	// rpoNum[b.Index] is the reverse-postorder number (entry = 0);
+	// unreachable blocks get -1.
+	rpoNum []int
+	// RPO is the blocks in reverse postorder (reachable only).
+	RPO []*Block
+}
+
+// BuildDomTree computes the dominator tree; ComputeCFG must be current.
+func BuildDomTree(f *Func) *DomTree {
+	n := len(f.Blocks)
+	dt := &DomTree{
+		Fn:       f,
+		Idom:     make([]*Block, n),
+		Children: make([][]*Block, n),
+		rpoNum:   make([]int, n),
+	}
+	for i := range dt.rpoNum {
+		dt.rpoNum[i] = -1
+	}
+
+	// Postorder DFS from entry.
+	var post []*Block
+	visited := make([]bool, n)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		visited[b.Index] = true
+		for _, s := range b.Succs {
+			if !visited[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+
+	// Reverse postorder.
+	for i := len(post) - 1; i >= 0; i-- {
+		dt.RPO = append(dt.RPO, post[i])
+	}
+	for i, b := range dt.RPO {
+		dt.rpoNum[b.Index] = i
+	}
+
+	idom := make([]*Block, n)
+	entry := f.Entry()
+	idom[entry.Index] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for dt.rpoNum[a.Index] > dt.rpoNum[b.Index] {
+				a = idom[a.Index]
+			}
+			for dt.rpoNum[b.Index] > dt.rpoNum[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range dt.RPO {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p.Index] == nil {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range dt.RPO {
+		if b == entry {
+			continue
+		}
+		d := idom[b.Index]
+		dt.Idom[b.Index] = d
+		dt.Children[d.Index] = append(dt.Children[d.Index], b)
+	}
+	return dt
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	if dt.rpoNum[a.Index] < 0 || dt.rpoNum[b.Index] < 0 {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		if b == dt.Fn.Entry() {
+			return false
+		}
+		b = dt.Idom[b.Index]
+	}
+	return false
+}
+
+// Reachable reports whether b is reachable from entry.
+func (dt *DomTree) Reachable(b *Block) bool { return dt.rpoNum[b.Index] >= 0 }
+
+// Frontiers computes the dominance frontier of every block
+// (Cytron et al.), indexed by block Index.
+func (dt *DomTree) Frontiers() [][]*Block {
+	n := len(dt.Fn.Blocks)
+	df := make([][]*Block, n)
+	seen := make([]map[*Block]bool, n)
+	add := func(b, w *Block) {
+		if seen[b.Index] == nil {
+			seen[b.Index] = make(map[*Block]bool)
+		}
+		if !seen[b.Index][w] {
+			seen[b.Index][w] = true
+			df[b.Index] = append(df[b.Index], w)
+		}
+	}
+	for _, b := range dt.RPO {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if !dt.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != nil && runner != dt.Idom[b.Index] {
+				add(runner, b)
+				if runner == dt.Fn.Entry() {
+					break
+				}
+				runner = dt.Idom[runner.Index]
+			}
+		}
+	}
+	return df
+}

@@ -1,0 +1,167 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator. Phi instructions, when present, are a prefix of Instrs.
+type Block struct {
+	Name   string
+	Index  int // position in Func.Blocks, maintained by Renumber
+	Instrs []*Instr
+	Preds  []*Block // computed by Func.ComputeCFG
+	Succs  []*Block
+	Fn     *Func
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// still under construction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Phis returns the block's phi prefix.
+func (b *Block) Phis() []*Instr {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == OpPhi {
+		n++
+	}
+	return b.Instrs[:n]
+}
+
+// Append adds an instruction at the end of the block (before nothing; caller
+// is responsible for terminator discipline during construction).
+func (b *Block) Append(in *Instr) {
+	in.Blk = b
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertBefore inserts in directly before the instruction at index i.
+func (b *Block) InsertBefore(in *Instr, i int) {
+	in.Blk = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// IndexOf returns the position of in within the block, or -1.
+func (b *Block) IndexOf(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// InsertAfterInstr inserts in directly after ref, which must be in b.
+func (b *Block) InsertAfterInstr(in, ref *Instr) {
+	i := b.IndexOf(ref)
+	if i < 0 {
+		panic(fmt.Sprintf("ir: %s not in block %s", ref.LongString(), b.Name))
+	}
+	b.InsertBefore(in, i+1)
+}
+
+// InsertBeforeTerminator inserts in just before the block's terminator.
+func (b *Block) InsertBeforeTerminator(in *Instr) {
+	if t := b.Terminator(); t != nil {
+		b.InsertBefore(in, len(b.Instrs)-1)
+		return
+	}
+	b.Append(in)
+}
+
+// Func is a function: an ordered list of basic blocks, the first being the
+// entry. NumValues frame slots cover parameters and instruction results.
+type Func struct {
+	Name      string
+	Params    []*Param
+	RetTy     Type
+	Blocks    []*Block
+	Module    *Module
+	numValues int
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// NumValues returns the number of frame slots (params + instruction
+// results) after the last Renumber.
+func (f *Func) NumValues() int { return f.numValues }
+
+// NewBlock appends a fresh empty block with the given name.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: name, Index: len(f.Blocks), Fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// ComputeCFG recomputes Preds and Succs for every block from terminators.
+func (f *Func) ComputeCFG() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case OpJmp:
+			b.Succs = append(b.Succs, t.Then)
+		case OpBr:
+			b.Succs = append(b.Succs, t.Then, t.Else)
+		}
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// Renumber reassigns dense frame-slot IDs to parameters and instructions
+// and refreshes block indices. Must be called after structural changes and
+// before interpretation.
+func (f *Func) Renumber() {
+	id := 0
+	for _, p := range f.Params {
+		p.ID = id
+		id++
+	}
+	for bi, b := range f.Blocks {
+		b.Index = bi
+		for _, in := range b.Instrs {
+			in.ID = id
+			id++
+		}
+	}
+	f.numValues = id
+}
+
+// Instrs calls fn for every instruction in block order; returning false
+// stops the walk.
+func (f *Func) Instrs(fn func(*Instr) bool) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !fn(in) {
+				return
+			}
+		}
+	}
+}
+
+// NumInstrs returns the static instruction count (excluding params).
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package ir
+
+import "fmt"
+
+// Module is a compiled program: globals plus functions, with "main" as the
+// execution entry point.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Func
+	nextUID int
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// NewUID hands out the next module-unique instruction identifier.
+func (m *Module) NewUID() int {
+	m.nextUID++
+	return m.nextUID
+}
+
+// Func returns the function with the given name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global with the given name, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// AddGlobal declares a global array of size words.
+func (m *Module) AddGlobal(name string, size int) *Global {
+	g := &Global{Name: name, Size: size}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// NewFunc declares a function with the given signature.
+func (m *Module) NewFunc(name string, ret Type, params ...*Param) *Func {
+	f := &Func{Name: name, RetTy: ret, Params: params, Module: m}
+	for _, p := range params {
+		p.Fn = f
+	}
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// Renumber renumbers every function.
+func (m *Module) Renumber() {
+	for _, f := range m.Funcs {
+		f.Renumber()
+		f.ComputeCFG()
+	}
+}
+
+// NumInstrs returns the static instruction count across all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// InstrByUID builds a lookup from stable UID to instruction. Used to apply
+// value profiles collected on one clone to another.
+func (m *Module) InstrByUID() map[int]*Instr {
+	out := make(map[int]*Instr)
+	for _, f := range m.Funcs {
+		f.Instrs(func(in *Instr) bool {
+			out[in.UID] = in
+			return true
+		})
+	}
+	return out
+}
+
+// Clone deep-copies the module. Instruction UIDs are preserved so value
+// profiles keyed by UID transfer across clones; frame IDs are renumbered.
+func (m *Module) Clone() *Module {
+	nm := &Module{Name: m.Name, nextUID: m.nextUID}
+
+	gmap := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Size: g.Size}
+		if g.Init != nil {
+			ng.Init = append([]uint64(nil), g.Init...)
+		}
+		nm.Globals = append(nm.Globals, ng)
+		gmap[g] = ng
+	}
+
+	fmap := make(map[*Func]*Func, len(m.Funcs))
+	pmap := make(map[*Param]*Param)
+	bmap := make(map[*Block]*Block)
+	imap := make(map[*Instr]*Instr)
+
+	for _, f := range m.Funcs {
+		nf := &Func{Name: f.Name, RetTy: f.RetTy, Module: nm}
+		for _, p := range f.Params {
+			np := &Param{Name: p.Name, Ty: p.Ty, ID: p.ID, Fn: nf}
+			nf.Params = append(nf.Params, np)
+			pmap[p] = np
+		}
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Index: b.Index, Fn: nf}
+			nf.Blocks = append(nf.Blocks, nb)
+			bmap[b] = nb
+		}
+		nm.Funcs = append(nm.Funcs, nf)
+		fmap[f] = nf
+	}
+
+	cloneVal := func(v Value) Value {
+		switch x := v.(type) {
+		case *Const:
+			return &Const{Ty: x.Ty, Bits: x.Bits}
+		case *Param:
+			return pmap[x]
+		case *Global:
+			return gmap[x]
+		case *Instr:
+			ni, ok := imap[x]
+			if !ok {
+				panic(fmt.Sprintf("ir: clone saw forward instr reference %%%d before definition pass", x.ID))
+			}
+			return ni
+		}
+		panic(fmt.Sprintf("ir: clone of unknown value %T", v))
+	}
+
+	// First pass: create instruction shells so cross references (incl.
+	// phi back-edges) resolve; second pass fills operands.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			nb := bmap[b]
+			for _, in := range b.Instrs {
+				ni := &Instr{
+					ID: in.ID, UID: in.UID, Op: in.Op, Ty: in.Ty,
+					Intrinsic: in.Intrinsic, Check: in.Check, CheckID: in.CheckID,
+					Blk: nb,
+				}
+				imap[in] = ni
+				nb.Instrs = append(nb.Instrs, ni)
+			}
+		}
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				ni := imap[in]
+				for _, a := range in.Args {
+					ni.Args = append(ni.Args, cloneVal(a))
+				}
+				for _, p := range in.Preds {
+					ni.Preds = append(ni.Preds, bmap[p])
+				}
+				if in.Then != nil {
+					ni.Then = bmap[in.Then]
+				}
+				if in.Else != nil {
+					ni.Else = bmap[in.Else]
+				}
+				if in.Callee != nil {
+					ni.Callee = fmap[in.Callee]
+				}
+			}
+		}
+	}
+	nm.Renumber()
+	return nm
+}

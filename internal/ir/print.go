@@ -1,0 +1,47 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the whole module as text, stable across runs.
+func (m *Module) String() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global @%s [%d]\n", g.Name, g.Size)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.Dump())
+	}
+	return b.String()
+}
+
+// Dump renders a function as text.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func @%s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %%%s", p.Ty, p.Name)
+	}
+	fmt.Fprintf(&b, ") %s {\n", f.RetTy)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:", blk.Name)
+		if len(blk.Preds) > 0 {
+			names := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				names[i] = p.Name
+			}
+			fmt.Fprintf(&b, "  ; preds: %s", strings.Join(names, " "))
+		}
+		b.WriteString("\n")
+		for _, in := range blk.Instrs {
+			b.WriteString("  " + in.LongString() + "\n")
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

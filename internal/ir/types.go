@@ -1,0 +1,243 @@
+// Package ir defines a compact typed SSA intermediate representation that
+// stands in for LLVM IR in this reproduction. Programs are modules of
+// functions; functions are CFGs of basic blocks holding instructions in SSA
+// form (loop-carried values appear as phi nodes in loop headers, which is the
+// property the paper's state-variable analysis relies on).
+//
+// Memory is word addressed: a pointer is an index into a flat array of 64-bit
+// cells managed by the interpreter (package vm). This keeps the fault model
+// (single bit flips in 64-bit registers) and the bounds-checking symptom
+// model simple and uniform.
+package ir
+
+import "fmt"
+
+// Type is the type of an SSA value. The IR is deliberately minimal: 64-bit
+// integers, 64-bit floats, and word pointers cover every workload kernel.
+type Type uint8
+
+// Value types.
+const (
+	Void Type = iota // instruction produces no value (store, br, checks)
+	I64              // 64-bit signed integer
+	F64              // IEEE-754 double
+	Ptr              // word address into the flat memory
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes. Arithmetic ops are polymorphic over I64/F64 (the instruction's
+// type selects the semantics); shifts and bitwise ops are integer only.
+const (
+	OpInvalid Op = iota
+
+	// Arithmetic / bitwise.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift left
+	OpShr // arithmetic shift right
+	OpNeg // unary minus
+
+	// Comparisons; produce I64 0 or 1.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Conversions.
+	OpIToF // I64 -> F64
+	OpFToI // F64 -> I64, truncating toward zero
+
+	// Memory.
+	OpAlloca // reserve N stack words; produces Ptr. Arg: size (const I64)
+	OpLoad   // load word at Ptr arg; type of result = instruction type
+	OpStore  // store args[1] to Ptr args[0]
+	OpPtrAdd // Ptr + I64 index -> Ptr
+
+	// SSA merge point. Only legal at the start of a block.
+	OpPhi
+
+	// Control flow (always the last instruction of a block).
+	OpJmp // unconditional branch to Then
+	OpBr  // conditional: args[0] != 0 -> Then else Else
+	OpRet // optional args[0]
+
+	// Calls.
+	OpCall      // direct call; Callee set; args are actual params
+	OpIntrinsic // math builtin; Intrinsic set
+
+	// Fault-detection checks inserted by package core. All are Void.
+	OpCmpCheck   // args: original, duplicate. Fires when they differ.
+	OpRangeCheck // args: v, lo, hi (consts). Fires when v outside [lo, hi].
+	OpValCheck   // args: v, e1 [, e2]. Fires when v matches none of e1, e2.
+
+	opEnd // sentinel
+)
+
+// NumOps is the number of opcodes; useful for per-op counter arrays.
+const NumOps = int(opEnd)
+
+var opNames = [...]string{
+	OpInvalid:    "invalid",
+	OpAdd:        "add",
+	OpSub:        "sub",
+	OpMul:        "mul",
+	OpDiv:        "div",
+	OpRem:        "rem",
+	OpAnd:        "and",
+	OpOr:         "or",
+	OpXor:        "xor",
+	OpShl:        "shl",
+	OpShr:        "shr",
+	OpNeg:        "neg",
+	OpEq:         "eq",
+	OpNe:         "ne",
+	OpLt:         "lt",
+	OpLe:         "le",
+	OpGt:         "gt",
+	OpGe:         "ge",
+	OpIToF:       "itof",
+	OpFToI:       "ftoi",
+	OpAlloca:     "alloca",
+	OpLoad:       "load",
+	OpStore:      "store",
+	OpPtrAdd:     "ptradd",
+	OpPhi:        "phi",
+	OpJmp:        "jmp",
+	OpBr:         "br",
+	OpRet:        "ret",
+	OpCall:       "call",
+	OpIntrinsic:  "intrinsic",
+	OpCmpCheck:   "cmpcheck",
+	OpRangeCheck: "rangecheck",
+	OpValCheck:   "valcheck",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsTerminator reports whether op must end a basic block.
+func (op Op) IsTerminator() bool {
+	return op == OpJmp || op == OpBr || op == OpRet
+}
+
+// IsCheck reports whether op is one of the software fault-detection checks.
+func (op Op) IsCheck() bool {
+	return op == OpCmpCheck || op == OpRangeCheck || op == OpValCheck
+}
+
+// IsArith reports whether op is a pure value computation (arithmetic,
+// bitwise, comparison, or conversion). These are the ops eligible for
+// duplication and value checks.
+func (op Op) IsArith() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpNeg, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpIToF, OpFToI, OpPtrAdd,
+		OpIntrinsic:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether op is a comparison producing 0/1.
+func (op Op) IsCompare() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// Intrinsic identifies a math builtin dispatched by the interpreter.
+type Intrinsic uint8
+
+// Intrinsics available to front-end programs.
+const (
+	IntrinsicNone Intrinsic = iota
+	IntrSqrt                // f64 -> f64
+	IntrFAbs                // f64 -> f64
+	IntrIAbs                // i64 -> i64
+	IntrFMin                // f64 x f64 -> f64
+	IntrFMax                // f64 x f64 -> f64
+	IntrIMin                // i64 x i64 -> i64
+	IntrIMax                // i64 x i64 -> i64
+	IntrExp                 // f64 -> f64
+	IntrLog                 // f64 -> f64
+	IntrFloor               // f64 -> f64
+	IntrPow                 // f64 x f64 -> f64
+	IntrClampI              // i64 x i64 x i64 -> i64 (v, lo, hi)
+)
+
+var intrNames = [...]string{
+	IntrinsicNone: "none",
+	IntrSqrt:      "sqrt",
+	IntrFAbs:      "fabs",
+	IntrIAbs:      "iabs",
+	IntrFMin:      "fmin",
+	IntrFMax:      "fmax",
+	IntrIMin:      "imin",
+	IntrIMax:      "imax",
+	IntrExp:       "exp",
+	IntrLog:       "log",
+	IntrFloor:     "floor",
+	IntrPow:       "pow",
+	IntrClampI:    "clampi",
+}
+
+func (in Intrinsic) String() string {
+	if int(in) < len(intrNames) {
+		return intrNames[in]
+	}
+	return fmt.Sprintf("intrinsic(%d)", uint8(in))
+}
+
+// CheckKind distinguishes why a check instruction was inserted; the fault
+// campaign and false-positive analysis report them separately.
+type CheckKind uint8
+
+// Check kinds.
+const (
+	CheckNone  CheckKind = iota
+	CheckDup             // duplicate-vs-original comparison (hard check)
+	CheckValue           // expected-value / range check (soft check)
+	CheckCFC             // control-flow signature check (CFCSS-style)
+)
+
+func (k CheckKind) String() string {
+	switch k {
+	case CheckDup:
+		return "dup"
+	case CheckValue:
+		return "value"
+	case CheckCFC:
+		return "cfc"
+	}
+	return "none"
+}

@@ -1,0 +1,277 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks module well-formedness: every block ends in exactly one
+// terminator, phis agree with predecessors, operand types match opcode
+// contracts, and every SSA use is dominated by its definition. Transform
+// passes run it in tests after every rewrite.
+func (m *Module) Verify() error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if err := verifyFunc(f); err != nil {
+			errs = append(errs, fmt.Errorf("func %s: %w", f.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	f.ComputeCFG()
+	dt := BuildDomTree(f)
+
+	// Map every instruction to its defining block and in-block position.
+	defBlock := make(map[*Instr]*Block)
+	defPos := make(map[*Instr]int)
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Blk != b {
+				return fmt.Errorf("block %s: instr %s has Blk=%v", b.Name, in.LongString(), in.Blk)
+			}
+			defBlock[in] = b
+			defPos[in] = i
+		}
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s: empty", b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("block %s: terminator discipline violated at %s", b.Name, in.LongString())
+			}
+			if in.Op == OpPhi && (i > 0 && b.Instrs[i-1].Op != OpPhi) {
+				return fmt.Errorf("block %s: phi %s not in phi prefix", b.Name, in.LongString())
+			}
+			if err := verifyInstr(f, b, in); err != nil {
+				return fmt.Errorf("block %s: %s: %w", b.Name, in.LongString(), err)
+			}
+			// Dominance of uses.
+			if !dt.Reachable(b) {
+				continue
+			}
+			for ai, a := range in.Args {
+				d, ok := a.(*Instr)
+				if !ok {
+					continue
+				}
+				db := defBlock[d]
+				if db == nil {
+					return fmt.Errorf("block %s: %s uses foreign instr", b.Name, in.LongString())
+				}
+				if in.Op == OpPhi {
+					// Value must dominate the end of the incoming pred.
+					pred := in.Preds[ai]
+					if !dt.Reachable(pred) {
+						continue
+					}
+					if !dt.Dominates(db, pred) {
+						return fmt.Errorf("phi %s: incoming %%%d does not dominate pred %s", in.LongString(), d.ID, pred.Name)
+					}
+					continue
+				}
+				if db == b {
+					if defPos[d] >= i {
+						return fmt.Errorf("%s uses %%%d before definition", in.LongString(), d.ID)
+					}
+				} else if !dt.Dominates(db, b) {
+					return fmt.Errorf("%s: def of %%%d (block %s) does not dominate use (block %s)", in.LongString(), d.ID, db.Name, b.Name)
+				}
+			}
+		}
+	}
+
+	// Phi predecessor sets must equal block predecessor sets.
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			if len(phi.Preds) != len(b.Preds) {
+				return fmt.Errorf("block %s: phi %s has %d edges, block has %d preds", b.Name, phi.LongString(), len(phi.Preds), len(b.Preds))
+			}
+			for _, p := range phi.Preds {
+				found := false
+				for _, bp := range b.Preds {
+					if bp == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("block %s: phi %s edge from non-predecessor %s", b.Name, phi.LongString(), p.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func wantArgs(in *Instr, n int) error {
+	if len(in.Args) != n {
+		return fmt.Errorf("want %d args, have %d", n, len(in.Args))
+	}
+	return nil
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr) error {
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem:
+		if err := wantArgs(in, 2); err != nil {
+			return err
+		}
+		if in.Ty != I64 && in.Ty != F64 {
+			return fmt.Errorf("arith type %s", in.Ty)
+		}
+		for _, a := range in.Args {
+			if a.Type() != in.Ty {
+				return fmt.Errorf("operand type %s != %s", a.Type(), in.Ty)
+			}
+		}
+	case OpAnd, OpOr, OpXor, OpShl, OpShr:
+		if err := wantArgs(in, 2); err != nil {
+			return err
+		}
+		if in.Ty != I64 {
+			return fmt.Errorf("bitwise type %s", in.Ty)
+		}
+	case OpNeg:
+		return wantArgs(in, 1)
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if err := wantArgs(in, 2); err != nil {
+			return err
+		}
+		if in.Ty != I64 {
+			return fmt.Errorf("compare result type %s", in.Ty)
+		}
+		if in.Args[0].Type() != in.Args[1].Type() {
+			return fmt.Errorf("compare operand mismatch %s vs %s", in.Args[0].Type(), in.Args[1].Type())
+		}
+	case OpIToF:
+		if err := wantArgs(in, 1); err != nil {
+			return err
+		}
+		if in.Ty != F64 || in.Args[0].Type() != I64 {
+			return errors.New("itof signature")
+		}
+	case OpFToI:
+		if err := wantArgs(in, 1); err != nil {
+			return err
+		}
+		if in.Ty != I64 || in.Args[0].Type() != F64 {
+			return errors.New("ftoi signature")
+		}
+	case OpAlloca:
+		if err := wantArgs(in, 1); err != nil {
+			return err
+		}
+		if _, ok := in.Args[0].(*Const); !ok {
+			return errors.New("alloca size must be constant")
+		}
+		if b != f.Entry() {
+			return errors.New("alloca outside entry block")
+		}
+	case OpLoad:
+		if err := wantArgs(in, 1); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != Ptr {
+			return errors.New("load from non-pointer")
+		}
+		if in.Ty == Void {
+			return errors.New("void load")
+		}
+	case OpStore:
+		if err := wantArgs(in, 2); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != Ptr {
+			return errors.New("store to non-pointer")
+		}
+	case OpPtrAdd:
+		if err := wantArgs(in, 2); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != Ptr || in.Args[1].Type() != I64 || in.Ty != Ptr {
+			return errors.New("ptradd signature")
+		}
+	case OpPhi:
+		if len(in.Args) == 0 {
+			return errors.New("empty phi")
+		}
+		for _, a := range in.Args {
+			if a.Type() != in.Ty {
+				return fmt.Errorf("phi edge type %s != %s", a.Type(), in.Ty)
+			}
+		}
+	case OpJmp:
+		if in.Then == nil {
+			return errors.New("jmp without target")
+		}
+	case OpBr:
+		if err := wantArgs(in, 1); err != nil {
+			return err
+		}
+		if in.Then == nil || in.Else == nil {
+			return errors.New("br without targets")
+		}
+		if in.Args[0].Type() != I64 {
+			return errors.New("br condition must be i64")
+		}
+	case OpRet:
+		if f.RetTy == Void {
+			if len(in.Args) != 0 {
+				return errors.New("ret with value in void func")
+			}
+		} else {
+			if err := wantArgs(in, 1); err != nil {
+				return err
+			}
+			if in.Args[0].Type() != f.RetTy {
+				return fmt.Errorf("ret type %s != %s", in.Args[0].Type(), f.RetTy)
+			}
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return errors.New("call without callee")
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("call arity %d != %d", len(in.Args), len(in.Callee.Params))
+		}
+		for i, a := range in.Args {
+			if a.Type() != in.Callee.Params[i].Ty {
+				return fmt.Errorf("call arg %d type %s != %s", i, a.Type(), in.Callee.Params[i].Ty)
+			}
+		}
+		if in.Ty != in.Callee.RetTy {
+			return fmt.Errorf("call result type %s != %s", in.Ty, in.Callee.RetTy)
+		}
+	case OpIntrinsic:
+		if in.Intrinsic == IntrinsicNone {
+			return errors.New("intrinsic kind missing")
+		}
+	case OpCmpCheck:
+		if err := wantArgs(in, 2); err != nil {
+			return err
+		}
+		if in.Args[0].Type() != in.Args[1].Type() {
+			return errors.New("cmpcheck operand type mismatch")
+		}
+	case OpRangeCheck:
+		if err := wantArgs(in, 3); err != nil {
+			return err
+		}
+	case OpValCheck:
+		if len(in.Args) != 2 && len(in.Args) != 3 {
+			return fmt.Errorf("valcheck wants 2 or 3 args, have %d", len(in.Args))
+		}
+	default:
+		return fmt.Errorf("unknown op %s", in.Op)
+	}
+	return nil
+}

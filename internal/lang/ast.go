@@ -1,0 +1,197 @@
+package lang
+
+// TypeName is a surface type: int or float (void for function returns).
+type TypeName uint8
+
+// Surface types.
+const (
+	TypeVoid TypeName = iota
+	TypeInt
+	TypeFloat
+)
+
+func (t TypeName) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	}
+	return "void"
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module-level scalar or array.
+type GlobalDecl struct {
+	Pos     Pos
+	Name    string
+	Elem    TypeName
+	Size    int // 1 for scalars
+	IsArray bool
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    TypeName
+	Params []ParamDecl
+	Body   *BlockStmt
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Pos  Pos
+	Name string
+	Type TypeName
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDecl declares a local scalar (optionally initialized) or array.
+type VarDecl struct {
+	Pos     Pos
+	Name    string
+	Type    TypeName
+	Size    int // >1 or ==1 with IsArray for arrays
+	IsArray bool
+	Init    Expr // nil for arrays / uninitialized
+}
+
+// AssignStmt is lvalue op= expr. Op is tokAssign for plain assignment.
+type AssignStmt struct {
+	Pos    Pos
+	Target *LValue
+	Op     tokKind
+	Value  Expr
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop. Init/Post may be nil; Cond may be nil
+// (infinite loop).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // VarDecl or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Pos Pos
+	V   float64
+}
+
+// Ident references a scalar variable (local, param, or global scalar).
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is name[idx] on a global or local array.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a function or builtin.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  tokKind
+	X   Expr
+}
+
+// BinaryExpr is x op y, including && and || (short-circuit).
+type BinaryExpr struct {
+	Pos  Pos
+	Op   tokKind
+	X, Y Expr
+}
+
+// LValue is an assignable location.
+type LValue struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalars
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

@@ -1,0 +1,713 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// builtin describes one math builtin.
+type builtin struct {
+	intr ir.Intrinsic
+	args []TypeName
+	ret  TypeName
+	// conv marks i2f/f2i, which lower to conversion ops.
+	conv ir.Op
+}
+
+var builtins = map[string]builtin{
+	"sqrt":   {intr: ir.IntrSqrt, args: []TypeName{TypeFloat}, ret: TypeFloat},
+	"fabs":   {intr: ir.IntrFAbs, args: []TypeName{TypeFloat}, ret: TypeFloat},
+	"iabs":   {intr: ir.IntrIAbs, args: []TypeName{TypeInt}, ret: TypeInt},
+	"fmin":   {intr: ir.IntrFMin, args: []TypeName{TypeFloat, TypeFloat}, ret: TypeFloat},
+	"fmax":   {intr: ir.IntrFMax, args: []TypeName{TypeFloat, TypeFloat}, ret: TypeFloat},
+	"imin":   {intr: ir.IntrIMin, args: []TypeName{TypeInt, TypeInt}, ret: TypeInt},
+	"imax":   {intr: ir.IntrIMax, args: []TypeName{TypeInt, TypeInt}, ret: TypeInt},
+	"exp":    {intr: ir.IntrExp, args: []TypeName{TypeFloat}, ret: TypeFloat},
+	"log":    {intr: ir.IntrLog, args: []TypeName{TypeFloat}, ret: TypeFloat},
+	"floor":  {intr: ir.IntrFloor, args: []TypeName{TypeFloat}, ret: TypeFloat},
+	"pow":    {intr: ir.IntrPow, args: []TypeName{TypeFloat, TypeFloat}, ret: TypeFloat},
+	"clampi": {intr: ir.IntrClampI, args: []TypeName{TypeInt, TypeInt, TypeInt}, ret: TypeInt},
+	"i2f":    {conv: ir.OpIToF, args: []TypeName{TypeInt}, ret: TypeFloat},
+	"f2i":    {conv: ir.OpFToI, args: []TypeName{TypeFloat}, ret: TypeInt},
+}
+
+func irType(t TypeName) ir.Type {
+	switch t {
+	case TypeInt:
+		return ir.I64
+	case TypeFloat:
+		return ir.F64
+	}
+	return ir.Void
+}
+
+// globalSym is a declared global.
+type globalSym struct {
+	g       *ir.Global
+	elem    TypeName
+	isArray bool
+	size    int
+}
+
+// localSym is a declared local or parameter (always an alloca slot).
+type localSym struct {
+	slot    *ir.Instr // the alloca
+	ty      TypeName
+	isArray bool
+	size    int
+}
+
+// codegen lowers a Program to an ir.Module.
+type codegen struct {
+	mod     *ir.Module
+	globals map[string]*globalSym
+	funcs   map[string]*FuncDecl
+	irFuncs map[string]*ir.Func
+}
+
+// Codegen lowers the AST to alloca-form IR. Run passes.Mem2Reg afterwards to
+// obtain the SSA form the paper's analyses operate on; Compile does both.
+func Codegen(name string, prog *Program) (*ir.Module, error) {
+	cg := &codegen{
+		mod:     ir.NewModule(name),
+		globals: make(map[string]*globalSym),
+		funcs:   make(map[string]*FuncDecl),
+		irFuncs: make(map[string]*ir.Func),
+	}
+	for _, g := range prog.Globals {
+		if _, dup := cg.globals[g.Name]; dup {
+			return nil, errf(g.Pos, "global %s redeclared", g.Name)
+		}
+		irg := cg.mod.AddGlobal(g.Name, g.Size)
+		cg.globals[g.Name] = &globalSym{g: irg, elem: g.Elem, isArray: g.IsArray, size: g.Size}
+	}
+	// Declare all functions first so calls resolve in any order.
+	for _, f := range prog.Funcs {
+		if _, dup := cg.funcs[f.Name]; dup {
+			return nil, errf(f.Pos, "function %s redeclared", f.Name)
+		}
+		if _, isB := builtins[f.Name]; isB {
+			return nil, errf(f.Pos, "function %s shadows a builtin", f.Name)
+		}
+		params := make([]*ir.Param, len(f.Params))
+		for i, pd := range f.Params {
+			params[i] = &ir.Param{Name: pd.Name, Ty: irType(pd.Type)}
+		}
+		cg.funcs[f.Name] = f
+		cg.irFuncs[f.Name] = cg.mod.NewFunc(f.Name, irType(f.Ret), params...)
+	}
+	for _, f := range prog.Funcs {
+		if err := cg.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	cg.mod.Renumber()
+	if err := cg.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("lang: internal error: generated invalid IR: %w", err)
+	}
+	return cg.mod, nil
+}
+
+// loopCtx holds break/continue targets.
+type loopCtx struct {
+	brk, cont *ir.Block
+}
+
+// fnGen generates one function body.
+type fnGen struct {
+	cg         *codegen
+	fd         *FuncDecl
+	fn         *ir.Func
+	b          *ir.Builder
+	entry      *ir.Block
+	scopes     []map[string]*localSym
+	loops      []loopCtx
+	terminated bool
+	deadN      int
+}
+
+func (cg *codegen) genFunc(fd *FuncDecl) error {
+	fg := &fnGen{cg: cg, fd: fd, fn: cg.irFuncs[fd.Name]}
+	fg.b = ir.NewBuilder(fg.fn)
+	fg.entry = fg.b.Cur
+	fg.pushScope()
+
+	// Spill parameters into allocas so they are ordinary mutable locals;
+	// mem2reg promotes them back.
+	for i, pd := range fd.Params {
+		a := fg.newAlloca(1)
+		fg.b.Store(a, fg.fn.Params[i])
+		fg.declare(pd.Name, &localSym{slot: a, ty: pd.Type, size: 1})
+	}
+
+	if err := fg.genBlock(fd.Body); err != nil {
+		return err
+	}
+	fg.popScope()
+
+	// Terminate any open block with a default return.
+	for _, blk := range fg.fn.Blocks {
+		if blk.Terminator() == nil {
+			old := fg.b.Cur
+			fg.b.SetBlock(blk)
+			switch fd.Ret {
+			case TypeVoid:
+				fg.b.Ret(nil)
+			case TypeFloat:
+				fg.b.Ret(ir.ConstFloat(0))
+			default:
+				fg.b.Ret(ir.ConstInt(0))
+			}
+			fg.b.SetBlock(old)
+		}
+	}
+	return nil
+}
+
+func (fg *fnGen) pushScope() { fg.scopes = append(fg.scopes, map[string]*localSym{}) }
+func (fg *fnGen) popScope()  { fg.scopes = fg.scopes[:len(fg.scopes)-1] }
+
+func (fg *fnGen) declare(name string, s *localSym) {
+	fg.scopes[len(fg.scopes)-1][name] = s
+}
+
+func (fg *fnGen) lookupLocal(name string) *localSym {
+	for i := len(fg.scopes) - 1; i >= 0; i-- {
+		if s, ok := fg.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// newAlloca inserts an alloca at the top of the entry block.
+func (fg *fnGen) newAlloca(size int) *ir.Instr {
+	a := &ir.Instr{Op: ir.OpAlloca, Ty: ir.Ptr, Args: []ir.Value{ir.ConstInt(int64(size))}}
+	a.UID = fg.cg.mod.NewUID()
+	fg.entry.InsertBefore(a, 0)
+	return a
+}
+
+// ensureOpen makes sure the builder points at an unterminated block,
+// creating an unreachable continuation block when code follows a return.
+func (fg *fnGen) ensureOpen() {
+	if fg.terminated {
+		fg.deadN++
+		fg.b.SetBlock(fg.b.Block(fmt.Sprintf("dead%d", fg.deadN)))
+		fg.terminated = false
+	}
+}
+
+// jmpIfOpen emits a jump unless the current block is already terminated.
+func (fg *fnGen) jmpIfOpen(to *ir.Block) {
+	if !fg.terminated {
+		fg.b.Jmp(to)
+	}
+	fg.terminated = false
+}
+
+func (fg *fnGen) genBlock(blk *BlockStmt) error {
+	fg.pushScope()
+	defer fg.popScope()
+	for _, s := range blk.Stmts {
+		if err := fg.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fg *fnGen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return fg.genBlock(st)
+
+	case *VarDecl:
+		fg.ensureOpen()
+		if _, dup := fg.scopes[len(fg.scopes)-1][st.Name]; dup {
+			return errf(st.Pos, "variable %s redeclared in this scope", st.Name)
+		}
+		a := fg.newAlloca(st.Size)
+		fg.declare(st.Name, &localSym{slot: a, ty: st.Type, isArray: st.IsArray, size: st.Size})
+		if st.Init != nil {
+			v, ty, err := fg.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			v, err = fg.convert(v, ty, st.Type, st.Pos)
+			if err != nil {
+				return err
+			}
+			fg.b.Store(a, v)
+		} else if !st.IsArray {
+			// Deterministic zero initialization.
+			if st.Type == TypeFloat {
+				fg.b.Store(a, ir.ConstFloat(0))
+			} else {
+				fg.b.Store(a, ir.ConstInt(0))
+			}
+		}
+		return nil
+
+	case *AssignStmt:
+		fg.ensureOpen()
+		return fg.genAssign(st)
+
+	case *ExprStmt:
+		fg.ensureOpen()
+		_, _, err := fg.genExpr(st.X)
+		return err
+
+	case *IfStmt:
+		fg.ensureOpen()
+		cond, ty, err := fg.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty != TypeInt {
+			return errf(st.Pos, "if condition must be int, got %s", ty)
+		}
+		thenB := fg.b.Block("if.then")
+		joinB := fg.b.Block("if.join")
+		elseB := joinB
+		if st.Else != nil {
+			elseB = fg.b.Block("if.else")
+		}
+		fg.b.Br(cond, thenB, elseB)
+
+		fg.b.SetBlock(thenB)
+		fg.terminated = false
+		if err := fg.genStmt(st.Then); err != nil {
+			return err
+		}
+		fg.jmpIfOpen(joinB)
+
+		if st.Else != nil {
+			fg.b.SetBlock(elseB)
+			fg.terminated = false
+			if err := fg.genStmt(st.Else); err != nil {
+				return err
+			}
+			fg.jmpIfOpen(joinB)
+		}
+		fg.b.SetBlock(joinB)
+		fg.terminated = false
+		return nil
+
+	case *WhileStmt:
+		fg.ensureOpen()
+		header := fg.b.Block("while.header")
+		body := fg.b.Block("while.body")
+		exit := fg.b.Block("while.exit")
+		fg.b.Jmp(header)
+
+		fg.b.SetBlock(header)
+		fg.terminated = false
+		cond, ty, err := fg.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty != TypeInt {
+			return errf(st.Pos, "while condition must be int, got %s", ty)
+		}
+		fg.b.Br(cond, body, exit)
+
+		fg.b.SetBlock(body)
+		fg.terminated = false
+		fg.loops = append(fg.loops, loopCtx{brk: exit, cont: header})
+		if err := fg.genStmt(st.Body); err != nil {
+			return err
+		}
+		fg.loops = fg.loops[:len(fg.loops)-1]
+		fg.jmpIfOpen(header)
+
+		fg.b.SetBlock(exit)
+		fg.terminated = false
+		return nil
+
+	case *ForStmt:
+		fg.ensureOpen()
+		fg.pushScope() // init declarations are scoped to the loop
+		defer fg.popScope()
+		if st.Init != nil {
+			if err := fg.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		header := fg.b.Block("for.header")
+		body := fg.b.Block("for.body")
+		post := fg.b.Block("for.post")
+		exit := fg.b.Block("for.exit")
+		fg.b.Jmp(header)
+
+		fg.b.SetBlock(header)
+		fg.terminated = false
+		if st.Cond != nil {
+			cond, ty, err := fg.genExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if ty != TypeInt {
+				return errf(st.Pos, "for condition must be int, got %s", ty)
+			}
+			fg.b.Br(cond, body, exit)
+		} else {
+			fg.b.Jmp(body)
+		}
+
+		fg.b.SetBlock(body)
+		fg.terminated = false
+		fg.loops = append(fg.loops, loopCtx{brk: exit, cont: post})
+		if err := fg.genStmt(st.Body); err != nil {
+			return err
+		}
+		fg.loops = fg.loops[:len(fg.loops)-1]
+		fg.jmpIfOpen(post)
+
+		fg.b.SetBlock(post)
+		fg.terminated = false
+		if st.Post != nil {
+			if err := fg.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		fg.jmpIfOpen(header)
+
+		fg.b.SetBlock(exit)
+		fg.terminated = false
+		return nil
+
+	case *ReturnStmt:
+		fg.ensureOpen()
+		if st.Value == nil {
+			if fg.fd.Ret != TypeVoid {
+				return errf(st.Pos, "missing return value in %s function", fg.fd.Ret)
+			}
+			fg.b.Ret(nil)
+			fg.terminated = true
+			return nil
+		}
+		if fg.fd.Ret == TypeVoid {
+			return errf(st.Pos, "return with value in void function")
+		}
+		v, ty, err := fg.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		v, err = fg.convert(v, ty, fg.fd.Ret, st.Pos)
+		if err != nil {
+			return err
+		}
+		fg.b.Ret(v)
+		fg.terminated = true
+		return nil
+
+	case *BreakStmt:
+		fg.ensureOpen()
+		if len(fg.loops) == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		fg.b.Jmp(fg.loops[len(fg.loops)-1].brk)
+		fg.terminated = true
+		return nil
+
+	case *ContinueStmt:
+		fg.ensureOpen()
+		if len(fg.loops) == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		fg.b.Jmp(fg.loops[len(fg.loops)-1].cont)
+		fg.terminated = true
+		return nil
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+// addr resolves an lvalue to (address, element type).
+func (fg *fnGen) addr(name string, index Expr, pos Pos) (ir.Value, TypeName, error) {
+	if l := fg.lookupLocal(name); l != nil {
+		if index == nil {
+			if l.isArray {
+				return nil, 0, errf(pos, "%s is an array; index it", name)
+			}
+			return l.slot, l.ty, nil
+		}
+		if !l.isArray {
+			return nil, 0, errf(pos, "%s is not an array", name)
+		}
+		iv, ity, err := fg.genExpr(index)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ity != TypeInt {
+			return nil, 0, errf(pos, "array index must be int, got %s", ity)
+		}
+		return fg.b.PtrAdd(l.slot, iv), l.ty, nil
+	}
+	if g, ok := fg.cg.globals[name]; ok {
+		if index == nil {
+			if g.isArray {
+				return nil, 0, errf(pos, "%s is an array; index it", name)
+			}
+			return g.g, g.elem, nil
+		}
+		if !g.isArray {
+			return nil, 0, errf(pos, "%s is not an array", name)
+		}
+		iv, ity, err := fg.genExpr(index)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ity != TypeInt {
+			return nil, 0, errf(pos, "array index must be int, got %s", ity)
+		}
+		return fg.b.PtrAdd(g.g, iv), g.elem, nil
+	}
+	return nil, 0, errf(pos, "undeclared variable %s", name)
+}
+
+var assignBase = map[tokKind]tokKind{
+	tokPlusAssign: tokPlus, tokMinusAssign: tokMinus, tokStarAssign: tokStar,
+	tokSlashAssign: tokSlash, tokPercentAssign: tokPercent,
+	tokAmpAssign: tokAmp, tokPipeAssign: tokPipe, tokCaretAssign: tokCaret,
+	tokShlAssign: tokShl, tokShrAssign: tokShr,
+}
+
+func (fg *fnGen) genAssign(st *AssignStmt) error {
+	a, elem, err := fg.addr(st.Target.Name, st.Target.Index, st.Pos)
+	if err != nil {
+		return err
+	}
+	v, vty, err := fg.genExpr(st.Value)
+	if err != nil {
+		return err
+	}
+	if st.Op != tokAssign {
+		cur := fg.b.Load(irType(elem), a)
+		res, err := fg.binOp(assignBase[st.Op], cur, elem, v, vty, st.Pos)
+		if err != nil {
+			return err
+		}
+		v, vty = res, binResultType(assignBase[st.Op], elem, vty)
+	}
+	v, err = fg.convert(v, vty, elem, st.Pos)
+	if err != nil {
+		return err
+	}
+	fg.b.Store(a, v)
+	return nil
+}
+
+func isCompare(k tokKind) bool {
+	switch k {
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+		return true
+	}
+	return false
+}
+
+// binResultType gives the surface type of x op y after promotion.
+func binResultType(op tokKind, x, y TypeName) TypeName {
+	if isCompare(op) || op == tokAndAnd || op == tokOrOr {
+		return TypeInt
+	}
+	if x == TypeFloat || y == TypeFloat {
+		return TypeFloat
+	}
+	return TypeInt
+}
+
+// convert coerces v from one surface type to another (int widens to float;
+// narrowing requires explicit f2i).
+func (fg *fnGen) convert(v ir.Value, from, to TypeName, pos Pos) (ir.Value, error) {
+	if from == to {
+		return v, nil
+	}
+	if from == TypeInt && to == TypeFloat {
+		return fg.b.IToF(v), nil
+	}
+	return nil, errf(pos, "cannot convert %s to %s implicitly; use f2i()", from, to)
+}
+
+var binOps = map[tokKind]ir.Op{
+	tokPlus: ir.OpAdd, tokMinus: ir.OpSub, tokStar: ir.OpMul,
+	tokSlash: ir.OpDiv, tokPercent: ir.OpRem, tokAmp: ir.OpAnd,
+	tokPipe: ir.OpOr, tokCaret: ir.OpXor, tokShl: ir.OpShl, tokShr: ir.OpShr,
+	tokEq: ir.OpEq, tokNe: ir.OpNe, tokLt: ir.OpLt, tokLe: ir.OpLe,
+	tokGt: ir.OpGt, tokGe: ir.OpGe,
+}
+
+var intOnly = map[tokKind]bool{
+	tokPercent: true, tokAmp: true, tokPipe: true, tokCaret: true,
+	tokShl: true, tokShr: true,
+}
+
+// binOp emits x op y with promotion; returns the result value.
+func (fg *fnGen) binOp(op tokKind, x ir.Value, xt TypeName, y ir.Value, yt TypeName, pos Pos) (ir.Value, error) {
+	if intOnly[op] && (xt != TypeInt || yt != TypeInt) {
+		return nil, errf(pos, "operator %s requires int operands", op)
+	}
+	common := TypeInt
+	if xt == TypeFloat || yt == TypeFloat {
+		common = TypeFloat
+	}
+	var err error
+	if x, err = fg.convert(x, xt, common, pos); err != nil {
+		return nil, err
+	}
+	if y, err = fg.convert(y, yt, common, pos); err != nil {
+		return nil, err
+	}
+	return fg.b.Bin(binOps[op], x, y), nil
+}
+
+// genExpr emits code for e and returns (value, surface type).
+func (fg *fnGen) genExpr(e Expr) (ir.Value, TypeName, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(ex.V), TypeInt, nil
+	case *FloatLit:
+		return ir.ConstFloat(ex.V), TypeFloat, nil
+
+	case *Ident:
+		a, ty, err := fg.addr(ex.Name, nil, ex.Pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		return fg.b.Load(irType(ty), a), ty, nil
+
+	case *IndexExpr:
+		a, ty, err := fg.addr(ex.Name, ex.Index, ex.Pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		return fg.b.Load(irType(ty), a), ty, nil
+
+	case *UnaryExpr:
+		v, ty, err := fg.genExpr(ex.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		switch ex.Op {
+		case tokMinus:
+			return fg.b.Neg(v), ty, nil
+		case tokBang:
+			if ty != TypeInt {
+				return nil, 0, errf(ex.Pos, "! requires int operand, got %s", ty)
+			}
+			return fg.b.Bin(ir.OpEq, v, ir.ConstInt(0)), TypeInt, nil
+		case tokTilde:
+			if ty != TypeInt {
+				return nil, 0, errf(ex.Pos, "~ requires int operand, got %s", ty)
+			}
+			return fg.b.Bin(ir.OpXor, v, ir.ConstInt(-1)), TypeInt, nil
+		}
+		return nil, 0, errf(ex.Pos, "unknown unary operator")
+
+	case *BinaryExpr:
+		if ex.Op == tokAndAnd || ex.Op == tokOrOr {
+			return fg.genShortCircuit(ex)
+		}
+		x, xt, err := fg.genExpr(ex.X)
+		if err != nil {
+			return nil, 0, err
+		}
+		y, yt, err := fg.genExpr(ex.Y)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := fg.binOp(ex.Op, x, xt, y, yt, ex.Pos)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, binResultType(ex.Op, xt, yt), nil
+
+	case *CallExpr:
+		return fg.genCall(ex)
+	}
+	return nil, 0, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// genShortCircuit lowers && and || with control flow through a temporary.
+func (fg *fnGen) genShortCircuit(ex *BinaryExpr) (ir.Value, TypeName, error) {
+	tmp := fg.newAlloca(1)
+	x, xt, err := fg.genExpr(ex.X)
+	if err != nil {
+		return nil, 0, err
+	}
+	if xt != TypeInt {
+		return nil, 0, errf(ex.Pos, "%s requires int operands, got %s", ex.Op, xt)
+	}
+	rhsB := fg.b.Block("sc.rhs")
+	joinB := fg.b.Block("sc.join")
+
+	if ex.Op == tokAndAnd {
+		fg.b.Store(tmp, ir.ConstInt(0))
+		fg.b.Br(x, rhsB, joinB)
+	} else {
+		fg.b.Store(tmp, ir.ConstInt(1))
+		fg.b.Br(x, joinB, rhsB)
+	}
+
+	fg.b.SetBlock(rhsB)
+	y, yt, err := fg.genExpr(ex.Y)
+	if err != nil {
+		return nil, 0, err
+	}
+	if yt != TypeInt {
+		return nil, 0, errf(ex.Pos, "%s requires int operands, got %s", ex.Op, yt)
+	}
+	norm := fg.b.Bin(ir.OpNe, y, ir.ConstInt(0))
+	fg.b.Store(tmp, norm)
+	fg.b.Jmp(joinB)
+
+	fg.b.SetBlock(joinB)
+	return fg.b.Load(ir.I64, tmp), TypeInt, nil
+}
+
+func (fg *fnGen) genCall(ex *CallExpr) (ir.Value, TypeName, error) {
+	if bi, ok := builtins[ex.Name]; ok {
+		if len(ex.Args) != len(bi.args) {
+			return nil, 0, errf(ex.Pos, "%s expects %d args, got %d", ex.Name, len(bi.args), len(ex.Args))
+		}
+		vals := make([]ir.Value, len(ex.Args))
+		for i, a := range ex.Args {
+			v, ty, err := fg.genExpr(a)
+			if err != nil {
+				return nil, 0, err
+			}
+			if v, err = fg.convert(v, ty, bi.args[i], ex.Pos); err != nil {
+				return nil, 0, err
+			}
+			vals[i] = v
+		}
+		if bi.conv != 0 {
+			in := &ir.Instr{Op: bi.conv, Ty: irType(bi.ret), Args: vals}
+			fg.b.Emit(in)
+			return in, bi.ret, nil
+		}
+		return fg.b.Intrin(bi.intr, irType(bi.ret), vals...), bi.ret, nil
+	}
+
+	fd, ok := fg.cg.funcs[ex.Name]
+	if !ok {
+		return nil, 0, errf(ex.Pos, "call to undeclared function %s", ex.Name)
+	}
+	if len(ex.Args) != len(fd.Params) {
+		return nil, 0, errf(ex.Pos, "%s expects %d args, got %d", ex.Name, len(fd.Params), len(ex.Args))
+	}
+	vals := make([]ir.Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, ty, err := fg.genExpr(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v, err = fg.convert(v, ty, fd.Params[i].Type, ex.Pos); err != nil {
+			return nil, 0, err
+		}
+		vals[i] = v
+	}
+	call := fg.b.Call(fg.cg.irFuncs[ex.Name], vals...)
+	return call, fd.Ret, nil
+}

@@ -1,0 +1,23 @@
+package lang
+
+import (
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// Compile parses, type-checks, lowers and normalizes a source file into an
+// SSA-form module ready for analysis, protection and execution.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := Codegen(name, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := passes.Normalize(mod); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}

@@ -1,0 +1,243 @@
+package lang
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+func newTestMachine(t *testing.T, mod *ir.Module) *vm.Machine {
+	t.Helper()
+	mach, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func testRunOpts() vm.RunOptions { return vm.RunOptions{} }
+
+func TestFloatComparisons(t *testing.T) {
+	src := `
+global float in[2];
+global int out[6];
+void main() {
+	float a = in[0];
+	float b = in[1];
+	out[0] = a < b;
+	out[1] = a <= b;
+	out[2] = a > b;
+	out[3] = a >= b;
+	out[4] = a == b;
+	out[5] = a != b;
+}`
+	check := func(a, b float64, want []int64) {
+		t.Helper()
+		mod, err := Compile("t", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := newTestMachine(t, mod)
+		mach.BindInputFloats("in", []float64{a, b})
+		mach.Reset()
+		if res := mach.Run(testRunOpts()); res.Trap != nil {
+			t.Fatalf("trap: %v", res.Trap)
+		}
+		out, _ := mach.ReadGlobalInts("out")
+		for i, w := range want {
+			if out[i] != w {
+				t.Errorf("a=%v b=%v out[%d]=%d want %d", a, b, i, out[i], w)
+			}
+		}
+	}
+	check(1.5, 2.5, []int64{1, 1, 0, 0, 0, 1})
+	check(2.5, 2.5, []int64{0, 1, 0, 1, 1, 0})
+	check(3.5, 2.5, []int64{0, 0, 1, 1, 0, 1})
+}
+
+func TestGlobalFloatScalar(t *testing.T) {
+	src := `
+global float gain;
+global float out[1];
+void main() {
+	gain = 2.5;
+	gain = gain * 2.0;
+	out[0] = gain;
+}`
+	out := runFloats(t, src, nil, "out")
+	if out[0] != 5.0 {
+		t.Fatalf("gain = %v", out[0])
+	}
+}
+
+func TestNestedCallsAndMixedTypes(t *testing.T) {
+	src := `
+global float out[1];
+float scale(float x, int k) { return x * i2f(k); }
+float inner(float x) { return sqrt(fabs(x)); }
+void main() {
+	out[0] = scale(inner(-16.0), 3);
+}`
+	out := runFloats(t, src, nil, "out")
+	if math.Abs(out[0]-12) > 1e-12 {
+		t.Fatalf("got %v, want 12", out[0])
+	}
+}
+
+func TestUnaryMinusOnFloatAndInt(t *testing.T) {
+	src := `
+global float fout[1];
+global int iout[1];
+void main() {
+	float a = 2.5;
+	fout[0] = -a * -2.0;
+	int b = 7;
+	iout[0] = -b + -(-3);
+}`
+	fo := runFloats(t, src, nil, "fout")
+	if fo[0] != 5.0 {
+		t.Errorf("fout = %v", fo[0])
+	}
+	io := run(t, src, nil, "iout")
+	if io[0] != -4 {
+		t.Errorf("iout = %d", io[0])
+	}
+}
+
+func TestForWithoutInitOrPost(t *testing.T) {
+	src := `
+global int out[1];
+void main() {
+	int i = 0;
+	int s = 0;
+	for (; i < 5;) {
+		s += i;
+		i += 1;
+	}
+	out[0] = s;
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 10 {
+		t.Fatalf("got %d", out[0])
+	}
+}
+
+func TestCompoundAssignOperators(t *testing.T) {
+	src := `
+global int out[10];
+void main() {
+	int x = 100;
+	x += 5;  out[0] = x;   // 105
+	x -= 10; out[1] = x;   // 95
+	x *= 2;  out[2] = x;   // 190
+	x /= 3;  out[3] = x;   // 63
+	x %= 10; out[4] = x;   // 3
+	x <<= 4; out[5] = x;   // 48
+	x >>= 2; out[6] = x;   // 12
+	x &= 10; out[7] = x;   // 8
+	x |= 5;  out[8] = x;   // 13
+	x ^= 6;  out[9] = x;   // 11
+}`
+	want := []int64{105, 95, 190, 63, 3, 48, 12, 8, 13, 11}
+	out := run(t, src, nil, "out")
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], w)
+		}
+	}
+}
+
+func TestDeadCodeAfterReturnCompiles(t *testing.T) {
+	src := `
+global int out[1];
+int f(int x) {
+	if (x > 0) {
+		return x;
+	}
+	return -x;
+	out[0] = 999; // unreachable; must not break compilation
+}
+void main() { out[0] = f(-5); }`
+	out := run(t, src, nil, "out")
+	if out[0] != 5 {
+		t.Fatalf("got %d", out[0])
+	}
+}
+
+func TestEmptyFunctionAndImplicitReturn(t *testing.T) {
+	src := `
+global int out[1];
+void nothing() {}
+int five() { if (0) { return 1; } }
+void main() {
+	nothing();
+	out[0] = five(); // falls off the end: implicit return 0
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 0 {
+		t.Fatalf("implicit return = %d, want 0", out[0])
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"float condition", `void main() { if (1.5) {} }`},
+		{"shift float", `global float out[1]; void main() { out[0] = 1.5 << 2; }`},
+		{"mod float", `global float out[1]; void main() { out[0] = 1.5 % 2.0; }`},
+		{"not on float", `void main() { int x = !1.5; }`},
+		{"index scalar", `global int g; void main() { g[0] = 1; }`},
+		{"unindexed array", `global int g[4]; void main() { g = 1; }`},
+		{"float array index", `global int g[4]; void main() { g[1.5] = 1; }`},
+		{"arg type", `void f(int a) {} void main() { f(1.5); }`},
+		{"return type", `int f() { return 1.5; } void main() {}`},
+		{"void return value", `void f() { return 1; } void main() {}`},
+		{"missing return value", `int f() { return; } void main() {}`},
+		{"continue outside loop", `void main() { continue; }`},
+		{"builtin shadow", `void sqrt() {} void main() {}`},
+		{"global redeclared", `global int a; global int a; void main() {}`},
+		{"and on float", `void main() { int x = 1.0 && 1; }`},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.name, c.src); err == nil {
+			t.Errorf("%s: accepted\n%s", c.name, c.src)
+		}
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	src := `
+// leading comment
+global int out[1]; // trailing
+/* block
+   spanning lines */
+void main() {
+	/* inline */ out[0] = /* mid-expression */ 42; // done
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 42 {
+		t.Fatalf("got %d", out[0])
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	src := `
+global int out[1];
+void main() {
+	out[0] = ((((((1 + 2) * 3) - 4) << 2) | 1) ^ 5) & 0xff;
+}`
+	want := int64((((((1 + 2) * 3) - 4) << 2) | 1) ^ 5&0xff)
+	// careful: Go precedence differs for ^ and &; compute stepwise.
+	v := int64(1+2) * 3
+	v = v - 4
+	v = v << 2
+	v = v | 1
+	v = v ^ 5
+	v = v & 0xff
+	want = v
+	out := run(t, src, nil, "out")
+	if out[0] != want {
+		t.Fatalf("got %d, want %d", out[0], want)
+	}
+}

@@ -1,0 +1,516 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// run compiles src, binds int inputs into globals, runs main, and returns
+// the named output global as ints.
+func run(t *testing.T, src string, inputs map[string][]int64, output string) []int64 {
+	t.Helper()
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mach, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range inputs {
+		if err := mach.BindInputInts(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mach.Reset()
+	res := mach.Run(vm.RunOptions{})
+	if res.Trap != nil {
+		t.Fatalf("trap: %v\n%s", res.Trap, mod.String())
+	}
+	out, err := mach.ReadGlobalInts(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func runFloats(t *testing.T, src string, inputs map[string][]float64, output string) []float64 {
+	t.Helper()
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	mach, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range inputs {
+		if err := mach.BindInputFloats(name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mach.Reset()
+	res := mach.Run(vm.RunOptions{})
+	if res.Trap != nil {
+		t.Fatalf("trap: %v", res.Trap)
+	}
+	out, err := mach.ReadGlobalFloats(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	src := `
+global int out[4];
+void main() {
+	out[0] = 2 + 3 * 4;          // 14
+	out[1] = (2 + 3) * 4;        // 20
+	out[2] = 7 % 3 + 10 / 2;     // 6
+	out[3] = 1 << 4 | 3;         // 19
+}`
+	out := run(t, src, nil, "out")
+	want := []int64{14, 20, 6, 19}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], w)
+		}
+	}
+}
+
+func TestForLoopSum(t *testing.T) {
+	src := `
+global int in[100];
+global int out[1];
+void main() {
+	int s = 0;
+	for (int i = 0; i < 100; i += 1) {
+		s += in[i];
+	}
+	out[0] = s;
+}`
+	in := make([]int64, 100)
+	want := int64(0)
+	for i := range in {
+		in[i] = int64(i * i)
+		want += in[i]
+	}
+	out := run(t, src, map[string][]int64{"in": in}, "out")
+	if out[0] != want {
+		t.Fatalf("sum = %d, want %d", out[0], want)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+global int out[1];
+void main() {
+	int i = 0;
+	int s = 0;
+	while (1) {
+		i += 1;
+		if (i > 100) { break; }
+		if (i % 2 == 0) { continue; }
+		s += i;    // sum of odd numbers 1..99 = 2500
+	}
+	out[0] = s;
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 2500 {
+		t.Fatalf("got %d, want 2500", out[0])
+	}
+}
+
+func TestIfElseChains(t *testing.T) {
+	src := `
+global int in[1];
+global int out[1];
+void main() {
+	int x = in[0];
+	if (x < 10) { out[0] = 1; }
+	else if (x < 100) { out[0] = 2; }
+	else { out[0] = 3; }
+}`
+	for _, c := range []struct{ in, want int64 }{{5, 1}, {50, 2}, {500, 3}} {
+		out := run(t, src, map[string][]int64{"in": {c.in}}, "out")
+		if out[0] != c.want {
+			t.Errorf("in=%d: got %d, want %d", c.in, out[0], c.want)
+		}
+	}
+}
+
+func TestShortCircuitDoesNotEvaluateRHS(t *testing.T) {
+	// RHS would divide by zero if evaluated.
+	src := `
+global int in[1];
+global int out[2];
+void main() {
+	int x = in[0];
+	out[0] = (x != 0) && (100 / x > 5);
+	out[1] = (x == 0) || (100 / (x + (x == 0)) > 5);
+}`
+	out := run(t, src, map[string][]int64{"in": {0}}, "out")
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatalf("got %v, want [0 1]", out[:2])
+	}
+	out = run(t, src, map[string][]int64{"in": {10}}, "out")
+	if out[0] != 1 || out[1] != 1 {
+		t.Fatalf("got %v, want [1 1]", out[:2])
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+global int out[2];
+int fact(int n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+int gcd(int a, int b) {
+	while (b != 0) {
+		int t = b;
+		b = a % b;
+		a = t;
+	}
+	return a;
+}
+void main() {
+	out[0] = fact(10);
+	out[1] = gcd(462, 1071);
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 3628800 {
+		t.Errorf("fact(10) = %d", out[0])
+	}
+	if out[1] != 21 {
+		t.Errorf("gcd = %d", out[1])
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	src := `
+global int out[8];
+void main() {
+	int buf[8];
+	for (int i = 0; i < 8; i += 1) { buf[i] = i * i; }
+	// reverse into out
+	for (int i = 0; i < 8; i += 1) { out[i] = buf[7 - i]; }
+}`
+	out := run(t, src, nil, "out")
+	for i := 0; i < 8; i++ {
+		want := int64((7 - i) * (7 - i))
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestFloatsAndPromotion(t *testing.T) {
+	src := `
+global float in[2];
+global float out[4];
+void main() {
+	float a = in[0];
+	float b = in[1];
+	out[0] = a * b + 1;         // int 1 promotes
+	out[1] = sqrt(a);
+	out[2] = fmax(a, b);
+	out[3] = i2f(f2i(a * 10.0)); // truncation round-trip
+}`
+	out := runFloats(t, src, map[string][]float64{"in": {6.25, 2.5}}, "out")
+	want := []float64{6.25*2.5 + 1, 2.5, 6.25, 62}
+	for i, w := range want {
+		if math.Abs(out[i]-w) > 1e-12 {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], w)
+		}
+	}
+}
+
+func TestFloatToIntRequiresExplicitConversion(t *testing.T) {
+	src := `
+global int out[1];
+void main() { out[0] = 1.5; }`
+	if _, err := Compile("bad", src); err == nil {
+		t.Fatal("implicit float->int conversion accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`void main() { int x = ; }`,
+		`void main() { if x { } }`,
+		`void main() { return 1 }`,
+		`global int a[0];`,
+		`void main() { x = 1; }`,                          // undeclared
+		`void main() { int x = 1; y(); }`,                 // unknown function
+		`int f(int a) { return a; } void main() { f(); }`, // arity
+		`void main() { break; }`,                          // break outside loop
+		`void main() { int x = 1; int x = 2; }`,           // redeclared
+		`void f() {} void f() {}`,                         // function redeclared
+		`void main() { /* unterminated`,
+	}
+	for _, src := range cases {
+		if _, err := Compile("bad", src); err == nil {
+			t.Errorf("accepted invalid program: %s", src)
+		}
+	}
+}
+
+func TestMem2RegPromotesEverything(t *testing.T) {
+	src := `
+global int in[10];
+global int out[1];
+void main() {
+	int s = 0;
+	for (int i = 0; i < 10; i += 1) { s += in[i]; }
+	out[0] = s;
+}`
+	mod, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Func("main").Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAlloca {
+			t.Errorf("unpromoted alloca remains: %s", in.LongString())
+		}
+		return true
+	})
+}
+
+func TestMem2RegCreatesLoopHeaderPhis(t *testing.T) {
+	src := `
+global int out[1];
+void main() {
+	int s = 0;
+	for (int i = 0; i < 10; i += 1) { s += i; }
+	out[0] = s;
+}`
+	mod, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func("main")
+	dt := ir.BuildDomTree(f)
+	loops := ir.FindLoops(f, dt)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	phis := loops[0].Header.Phis()
+	if len(phis) != 2 { // i and s
+		t.Fatalf("loop header phis = %d, want 2 (i, s)\n%s", len(phis), f.Dump())
+	}
+}
+
+func TestLocalArrayNotPromoted(t *testing.T) {
+	src := `
+global int out[1];
+void main() {
+	int buf[4];
+	buf[0] = 42;
+	out[0] = buf[0];
+}`
+	mod, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	mod.Func("main").Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAlloca {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("array alloca should not be promoted")
+	}
+	out := run(t, src, nil, "out")
+	if out[0] != 42 {
+		t.Fatalf("got %d", out[0])
+	}
+}
+
+func TestGlobalScalars(t *testing.T) {
+	src := `
+global int counter;
+global int out[1];
+void bump() { counter += 1; }
+void main() {
+	counter = 0;
+	for (int i = 0; i < 5; i += 1) { bump(); }
+	out[0] = counter;
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 5 {
+		t.Fatalf("counter = %d, want 5", out[0])
+	}
+}
+
+func TestNestedLoopsMatrixMultiply(t *testing.T) {
+	src := `
+global int a[16];
+global int b[16];
+global int c[16];
+void main() {
+	for (int i = 0; i < 4; i += 1) {
+		for (int j = 0; j < 4; j += 1) {
+			int s = 0;
+			for (int k = 0; k < 4; k += 1) {
+				s += a[i * 4 + k] * b[k * 4 + j];
+			}
+			c[i * 4 + j] = s;
+		}
+	}
+}`
+	a := make([]int64, 16)
+	b := make([]int64, 16)
+	rng := rand.New(rand.NewSource(3))
+	for i := range a {
+		a[i] = int64(rng.Intn(20) - 10)
+		b[i] = int64(rng.Intn(20) - 10)
+	}
+	out := run(t, src, map[string][]int64{"a": a, "b": b}, "c")
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var want int64
+			for k := 0; k < 4; k++ {
+				want += a[i*4+k] * b[k*4+j]
+			}
+			if out[i*4+j] != want {
+				t.Errorf("c[%d][%d] = %d, want %d", i, j, out[i*4+j], want)
+			}
+		}
+	}
+}
+
+// randExpr generates a random int expression over variables x, y, z along
+// with its Go evaluation.
+func randExpr(rng *rand.Rand, depth int, x, y, z int64) (string, int64) {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return "x", x
+		case 1:
+			return "y", y
+		case 2:
+			return "z", z
+		default:
+			v := int64(rng.Intn(41) - 20)
+			if v < 0 {
+				return fmt.Sprintf("(0 - %d)", -v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		}
+	}
+	a, av := randExpr(rng, depth-1, x, y, z)
+	b, bv := randExpr(rng, depth-1, x, y, z)
+	switch rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b), av + bv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b), av - bv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b), av * bv
+	case 3:
+		return fmt.Sprintf("(%s & %s)", a, b), av & bv
+	case 4:
+		return fmt.Sprintf("(%s | %s)", a, b), av | bv
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", a, b), av ^ bv
+	default:
+		sh := int64(rng.Intn(4))
+		return fmt.Sprintf("(%s << %d)", a, sh), av << uint(sh)
+	}
+}
+
+// TestRandomExpressionsMatchGo is the frontend's end-to-end property test:
+// 150 random expression programs must produce exactly what Go computes.
+func TestRandomExpressionsMatchGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 150; trial++ {
+		x := int64(rng.Intn(2001) - 1000)
+		y := int64(rng.Intn(2001) - 1000)
+		z := int64(rng.Intn(2001) - 1000)
+		expr, want := randExpr(rng, 4, x, y, z)
+		src := fmt.Sprintf(`
+global int in[3];
+global int out[1];
+void main() {
+	int x = in[0];
+	int y = in[1];
+	int z = in[2];
+	out[0] = %s;
+}`, expr)
+		out := run(t, src, map[string][]int64{"in": {x, y, z}}, "out")
+		if out[0] != want {
+			t.Fatalf("trial %d: %s with x=%d y=%d z=%d = %d, want %d",
+				trial, expr, x, y, z, out[0], want)
+		}
+	}
+}
+
+func TestCompiledModuleVerifies(t *testing.T) {
+	src := `
+global int out[1];
+int helper(int a, int b) {
+	if (a > b) { return a - b; }
+	return b - a;
+}
+void main() {
+	int acc = 0;
+	for (int i = 0; i < 20; i += 1) {
+		acc += helper(i, 10);
+	}
+	out[0] = acc;
+}`
+	mod, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	dump := mod.String()
+	if !strings.Contains(dump, "@helper") {
+		t.Error("dump missing helper")
+	}
+}
+
+func TestHexLiteralsAndBitOps(t *testing.T) {
+	src := `
+global int out[2];
+void main() {
+	out[0] = 0xff & 0x0f0f;
+	out[1] = ~0 ^ 0xffff;
+}`
+	out := run(t, src, nil, "out")
+	if out[0] != 0x0f {
+		t.Errorf("out[0] = %x", out[0])
+	}
+	if out[1] != ^int64(0)^0xffff {
+		t.Errorf("out[1] = %x", out[1])
+	}
+}
+
+func TestCrossValidationOfCompileDeterminism(t *testing.T) {
+	src := `
+global int out[1];
+void main() { out[0] = 7; }`
+	m1, err := Compile("a", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Compile("a", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Fatal("compilation is not deterministic")
+	}
+}

@@ -1,0 +1,252 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return token{}, errf(start, "unterminated block comment")
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos()}, nil
+	}
+
+	pos := l.pos()
+	c := l.peekByte()
+
+	if isDigit(c) || (c == '.' && isDigit(l.peekByte2())) {
+		return l.number(pos)
+	}
+	if isAlpha(c) {
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if k, ok := keywords[word]; ok {
+			return token{kind: k, pos: pos, text: word}, nil
+		}
+		return token{kind: tokIdent, pos: pos, text: word}, nil
+	}
+
+	l.advance()
+	two := func(next byte, withNext, without tokKind) token {
+		if l.peekByte() == next {
+			l.advance()
+			return token{kind: withNext, pos: pos}
+		}
+		return token{kind: without, pos: pos}
+	}
+
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: pos}, nil
+	case '[':
+		return token{kind: tokLBracket, pos: pos}, nil
+	case ']':
+		return token{kind: tokRBracket, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case '~':
+		return token{kind: tokTilde, pos: pos}, nil
+	case '+':
+		return two('=', tokPlusAssign, tokPlus), nil
+	case '-':
+		return two('=', tokMinusAssign, tokMinus), nil
+	case '*':
+		return two('=', tokStarAssign, tokStar), nil
+	case '/':
+		return two('=', tokSlashAssign, tokSlash), nil
+	case '%':
+		return two('=', tokPercentAssign, tokPercent), nil
+	case '^':
+		return two('=', tokCaretAssign, tokCaret), nil
+	case '=':
+		return two('=', tokEq, tokAssign), nil
+	case '!':
+		return two('=', tokNe, tokBang), nil
+	case '&':
+		if l.peekByte() == '&' {
+			l.advance()
+			return token{kind: tokAndAnd, pos: pos}, nil
+		}
+		return two('=', tokAmpAssign, tokAmp), nil
+	case '|':
+		if l.peekByte() == '|' {
+			l.advance()
+			return token{kind: tokOrOr, pos: pos}, nil
+		}
+		return two('=', tokPipeAssign, tokPipe), nil
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return two('=', tokShlAssign, tokShl), nil
+		}
+		return two('=', tokLe, tokLt), nil
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			return two('=', tokShrAssign, tokShr), nil
+		}
+		return two('=', tokGe, tokGt), nil
+	}
+	return token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// number scans an integer or float literal.
+func (l *lexer) number(pos Pos) (token, error) {
+	start := l.off
+	isFloat := false
+	if l.peekByte() == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peekByte()) {
+			l.advance()
+		}
+		v, err := strconv.ParseUint(l.src[start+2:l.off], 16, 64)
+		if err != nil {
+			return token{}, errf(pos, "bad hex literal: %v", err)
+		}
+		return token{kind: tokInt, pos: pos, ival: int64(v)}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peekByte()) {
+		l.advance()
+	}
+	if l.peekByte() == '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		isFloat = true
+		l.advance()
+		if c := l.peekByte(); c == '+' || c == '-' {
+			l.advance()
+		}
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, errf(pos, "bad float literal %q: %v", text, err)
+		}
+		return token{kind: tokFloat, pos: pos, fval: v}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, errf(pos, "bad int literal %q: %v", text, err)
+	}
+	return token{kind: tokInt, pos: pos, ival: v}, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// lexAll tokenizes the whole input (used by the parser).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// stripBOM removes a UTF-8 byte order mark if present.
+func stripBOM(src string) string {
+	return strings.TrimPrefix(src, "\xef\xbb\xbf")
+}

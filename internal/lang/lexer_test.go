@@ -1,0 +1,92 @@
+package lang
+
+import "testing"
+
+func TestLexerTokenKinds(t *testing.T) {
+	src := `int x = 0x1f + 2.5e3; // comment
+while (x <= 10) { x <<= 1; }`
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{
+		tokKwInt, tokIdent, tokAssign, tokInt, tokPlus, tokFloat, tokSemi,
+		tokKwWhile, tokLParen, tokIdent, tokLe, tokInt, tokRParen,
+		tokLBrace, tokIdent, tokShlAssign, tokInt, tokSemi, tokRBrace, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count %d != %d: %v", len(kinds), len(want), kinds)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Errorf("token %d = %s, want %s", i, kinds[i], k)
+		}
+	}
+	// Literal values.
+	if toks[3].ival != 0x1f {
+		t.Errorf("hex literal = %d", toks[3].ival)
+	}
+	if toks[5].fval != 2500 {
+		t.Errorf("float literal = %v", toks[5].fval)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	src := "int a;\n  float b;"
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "float" starts at line 2, col 3.
+	if toks[3].kind != tokKwFloat {
+		t.Fatalf("token 3 = %s", toks[3].kind)
+	}
+	if toks[3].pos.Line != 2 || toks[3].pos.Col != 3 {
+		t.Errorf("float pos = %s, want 2:3", toks[3].pos)
+	}
+}
+
+func TestLexerErrorsCarryPositions(t *testing.T) {
+	_, err := lexAll("int a = $;")
+	if err == nil {
+		t.Fatal("accepted '$'")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Pos.Line != 1 || le.Pos.Col != 9 {
+		t.Errorf("error pos = %s, want 1:9", le.Pos)
+	}
+}
+
+func TestLexerOperatorMaximalMunch(t *testing.T) {
+	cases := map[string]tokKind{
+		"<<=": tokShlAssign, ">>=": tokShrAssign, "<<": tokShl, ">>": tokShr,
+		"<=": tokLe, ">=": tokGe, "==": tokEq, "!=": tokNe, "&&": tokAndAnd,
+		"||": tokOrOr, "+=": tokPlusAssign, "^=": tokCaretAssign,
+	}
+	for src, want := range cases {
+		toks, err := lexAll(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].kind != want {
+			t.Errorf("%q lexed as %s, want %s", src, toks[0].kind, want)
+		}
+		if len(toks) != 2 { // op + EOF
+			t.Errorf("%q split into %d tokens", src, len(toks)-1)
+		}
+	}
+}
+
+func TestBOMStripped(t *testing.T) {
+	src := "\xef\xbb\xbfglobal int out[1];\nvoid main() { out[0] = 1; }"
+	if _, err := Compile("bom", src); err != nil {
+		t.Fatalf("BOM-prefixed source rejected: %v", err)
+	}
+}

@@ -1,0 +1,558 @@
+package lang
+
+import "fmt"
+
+// parser is a recursive-descent parser with precedence climbing for
+// expressions.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a source file into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(stripBOM(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, errf(p.cur().pos, "expected %s, found %s", k, p.cur().kind)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		switch p.cur().kind {
+		case tokKwGlobal:
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case tokKwInt, tokKwFloat, tokKwVoid:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.cur().pos, "expected 'global' or a function declaration, found %s", p.cur().kind)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) typeName() (TypeName, error) {
+	switch p.cur().kind {
+	case tokKwInt:
+		p.advance()
+		return TypeInt, nil
+	case tokKwFloat:
+		p.advance()
+		return TypeFloat, nil
+	}
+	return TypeVoid, errf(p.cur().pos, "expected type, found %s", p.cur().kind)
+}
+
+// globalDecl := "global" type IDENT ("[" INT "]")? ";"
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	kw := p.advance() // global
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: kw.pos, Name: name.text, Elem: ty, Size: 1}
+	if p.accept(tokLBracket) {
+		sz, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		if sz.ival <= 0 {
+			return nil, errf(sz.pos, "global array size must be positive, got %d", sz.ival)
+		}
+		g.Size = int(sz.ival)
+		g.IsArray = true
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// funcDecl := type IDENT "(" params ")" block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start := p.cur().pos
+	var ret TypeName
+	if p.accept(tokKwVoid) {
+		ret = TypeVoid
+	} else {
+		t, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		ret = t
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: start, Name: name.text, Ret: ret}
+	if p.cur().kind != tokRParen {
+		for {
+			pt, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, ParamDecl{Pos: pn.pos, Name: pn.text, Type: pt})
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(tokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.pos}
+	for p.cur().kind != tokRBrace {
+		if p.cur().kind == tokEOF {
+			return nil, errf(lb.pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.advance() // }
+	return blk, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().kind {
+	case tokLBrace:
+		return p.block()
+	case tokKwInt, tokKwFloat:
+		s, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case tokKwIf:
+		return p.ifStmt()
+	case tokKwWhile:
+		return p.whileStmt()
+	case tokKwFor:
+		return p.forStmt()
+	case tokKwReturn:
+		t := p.advance()
+		r := &ReturnStmt{Pos: t.pos}
+		if p.cur().kind != tokSemi {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case tokKwBreak:
+		t := p.advance()
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.pos}, nil
+	case tokKwContinue:
+		t := p.advance()
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.pos}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// varDecl := type IDENT ("[" INT "]" | "=" expr)?   (no trailing ';')
+func (p *parser) varDecl() (Stmt, error) {
+	ty, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos: name.pos, Name: name.text, Type: ty, Size: 1}
+	if p.accept(tokLBracket) {
+		sz, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		if sz.ival <= 0 {
+			return nil, errf(sz.pos, "array size must be positive, got %d", sz.ival)
+		}
+		d.Size = int(sz.ival)
+		d.IsArray = true
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	if p.accept(tokAssign) {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+func isAssignOp(k tokKind) bool {
+	switch k {
+	case tokAssign, tokPlusAssign, tokMinusAssign, tokStarAssign,
+		tokSlashAssign, tokPercentAssign, tokAmpAssign, tokPipeAssign,
+		tokCaretAssign, tokShlAssign, tokShrAssign:
+		return true
+	}
+	return false
+}
+
+// simpleStmt := assignment | exprStmt   (no trailing ';')
+func (p *parser) simpleStmt() (Stmt, error) {
+	if p.cur().kind == tokIdent && (isAssignOp(p.peek().kind) || p.peek().kind == tokLBracket) {
+		// Could be assignment to scalar/array element, or an indexed read in
+		// an expression statement; disambiguate by scanning for the
+		// matching ']' followed by an assignment operator.
+		if p.peek().kind != tokLBracket || p.indexedAssignAhead() {
+			return p.assignStmt()
+		}
+	}
+	start := p.cur().pos
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: start, X: e}, nil
+}
+
+// indexedAssignAhead reports whether the upcoming tokens look like
+// ident [ ... ] op= — distinguishing `a[i] = x` from the expression `a[i]`.
+func (p *parser) indexedAssignAhead() bool {
+	i := p.pos + 1 // at '['
+	depth := 0
+	for ; i < len(p.toks); i++ {
+		switch p.toks[i].kind {
+		case tokLBracket:
+			depth++
+		case tokRBracket:
+			depth--
+			if depth == 0 {
+				return i+1 < len(p.toks) && isAssignOp(p.toks[i+1].kind)
+			}
+		case tokSemi, tokEOF:
+			return false
+		}
+	}
+	return false
+}
+
+func (p *parser) assignStmt() (Stmt, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Pos: name.pos, Name: name.text}
+	if p.accept(tokLBracket) {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		lv.Index = idx
+	}
+	op := p.cur()
+	if !isAssignOp(op.kind) {
+		return nil, errf(op.pos, "expected assignment operator, found %s", op.kind)
+	}
+	p.advance()
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Pos: name.pos, Target: lv, Op: op.kind, Value: val}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.advance() // if
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: t.pos, Cond: cond, Then: then}
+	if p.accept(tokKwElse) {
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	t := p.advance() // while
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: t.pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.advance() // for
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: t.pos}
+	if p.cur().kind != tokSemi {
+		var err error
+		if p.cur().kind == tokKwInt || p.cur().kind == tokKwFloat {
+			s.Init, err = p.varDecl()
+		} else {
+			s.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokSemi {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokRParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression precedence (low to high), C-like.
+var precedence = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokPipe:   3,
+	tokCaret:  4,
+	tokAmp:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur()
+		prec, ok := precedence[op.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: op.pos, Op: op.kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().kind {
+	case tokMinus, tokBang, tokTilde:
+		op := p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.pos, Op: op.kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return &IntLit{Pos: t.pos, V: t.ival}, nil
+	case tokFloat:
+		p.advance()
+		return &FloatLit{Pos: t.pos, V: t.fval}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		p.advance()
+		switch p.cur().kind {
+		case tokLParen:
+			p.advance()
+			c := &CallExpr{Pos: t.pos, Name: t.text}
+			if p.cur().kind != tokRParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					c.Args = append(c.Args, a)
+					if !p.accept(tokComma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return c, nil
+		case tokLBracket:
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: t.pos, Name: t.text, Index: idx}, nil
+		}
+		return &Ident{Pos: t.pos, Name: t.text}, nil
+	}
+	return nil, errf(t.pos, fmt.Sprintf("unexpected %s in expression", t.kind))
+}

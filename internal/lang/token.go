@@ -1,0 +1,142 @@
+// Package lang implements the small C-like language the workload benchmarks
+// are written in, standing in for the paper's C sources + clang frontend.
+// It compiles to the SSA IR in package ir via a classic alloca-based code
+// generator; package passes then promotes locals to SSA registers (mem2reg),
+// which is what makes loop-carried state variables visible as phi nodes in
+// loop headers — the anchor of the paper's analysis.
+//
+// The language has int (i64) and float (f64) scalars, global and local
+// arrays, C expression syntax with short-circuit && and ||, if/while/for,
+// functions, and a set of math builtins. Ints promote to floats implicitly;
+// narrowing requires f2i().
+package lang
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+
+	// Keywords.
+	tokKwInt
+	tokKwFloat
+	tokKwVoid
+	tokKwIf
+	tokKwElse
+	tokKwWhile
+	tokKwFor
+	tokKwReturn
+	tokKwBreak
+	tokKwContinue
+	tokKwGlobal
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+
+	tokAssign // =
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokAmp
+	tokPipe
+	tokCaret
+	tokShl
+	tokShr
+	tokBang
+	tokTilde
+
+	tokPlusAssign
+	tokMinusAssign
+	tokStarAssign
+	tokSlashAssign
+	tokPercentAssign
+	tokAmpAssign
+	tokPipeAssign
+	tokCaretAssign
+	tokShlAssign
+	tokShrAssign
+
+	tokEq // ==
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "EOF", tokIdent: "identifier", tokInt: "int literal",
+	tokFloat: "float literal", tokKwInt: "'int'", tokKwFloat: "'float'",
+	tokKwVoid: "'void'", tokKwIf: "'if'", tokKwElse: "'else'",
+	tokKwWhile: "'while'", tokKwFor: "'for'", tokKwReturn: "'return'",
+	tokKwBreak: "'break'", tokKwContinue: "'continue'", tokKwGlobal: "'global'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokComma: "','", tokSemi: "';'",
+	tokAssign: "'='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPercent: "'%'", tokAmp: "'&'", tokPipe: "'|'",
+	tokCaret: "'^'", tokShl: "'<<'", tokShr: "'>>'", tokBang: "'!'",
+	tokTilde: "'~'", tokEq: "'=='", tokNe: "'!='", tokLt: "'<'",
+	tokLe: "'<='", tokGt: "'>'", tokGe: "'>='", tokAndAnd: "'&&'",
+	tokOrOr: "'||'", tokPlusAssign: "'+='", tokMinusAssign: "'-='",
+	tokStarAssign: "'*='", tokSlashAssign: "'/='", tokPercentAssign: "'%='",
+	tokAmpAssign: "'&='", tokPipeAssign: "'|='", tokCaretAssign: "'^='",
+	tokShlAssign: "'<<='", tokShrAssign: "'>>='",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]tokKind{
+	"int": tokKwInt, "float": tokKwFloat, "void": tokKwVoid, "if": tokKwIf,
+	"else": tokKwElse, "while": tokKwWhile, "for": tokKwFor,
+	"return": tokKwReturn, "break": tokKwBreak, "continue": tokKwContinue,
+	"global": tokKwGlobal,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string  // identifiers
+	ival int64   // tokInt
+	fval float64 // tokFloat
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,210 @@
+package passes
+
+import "repro/internal/ir"
+
+// allocaInfo tracks one promotable stack slot.
+type allocaInfo struct {
+	ty        ir.Type // access type (from loads/stores)
+	defBlocks []*ir.Block
+	phis      map[*ir.Instr]bool // phis created for this slot
+	stack     []ir.Value         // renaming stack
+}
+
+// Mem2Reg promotes single-word allocas whose address never escapes (every
+// use is a direct load or the address operand of a store) into SSA values,
+// inserting phi nodes at iterated dominance frontiers (Cytron et al.). This
+// is the step that makes loop-carried state variables visible as phi nodes
+// in loop headers, which the paper's state-variable identification keys on.
+func Mem2Reg(f *ir.Func) {
+	f.ComputeCFG()
+	dt := ir.BuildDomTree(f)
+
+	// 1. Find promotable allocas.
+	promotable := make(map[*ir.Instr]*allocaInfo)
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op == ir.OpAlloca {
+			if c, ok := in.Args[0].(*ir.Const); ok && c.Int() == 1 {
+				promotable[in] = &allocaInfo{ty: ir.Void}
+			}
+		}
+		return true
+	})
+	f.Instrs(func(in *ir.Instr) bool {
+		for i, a := range in.Args {
+			al, ok := a.(*ir.Instr)
+			if !ok || al.Op != ir.OpAlloca {
+				continue
+			}
+			info := promotable[al]
+			if info == nil {
+				continue
+			}
+			switch {
+			case in.Op == ir.OpLoad && i == 0:
+				if info.ty == ir.Void {
+					info.ty = in.Ty
+				} else if info.ty != in.Ty {
+					delete(promotable, al) // mixed-type access: leave in memory
+				}
+			case in.Op == ir.OpStore && i == 0:
+				vt := in.Args[1].Type()
+				if info.ty == ir.Void {
+					info.ty = vt
+				} else if info.ty != vt {
+					delete(promotable, al)
+				}
+				info.defBlocks = append(info.defBlocks, in.Blk)
+			default:
+				delete(promotable, al) // address escapes (ptradd, stored value, ...)
+			}
+		}
+		return true
+	})
+	// Slots never accessed stay Void; just drop them from promotion (DCE
+	// will delete the allocas).
+	for al, info := range promotable {
+		if info.ty == ir.Void {
+			delete(promotable, al)
+		}
+		info.phis = make(map[*ir.Instr]bool)
+	}
+	if len(promotable) == 0 {
+		return
+	}
+
+	// 2. Phi insertion at iterated dominance frontiers.
+	df := dt.Frontiers()
+	phiFor := make(map[*ir.Block]map[*ir.Instr]*ir.Instr) // block -> alloca -> phi
+	for al, info := range promotable {
+		inserted := make(map[*ir.Block]bool)
+		work := append([]*ir.Block(nil), info.defBlocks...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			if !dt.Reachable(b) {
+				continue
+			}
+			for _, w := range df[b.Index] {
+				if inserted[w] {
+					continue
+				}
+				inserted[w] = true
+				phi := &ir.Instr{Op: ir.OpPhi, Ty: info.ty, UID: f.Module.NewUID()}
+				w.InsertBefore(phi, 0)
+				if phiFor[w] == nil {
+					phiFor[w] = make(map[*ir.Instr]*ir.Instr)
+				}
+				phiFor[w][al] = phi
+				info.phis[phi] = true
+				work = append(work, w)
+			}
+		}
+	}
+
+	// 3. Renaming walk over the dominator tree.
+	replaced := make(map[*ir.Instr]ir.Value) // dead load -> value
+	dead := make(map[*ir.Instr]bool)
+
+	zero := func(ty ir.Type) ir.Value {
+		if ty == ir.F64 {
+			return ir.ConstFloat(0)
+		}
+		return ir.ConstInt(0)
+	}
+	top := func(info *allocaInfo) ir.Value {
+		if n := len(info.stack); n > 0 {
+			return info.stack[n-1]
+		}
+		return zero(info.ty)
+	}
+	// resolve chases load replacements (values pushed on stacks are always
+	// already resolved, so one hop suffices; keep the loop for safety).
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			in, ok := v.(*ir.Instr)
+			if !ok {
+				return v
+			}
+			r, ok := replaced[in]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		pushed := make(map[*allocaInfo]int)
+
+		for _, in := range b.Instrs {
+			// Phis we created define new versions.
+			if in.Op == ir.OpPhi {
+				for al, phi := range phiFor[b] {
+					if phi == in {
+						info := promotable[al]
+						info.stack = append(info.stack, phi)
+						pushed[info]++
+					}
+				}
+				continue
+			}
+			// Rewrite operands through the replacement map first.
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				if al, ok := in.Args[0].(*ir.Instr); ok {
+					if info := promotable[al]; info != nil {
+						replaced[in] = top(info)
+						dead[in] = true
+					}
+				}
+			case ir.OpStore:
+				if al, ok := in.Args[0].(*ir.Instr); ok {
+					if info := promotable[al]; info != nil {
+						info.stack = append(info.stack, in.Args[1])
+						pushed[info]++
+						dead[in] = true
+					}
+				}
+			case ir.OpAlloca:
+				if promotable[in] != nil {
+					dead[in] = true
+				}
+			}
+		}
+
+		// Fill phi operands of successors.
+		for _, s := range b.Succs {
+			for al, phi := range phiFor[s] {
+				info := promotable[al]
+				phi.Args = append(phi.Args, top(info))
+				phi.Preds = append(phi.Preds, b)
+			}
+		}
+
+		for _, c := range dt.Children[b.Index] {
+			rename(c)
+		}
+		for info, n := range pushed {
+			info.stack = info.stack[:len(info.stack)-n]
+		}
+	}
+	rename(f.Entry())
+
+	// 4. Delete promoted loads/stores/allocas.
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if dead[in] {
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	f.Renumber()
+	f.ComputeCFG()
+}

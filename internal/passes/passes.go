@@ -1,0 +1,112 @@
+// Package passes contains IR-to-IR transformations shared by the frontend
+// and the protection planner: unreachable-block removal, SSA construction
+// (mem2reg, the step that surfaces loop-carried state variables as phi
+// nodes), and dead-code elimination.
+package passes
+
+import "repro/internal/ir"
+
+// Normalize runs the standard post-frontend pipeline on a module: remove
+// unreachable blocks, promote allocas to SSA, fold constants, eliminate
+// dead code — the cleanup a production compiler applies before the
+// protection passes see the code.
+func Normalize(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		RemoveUnreachable(f)
+		Mem2Reg(f)
+		Fold(f)
+		DCE(f)
+	}
+	m.Renumber()
+	return m.Verify()
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and prunes
+// phi edges arriving from deleted blocks.
+func RemoveUnreachable(f *ir.Func) {
+	f.ComputeCFG()
+	reachable := make(map[*ir.Block]bool)
+	stack := []*ir.Block{f.Entry()}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reachable[b] {
+			continue
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			stack = append(stack, s)
+		}
+	}
+	if len(reachable) == len(f.Blocks) {
+		return
+	}
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reachable[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			args := phi.Args[:0]
+			preds := phi.Preds[:0]
+			for i, p := range phi.Preds {
+				if reachable[p] {
+					args = append(args, phi.Args[i])
+					preds = append(preds, p)
+				}
+			}
+			phi.Args = args
+			phi.Preds = preds
+		}
+	}
+	f.Renumber()
+	f.ComputeCFG()
+}
+
+// DCE removes instructions whose results are unused and which have no side
+// effects, iterating until a fixed point. Cyclic dead chains (a loop-carried
+// value only feeding its own update) die too because liveness is seeded only
+// from effectful roots.
+func DCE(f *ir.Func) {
+	live := make(map[*ir.Instr]bool)
+	var worklist []*ir.Instr
+
+	isRoot := func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpStore, ir.OpRet, ir.OpJmp, ir.OpBr, ir.OpCall,
+			ir.OpCmpCheck, ir.OpRangeCheck, ir.OpValCheck:
+			return true
+		}
+		return false
+	}
+	f.Instrs(func(in *ir.Instr) bool {
+		if isRoot(in) {
+			live[in] = true
+			worklist = append(worklist, in)
+		}
+		return true
+	})
+	for len(worklist) > 0 {
+		in := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for _, a := range in.Args {
+			if d, ok := a.(*ir.Instr); ok && !live[d] {
+				live[d] = true
+				worklist = append(worklist, d)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if live[in] {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+	f.Renumber()
+}

@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Data is the result of a profiling run: one histogram per value-generating
+// instruction, keyed by the instruction's stable UID.
+type Data struct {
+	Bins  int
+	ByUID map[int]*Histogram
+}
+
+// Hist returns the histogram for an instruction UID, or nil.
+func (d *Data) Hist(uid int) *Histogram { return d.ByUID[uid] }
+
+// Collector gathers value profiles during interpretation; it implements
+// vm.Profiler. One collector per profiling run; merge multiple runs (e.g.
+// several training inputs) with Merge.
+type Collector struct {
+	bins int
+	data *Data
+}
+
+// NewCollector returns a collector building histograms with the given bin
+// bound (the paper uses 5).
+func NewCollector(bins int) *Collector {
+	return &Collector{bins: bins, data: &Data{Bins: bins, ByUID: make(map[int]*Histogram)}}
+}
+
+// Record implements the profiler hook: it feeds one observed value into the
+// producing instruction's histogram. Non-finite floats are skipped (they
+// cannot be range-checked meaningfully).
+func (c *Collector) Record(in *ir.Instr, bits uint64) {
+	var v float64
+	if in.Ty == ir.F64 {
+		v = math.Float64frombits(bits)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+	} else {
+		v = float64(int64(bits))
+	}
+	h := c.data.ByUID[in.UID]
+	if h == nil {
+		h = NewHistogram(c.bins)
+		c.data.ByUID[in.UID] = h
+	}
+	h.Add(v)
+}
+
+// Data returns the collected profiles.
+func (c *Collector) Data() *Data { return c.data }
+
+// Merge folds other into d by re-adding bin midpoints weighted by count.
+// This is an approximation (the underlying streams are gone), matching the
+// paper's suggestion of combining profiles from multiple inputs.
+func (d *Data) Merge(other *Data) {
+	for uid, oh := range other.ByUID {
+		h := d.ByUID[uid]
+		if h == nil {
+			h = NewHistogram(d.Bins)
+			d.ByUID[uid] = h
+		}
+		for _, b := range oh.Bins {
+			mid := (b.Lo + b.Hi) / 2
+			for i := uint64(0); i < b.Count; i++ {
+				if b.Lo == b.Hi {
+					h.Add(b.Lo)
+				} else {
+					h.Add(mid)
+				}
+				// Cap replay cost: counts beyond 1e4 per bin add no
+				// information to a 5-bin histogram.
+				if i > 10_000 {
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 0; i < 100; i++ {
+		h.Add(42)
+	}
+	if len(h.Bins) != 1 {
+		t.Fatalf("bins = %d, want 1", len(h.Bins))
+	}
+	if h.Bins[0].Lo != 42 || h.Bins[0].Hi != 42 || h.Bins[0].Count != 100 {
+		t.Fatalf("bin = %+v", h.Bins[0])
+	}
+	vals, cov := h.TopValues(1)
+	if len(vals) != 1 || vals[0] != 42 || cov != 1.0 {
+		t.Fatalf("top values = %v cov %v", vals, cov)
+	}
+}
+
+func TestHistogramTwoValues(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 0; i < 70; i++ {
+		h.Add(0)
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(1000)
+	}
+	vals, cov := h.TopValues(2)
+	if len(vals) != 2 || cov != 1.0 {
+		t.Fatalf("top2 = %v cov %v", vals, cov)
+	}
+	if vals[0] != 0 || vals[1] != 1000 {
+		t.Fatalf("top2 order = %v (want most frequent first)", vals)
+	}
+}
+
+func TestHistogramMergesClosestBins(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(0)
+	h.Add(100)
+	h.Add(101) // closest to 100: merge -> [100,101]
+	if len(h.Bins) != 2 {
+		t.Fatalf("bins = %d, want 2: %s", len(h.Bins), h)
+	}
+	if h.Bins[1].Lo != 100 || h.Bins[1].Hi != 101 || h.Bins[1].Count != 2 {
+		t.Fatalf("merged bin = %+v", h.Bins[1])
+	}
+	if err := h.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramInvariantUnderRandomStreams is the Algorithm 1 property
+// test: any insertion stream preserves bin bound, ordering, and counts.
+func TestHistogramInvariantUnderRandomStreams(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64, nRaw uint8, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := int(bRaw%8) + 1
+		h := NewHistogram(b)
+		n := int(nRaw) + 1
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				h.Add(float64(rng.Intn(10))) // heavy collisions
+			case 1:
+				h.Add(float64(rng.Intn(10000)))
+			default:
+				h.Add(rng.NormFloat64() * 1e6)
+			}
+			if err := h.Invariant(); err != nil {
+				t.Logf("seed=%d n=%d b=%d: %v", seed, n, b, err)
+				return false
+			}
+		}
+		return h.Total == uint64(n)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRangeSeedsAtMaxBin(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 0; i < 5; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 90; i++ {
+		h.Add(500)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(1e9)
+	}
+	r, cov := h.CompactRange(0) // zero width: only the seed bin
+	if r.Lo != 500 || r.Hi != 500 {
+		t.Fatalf("range = %+v, want the 500 point bin", r)
+	}
+	if math.Abs(cov-0.9) > 1e-9 {
+		t.Fatalf("coverage = %v, want 0.9", cov)
+	}
+}
+
+func TestCompactRangeExtendsTowardHeavierNeighbor(t *testing.T) {
+	h := NewHistogram(5)
+	for i := 0; i < 50; i++ {
+		h.Add(100)
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(90) // heavier neighbor
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(110)
+	}
+	r, cov := h.CompactRange(15) // room to absorb one neighbor only
+	if r.Lo != 90 || r.Hi != 100 {
+		t.Fatalf("range = %+v, want [90,100]", r)
+	}
+	if math.Abs(cov-0.8/0.9) > 1e-9 {
+		t.Fatalf("coverage = %v", cov)
+	}
+}
+
+func TestCompactRangeWidthRespectsThreshold(t *testing.T) {
+	f := func(seed int64, thrRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(5)
+		for i := 0; i < 200; i++ {
+			h.Add(float64(rng.Intn(1000)))
+		}
+		thr := float64(thrRaw % 500)
+		r, cov := h.CompactRange(thr)
+		// The returned range is either a single bin (whose width may
+		// exceed thr because bins are merged, not split) or must respect
+		// the threshold after extension steps.
+		if cov < 0 || cov > 1 {
+			return false
+		}
+		seedOnly, _ := h.CompactRange(0)
+		if r.Hi-r.Lo > thr && (r.Lo != seedOnly.Lo || r.Hi != seedOnly.Hi) {
+			// wider than thr is only legal for the unextended seed bin
+			return false
+		}
+		return r.Lo <= r.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorRoutesByUIDAndType(t *testing.T) {
+	c := NewCollector(5)
+	i1 := &ir.Instr{UID: 1, Ty: ir.I64}
+	i2 := &ir.Instr{UID: 2, Ty: ir.F64}
+	neg7 := int64(-7)
+	c.Record(i1, uint64(neg7))
+	c.Record(i1, uint64(neg7))
+	c.Record(i2, math.Float64bits(2.5))
+	c.Record(i2, math.Float64bits(math.NaN())) // must be skipped
+
+	d := c.Data()
+	h1 := d.Hist(1)
+	if h1 == nil || h1.Total != 2 || h1.Bins[0].Lo != -7 {
+		t.Fatalf("int profile wrong: %v", h1)
+	}
+	h2 := d.Hist(2)
+	if h2 == nil || h2.Total != 1 || h2.Bins[0].Lo != 2.5 {
+		t.Fatalf("float profile wrong: %v", h2)
+	}
+}
+
+func TestMergeCombinesProfiles(t *testing.T) {
+	a := NewCollector(5)
+	b := NewCollector(5)
+	in := &ir.Instr{UID: 9, Ty: ir.I64}
+	for i := 0; i < 10; i++ {
+		a.Record(in, 5)
+		b.Record(in, 8)
+	}
+	d := a.Data()
+	d.Merge(b.Data())
+	h := d.Hist(9)
+	if h.Total != 20 {
+		t.Fatalf("merged total = %d, want 20", h.Total)
+	}
+	r, cov := h.CompactRange(10)
+	if r.Lo != 5 || r.Hi != 8 || cov != 1 {
+		t.Fatalf("merged range = %+v cov %v", r, cov)
+	}
+}

@@ -1,0 +1,72 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON shape. Profiles are keyed by stable
+// instruction UIDs, so a saved profile applies to any clone of the module
+// it was collected on (and becomes useless if the source is recompiled
+// with different UIDs — Save records the module name as a weak guard).
+type fileFormat struct {
+	Version int                  `json:"version"`
+	Module  string               `json:"module"`
+	Bins    int                  `json:"bins"`
+	Hists   map[int]histSnapshot `json:"hists"`
+}
+
+type histSnapshot struct {
+	Total uint64    `json:"total"`
+	Bins  []binSnap `json:"bins"`
+}
+
+type binSnap struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Count uint64  `json:"count"`
+}
+
+const formatVersion = 1
+
+// Save writes the profile data as JSON.
+func (d *Data) Save(w io.Writer, module string) error {
+	ff := fileFormat{Version: formatVersion, Module: module, Bins: d.Bins, Hists: map[int]histSnapshot{}}
+	for uid, h := range d.ByUID {
+		hs := histSnapshot{Total: h.Total}
+		for _, b := range h.Bins {
+			hs.Bins = append(hs.Bins, binSnap{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		ff.Hists[uid] = hs
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// Load reads a profile saved with Save. The returned module name lets the
+// caller verify the profile matches the program it is applied to.
+func Load(r io.Reader) (*Data, string, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, "", fmt.Errorf("profile: decode: %w", err)
+	}
+	if ff.Version != formatVersion {
+		return nil, "", fmt.Errorf("profile: unsupported version %d", ff.Version)
+	}
+	if ff.Bins <= 0 {
+		return nil, "", fmt.Errorf("profile: invalid bin bound %d", ff.Bins)
+	}
+	d := &Data{Bins: ff.Bins, ByUID: map[int]*Histogram{}}
+	for uid, hs := range ff.Hists {
+		h := &Histogram{B: ff.Bins, Total: hs.Total}
+		for _, b := range hs.Bins {
+			h.Bins = append(h.Bins, Bin{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		if err := h.Invariant(); err != nil {
+			return nil, "", fmt.Errorf("profile: uid %d: corrupt histogram: %w", uid, err)
+		}
+		d.ByUID[uid] = h
+	}
+	return d, ff.Module, nil
+}

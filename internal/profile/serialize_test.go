@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := NewCollector(5)
+	rng := rand.New(rand.NewSource(3))
+	instrs := []*ir.Instr{
+		{UID: 1, Ty: ir.I64},
+		{UID: 2, Ty: ir.I64},
+		{UID: 3, Ty: ir.F64},
+	}
+	for i := 0; i < 5000; i++ {
+		in := instrs[rng.Intn(len(instrs))]
+		if in.Ty == ir.F64 {
+			c.Record(in, math.Float64bits(rng.NormFloat64()*100))
+		} else {
+			c.Record(in, uint64(rng.Int63n(1000)))
+		}
+	}
+	d := c.Data()
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf, "testmod"); err != nil {
+		t.Fatal(err)
+	}
+	got, module, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "testmod" {
+		t.Errorf("module = %q", module)
+	}
+	if got.Bins != d.Bins || len(got.ByUID) != len(d.ByUID) {
+		t.Fatalf("shape differs: %d/%d hists", len(got.ByUID), len(d.ByUID))
+	}
+	for uid, h := range d.ByUID {
+		g := got.ByUID[uid]
+		if g == nil {
+			t.Fatalf("uid %d missing", uid)
+		}
+		if g.Total != h.Total || len(g.Bins) != len(h.Bins) {
+			t.Fatalf("uid %d differs: %s vs %s", uid, g, h)
+		}
+		for i := range h.Bins {
+			if g.Bins[i] != h.Bins[i] {
+				t.Fatalf("uid %d bin %d differs", uid, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"version": 99, "bins": 5, "hists": {}}`,
+		`{"version": 1, "bins": 0, "hists": {}}`,
+		`{"version": 1, "bins": 2, "hists": {"1": {"total": 5, "bins": [{"lo":0,"hi":1,"count":1},{"lo":2,"hi":3,"count":1},{"lo":4,"hi":5,"count":3}]}}}`, // 3 bins > bound 2
+		`{"version": 1, "bins": 5, "hists": {"1": {"total": 1, "bins": [{"lo":5,"hi":1,"count":1}]}}}`,                                                     // inverted bin
+	}
+	for _, c := range cases {
+		if _, _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted corrupt profile: %s", c)
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package vm
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// frame is one activation record.
+type frame struct {
+	fn    *ir.Func
+	vals  []uint64
+	ready []int64 // timing: cycle at which each slot's value is available
+	// live lists slots that have been written, in definition order; the
+	// fault injector picks uniformly from it (register-file analog).
+	live    []int32
+	defined []bool
+	entrySP uint64
+}
+
+func (m *Machine) newFrame(fn *ir.Func) *frame {
+	n := fn.NumValues()
+	return &frame{
+		fn:      fn,
+		vals:    make([]uint64, n),
+		ready:   make([]int64, n),
+		live:    make([]int32, 0, n),
+		defined: make([]bool, n),
+		entrySP: m.sp,
+	}
+}
+
+func (fr *frame) define(slot int, bits uint64, ready int64) {
+	fr.vals[slot] = bits
+	fr.ready[slot] = ready
+	if !fr.defined[slot] {
+		fr.defined[slot] = true
+		fr.live = append(fr.live, int32(slot))
+	}
+}
+
+// eval resolves an operand to its bit pattern.
+func (m *Machine) eval(fr *frame, v ir.Value) uint64 {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Bits
+	case *ir.Param:
+		return fr.vals[x.ID]
+	case *ir.Instr:
+		return fr.vals[x.ID]
+	case *ir.Global:
+		return m.globalBase[x.Name]
+	}
+	panic("vm: unknown value kind")
+}
+
+// readyOf returns the cycle an operand is available.
+func (m *Machine) readyOf(fr *frame, v ir.Value) int64 {
+	switch x := v.(type) {
+	case *ir.Param:
+		return fr.ready[x.ID]
+	case *ir.Instr:
+		return fr.ready[x.ID]
+	}
+	return 0
+}
+
+// trace forwards one executed instruction to the optional tracer.
+func (m *Machine) trace(fn *ir.Func, in *ir.Instr, bits uint64) {
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Trace(m.dyn, fn.Name, in, bits)
+	}
+}
+
+// maybeBranchFault redirects the branch just taken to a random block when a
+// pending branch-target fault is due. It sets laxPhis so garbage control
+// flow propagates instead of tripping interpreter integrity checks.
+func (m *Machine) maybeBranchFault(fn *ir.Func, blk **ir.Block) *Trap {
+	f := m.opts.Fault
+	if f == nil || f.Injected || f.Kind != FaultBranchTarget || m.dyn < f.TriggerDyn {
+		return nil
+	}
+	f.Injected = true
+	f.TargetUID = -1
+	target := fn.Blocks[f.PickSlot(len(fn.Blocks))]
+	*blk = target
+	m.laxPhis = true
+	return nil
+}
+
+// inject flips one bit of a random live register in fr per the fault plan.
+func (m *Machine) inject(fr *frame) {
+	plan := m.opts.Fault
+	if len(fr.live) == 0 {
+		return // nothing architecturally live; fault lands in dead space
+	}
+	slot := int(fr.live[plan.PickSlot(len(fr.live))])
+	bit := plan.PickBit() & 63
+	old := fr.vals[slot]
+	newBits := old ^ (1 << uint(bit))
+	fr.vals[slot] = newBits
+
+	plan.Injected = true
+	plan.Bit = bit
+	plan.OldBits = old
+	plan.NewBits = newBits
+	ty := m.info[fr.fn].slotTypes[slot]
+	plan.TargetTy = ty
+	plan.TargetUID = -1
+	// Recover the defining instruction's UID for attribution.
+	for _, in := range instrsBySlot(fr.fn, slot) {
+		plan.TargetUID = in.UID
+		break
+	}
+	switch ty {
+	case ir.F64:
+		o, n := math.Float64frombits(old), math.Float64frombits(newBits)
+		d := math.Abs(n - o)
+		den := math.Max(math.Abs(o), 1)
+		plan.RelChange = d / den
+		if math.IsNaN(plan.RelChange) || math.IsInf(plan.RelChange, 0) {
+			plan.RelChange = math.Inf(1)
+		}
+	default:
+		o, n := int64(old), int64(newBits)
+		d := math.Abs(float64(n) - float64(o))
+		den := math.Max(math.Abs(float64(o)), 1)
+		plan.RelChange = d / den
+	}
+}
+
+// instrsBySlot finds instructions occupying a frame slot (zero or one).
+func instrsBySlot(fn *ir.Func, slot int) []*ir.Instr {
+	var out []*ir.Instr
+	fn.Instrs(func(in *ir.Instr) bool {
+		if in.ID == slot {
+			out = append(out, in)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// call interprets fn with the given argument bits.
+func (m *Machine) call(fn *ir.Func, args []uint64, depth int) (uint64, *Trap) {
+	if depth > m.cfg.MaxDepth {
+		return 0, &Trap{Kind: TrapStackOverflow, Dyn: m.dyn, Fn: fn.Name}
+	}
+	fr := m.newFrame(fn)
+	now := m.timing.cursor
+	for i := range args {
+		fr.define(i, args[i], now)
+	}
+	defer func() { m.sp = fr.entrySP }()
+
+	trapAt := func(k TrapKind) *Trap { return &Trap{Kind: k, Dyn: m.dyn, Fn: fn.Name} }
+
+	blk := fn.Entry()
+	var prev *ir.Block
+	// Scratch for parallel phi copies.
+	var phiBits []uint64
+
+blockLoop:
+	for {
+		// Resolve the phi prefix as a parallel copy from prev.
+		phis := blk.Phis()
+		if len(phis) > 0 {
+			phiBits = phiBits[:0]
+			for _, phi := range phis {
+				v := phi.PhiIncoming(prev)
+				if v == nil {
+					return 0, trapAt(TrapBadCall)
+				}
+				phiBits = append(phiBits, m.eval(fr, v))
+			}
+			for i, phi := range phis {
+				m.dyn++
+				m.opCounts[phi.Op]++
+				done := m.timing.issue(0, m.timing.latency(phi))
+				fr.define(phi.ID, phiBits[i], done)
+				m.trace(fn, phi, phiBits[i])
+			}
+		}
+
+		for idx := len(phis); idx < len(blk.Instrs); idx++ {
+			in := blk.Instrs[idx]
+
+			if f := m.opts.Fault; f != nil && !f.Injected && f.Kind == FaultRegister && m.dyn >= f.TriggerDyn {
+				m.inject(fr)
+			}
+			m.dyn++
+			if m.dyn > m.cfg.MaxDyn {
+				return 0, trapAt(TrapWatchdog)
+			}
+			m.opCounts[in.Op]++
+
+			m.trace(fn, in, 0)
+			switch in.Op {
+			case ir.OpJmp:
+				m.timing.issue(0, 0)
+				prev, blk = blk, in.Then
+				if t := m.maybeBranchFault(fn, &blk); t != nil {
+					return 0, t
+				}
+				continue blockLoop
+
+			case ir.OpBr:
+				cond := m.eval(fr, in.Args[0])
+				m.timing.issue(m.readyOf(fr, in.Args[0]), 0)
+				m.timing.branch(in.UID, cond != 0)
+				prev = blk
+				if cond != 0 {
+					blk = in.Then
+				} else {
+					blk = in.Else
+				}
+				if t := m.maybeBranchFault(fn, &blk); t != nil {
+					return 0, t
+				}
+				continue blockLoop
+
+			case ir.OpRet:
+				var ret uint64
+				if len(in.Args) > 0 {
+					ret = m.eval(fr, in.Args[0])
+				}
+				m.timing.issue(0, 0)
+				return ret, nil
+
+			case ir.OpCall:
+				cargs := make([]uint64, len(in.Args))
+				var opsReady int64
+				for i, a := range in.Args {
+					cargs[i] = m.eval(fr, a)
+					if r := m.readyOf(fr, a); r > opsReady {
+						opsReady = r
+					}
+				}
+				m.timing.issue(opsReady, m.cfg.Timing.CallOverhead)
+				ret, trap := m.call(in.Callee, cargs, depth+1)
+				if trap != nil {
+					return 0, trap
+				}
+				if in.Ty != ir.Void {
+					fr.define(in.ID, ret, m.timing.cursor)
+				}
+
+			case ir.OpStore:
+				addr := m.eval(fr, in.Args[0])
+				if addr == 0 || addr >= m.memWords {
+					return 0, trapAt(TrapOOB)
+				}
+				val := m.eval(fr, in.Args[1])
+				opsReady := maxi(m.readyOf(fr, in.Args[0]), m.readyOf(fr, in.Args[1]))
+				m.timing.access(addr)
+				m.timing.issue(opsReady, m.cfg.Timing.LatStore)
+				m.mem[addr] = val
+
+			case ir.OpLoad:
+				addr := m.eval(fr, in.Args[0])
+				if addr == 0 || addr >= m.memWords {
+					return 0, trapAt(TrapOOB)
+				}
+				lat := m.timing.access(addr)
+				done := m.timing.issue(m.readyOf(fr, in.Args[0]), lat)
+				bits := m.mem[addr]
+				fr.define(in.ID, bits, done)
+				if m.opts.Profiler != nil {
+					m.opts.Profiler.Record(in, bits)
+				}
+
+			case ir.OpAlloca:
+				size := uint64(in.Args[0].(*ir.Const).Int())
+				if m.sp+size > m.memWords {
+					return 0, trapAt(TrapStackOverflow)
+				}
+				addr := m.sp
+				m.sp += size
+				done := m.timing.issue(0, m.cfg.Timing.LatInt)
+				fr.define(in.ID, addr, done)
+
+			case ir.OpCmpCheck:
+				a := m.eval(fr, in.Args[0])
+				b := m.eval(fr, in.Args[1])
+				opsReady := maxi(m.readyOf(fr, in.Args[0]), m.readyOf(fr, in.Args[1]))
+				m.timing.issue(opsReady, m.cfg.Timing.CheckLatency)
+				if a != b {
+					if t := m.checkFailed(in); t != nil {
+						return 0, t
+					}
+				}
+
+			case ir.OpRangeCheck:
+				v := m.eval(fr, in.Args[0])
+				lo := m.eval(fr, in.Args[1])
+				hi := m.eval(fr, in.Args[2])
+				m.timing.issue(m.readyOf(fr, in.Args[0]), m.cfg.Timing.CheckLatency)
+				out := false
+				if in.Args[0].Type() == ir.F64 {
+					fv := math.Float64frombits(v)
+					out = !(fv >= math.Float64frombits(lo) && fv <= math.Float64frombits(hi))
+				} else {
+					iv := int64(v)
+					out = iv < int64(lo) || iv > int64(hi)
+				}
+				if out {
+					if t := m.checkFailed(in); t != nil {
+						return 0, t
+					}
+				}
+
+			case ir.OpValCheck:
+				v := m.eval(fr, in.Args[0])
+				ok := v == m.eval(fr, in.Args[1])
+				if !ok && len(in.Args) == 3 {
+					ok = v == m.eval(fr, in.Args[2])
+				}
+				m.timing.issue(m.readyOf(fr, in.Args[0]), m.cfg.Timing.CheckLatency)
+				if !ok {
+					if t := m.checkFailed(in); t != nil {
+						return 0, t
+					}
+				}
+
+			default:
+				bits, trap := m.evalArith(fr, in)
+				if trap != nil {
+					return 0, trap
+				}
+				var opsReady int64
+				for _, a := range in.Args {
+					if r := m.readyOf(fr, a); r > opsReady {
+						opsReady = r
+					}
+				}
+				done := m.timing.issue(opsReady, m.timing.latency(in))
+				fr.define(in.ID, bits, done)
+				if m.opts.Profiler != nil && (in.Ty == ir.I64 || in.Ty == ir.F64) {
+					m.opts.Profiler.Record(in, bits)
+				}
+			}
+		}
+		// A verified function never falls off a block.
+		return 0, trapAt(TrapBadCall)
+	}
+}
+
+// checkFailed handles a failing software check: count or trap.
+func (m *Machine) checkFailed(in *ir.Instr) *Trap {
+	if m.opts.DisabledChecks != nil && m.opts.DisabledChecks[in.CheckID] {
+		return nil
+	}
+	m.checkFails++
+	if m.opts.CountChecks {
+		m.perCheckFails[in.CheckID]++
+		return nil
+	}
+	return &Trap{Kind: TrapCheck, Dyn: m.dyn, CheckID: in.CheckID, CheckKind: in.Check, Fn: in.Blk.Fn.Name}
+}
+
+// evalArith executes pure computations.
+func (m *Machine) evalArith(fr *frame, in *ir.Instr) (uint64, *Trap) {
+	a0 := m.eval(fr, in.Args[0])
+	var a1 uint64
+	if len(in.Args) > 1 {
+		a1 = m.eval(fr, in.Args[1])
+	}
+
+	if in.Ty == ir.F64 && in.Op != ir.OpFToI {
+		switch in.Op {
+		case ir.OpAdd:
+			return f2b(b2f(a0) + b2f(a1)), nil
+		case ir.OpSub:
+			return f2b(b2f(a0) - b2f(a1)), nil
+		case ir.OpMul:
+			return f2b(b2f(a0) * b2f(a1)), nil
+		case ir.OpDiv:
+			return f2b(b2f(a0) / b2f(a1)), nil
+		case ir.OpRem:
+			return f2b(math.Mod(b2f(a0), b2f(a1))), nil
+		case ir.OpNeg:
+			return f2b(-b2f(a0)), nil
+		case ir.OpIToF:
+			return f2b(float64(int64(a0))), nil
+		case ir.OpIntrinsic:
+			return m.evalIntrinsic(in, a0, a1, fr)
+		}
+	}
+
+	x, y := int64(a0), int64(a1)
+	switch in.Op {
+	case ir.OpAdd:
+		return uint64(x + y), nil
+	case ir.OpSub:
+		return uint64(x - y), nil
+	case ir.OpMul:
+		return uint64(x * y), nil
+	case ir.OpDiv:
+		if y == 0 {
+			return 0, &Trap{Kind: TrapDivZero, Dyn: m.dyn, Fn: fr.fn.Name}
+		}
+		if x == math.MinInt64 && y == -1 {
+			return uint64(x), nil // hardware-style overflow wrap
+		}
+		return uint64(x / y), nil
+	case ir.OpRem:
+		if y == 0 {
+			return 0, &Trap{Kind: TrapDivZero, Dyn: m.dyn, Fn: fr.fn.Name}
+		}
+		if x == math.MinInt64 && y == -1 {
+			return 0, nil
+		}
+		return uint64(x % y), nil
+	case ir.OpAnd:
+		return a0 & a1, nil
+	case ir.OpOr:
+		return a0 | a1, nil
+	case ir.OpXor:
+		return a0 ^ a1, nil
+	case ir.OpShl:
+		return uint64(x << uint(y&63)), nil
+	case ir.OpShr:
+		return uint64(x >> uint(y&63)), nil
+	case ir.OpNeg:
+		return uint64(-x), nil
+	case ir.OpFToI:
+		f := b2f(a0)
+		switch {
+		case math.IsNaN(f):
+			return 0, nil
+		case f >= math.MaxInt64:
+			v := int64(math.MaxInt64)
+			return uint64(v), nil
+		case f <= math.MinInt64:
+			v := int64(math.MinInt64)
+			return uint64(v), nil
+		}
+		return uint64(int64(f)), nil
+	case ir.OpPtrAdd:
+		return a0 + a1, nil
+	case ir.OpIntrinsic:
+		return m.evalIntrinsic(in, a0, a1, fr)
+	}
+
+	// Comparisons: typed by operand.
+	var cond bool
+	if in.Args[0].Type() == ir.F64 {
+		f0, f1 := b2f(a0), b2f(a1)
+		switch in.Op {
+		case ir.OpEq:
+			cond = f0 == f1
+		case ir.OpNe:
+			cond = f0 != f1
+		case ir.OpLt:
+			cond = f0 < f1
+		case ir.OpLe:
+			cond = f0 <= f1
+		case ir.OpGt:
+			cond = f0 > f1
+		case ir.OpGe:
+			cond = f0 >= f1
+		}
+	} else {
+		switch in.Op {
+		case ir.OpEq:
+			cond = a0 == a1
+		case ir.OpNe:
+			cond = a0 != a1
+		case ir.OpLt:
+			cond = x < y
+		case ir.OpLe:
+			cond = x <= y
+		case ir.OpGt:
+			cond = x > y
+		case ir.OpGe:
+			cond = x >= y
+		}
+	}
+	if cond {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func (m *Machine) evalIntrinsic(in *ir.Instr, a0, a1 uint64, fr *frame) (uint64, *Trap) {
+	switch in.Intrinsic {
+	case ir.IntrSqrt:
+		return f2b(math.Sqrt(b2f(a0))), nil
+	case ir.IntrFAbs:
+		return f2b(math.Abs(b2f(a0))), nil
+	case ir.IntrIAbs:
+		v := int64(a0)
+		if v < 0 {
+			v = -v
+		}
+		return uint64(v), nil
+	case ir.IntrFMin:
+		return f2b(math.Min(b2f(a0), b2f(a1))), nil
+	case ir.IntrFMax:
+		return f2b(math.Max(b2f(a0), b2f(a1))), nil
+	case ir.IntrIMin:
+		if int64(a0) < int64(a1) {
+			return a0, nil
+		}
+		return a1, nil
+	case ir.IntrIMax:
+		if int64(a0) > int64(a1) {
+			return a0, nil
+		}
+		return a1, nil
+	case ir.IntrExp:
+		return f2b(math.Exp(b2f(a0))), nil
+	case ir.IntrLog:
+		return f2b(math.Log(b2f(a0))), nil
+	case ir.IntrFloor:
+		return f2b(math.Floor(b2f(a0))), nil
+	case ir.IntrPow:
+		return f2b(math.Pow(b2f(a0), b2f(a1))), nil
+	case ir.IntrClampI:
+		v, lo, hi := int64(a0), int64(a1), int64(m.eval(fr, in.Args[2]))
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		return uint64(v), nil
+	}
+	return 0, &Trap{Kind: TrapBadCall, Dyn: m.dyn, Fn: fr.fn.Name}
+}
+
+func b2f(b uint64) float64 { return math.Float64frombits(b) }
+func f2b(f float64) uint64 { return math.Float64bits(f) }
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

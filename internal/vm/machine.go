@@ -1,0 +1,288 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Config sizes the simulated machine.
+type Config struct {
+	StackWords int   // words reserved for alloca frames
+	MaxDyn     int64 // watchdog: dynamic instruction budget
+	MaxDepth   int   // call depth limit
+	Timing     TimingConfig
+}
+
+// DefaultConfig returns the configuration used by all experiments.
+func DefaultConfig() Config {
+	return Config{
+		StackWords: 1 << 16,
+		MaxDyn:     400_000_000,
+		MaxDepth:   512,
+		Timing:     DefaultTiming(),
+	}
+}
+
+// Profiler receives every profiled value produced during a run. Implemented
+// by the value profiler (package profile).
+type Profiler interface {
+	Record(in *ir.Instr, bits uint64)
+}
+
+// FaultKind selects what the injected fault corrupts.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	// FaultRegister flips one bit of a live register (the paper's model).
+	FaultRegister FaultKind = iota
+	// FaultBranchTarget redirects the next taken branch to a random block
+	// of the executing function — the class of faults the paper defers to
+	// signature-based control-flow checking (§IV-C).
+	FaultBranchTarget
+)
+
+// FaultPlan describes a single transient fault: at dynamic instruction
+// TriggerDyn, flip bit PickBit() of a live register chosen by PickSlot
+// (FaultRegister), or redirect the next branch to a PickSlot-chosen block
+// (FaultBranchTarget). The plan records what was hit so the campaign can
+// attribute outcome classes to value-change magnitudes (Figure 2).
+type FaultPlan struct {
+	Kind       FaultKind
+	TriggerDyn int64
+	PickSlot   func(nLive int) int // index into the live-register list
+	PickBit    func() int          // 0..63
+
+	// Results, filled in by the machine.
+	Injected  bool
+	TargetUID int     // UID of the defining instruction, or -1 for a param
+	TargetTy  ir.Type // static type of the corrupted register
+	OldBits   uint64
+	NewBits   uint64
+	Bit       int
+	RelChange float64 // |new-old| / max(|old|, 1) in the register's type
+}
+
+// RunOptions controls a single run.
+type RunOptions struct {
+	Profiler Profiler
+	Fault    *FaultPlan
+	// Tracer, when set, receives one event per executed instruction.
+	Tracer Tracer
+	// CountChecks makes check failures increment counters instead of
+	// trapping; used for the false-positive experiment.
+	CountChecks bool
+	// DisabledChecks suppresses specific CheckIDs. The fault campaign
+	// disables checks that fire on the fault-free golden run, modeling the
+	// paper's policy of recovering once per check and ignoring a check
+	// that fails again (persistent false positive).
+	DisabledChecks map[int]bool
+}
+
+// Result summarizes a completed (or trapped) run.
+type Result struct {
+	Ret        uint64
+	Dyn        int64 // dynamic instructions executed
+	Cycles     int64 // timing-model cycles
+	Trap       *Trap // nil when the program ran to completion
+	CheckFails int64 // only populated with RunOptions.CountChecks
+	// PerCheckFails maps CheckID -> fail count (CountChecks mode only).
+	PerCheckFails map[int]int64
+	OpCounts      [ir.NumOps]int64
+}
+
+// funcInfo caches static per-function interpreter metadata.
+type funcInfo struct {
+	slotTypes []ir.Type // frame slot -> static type
+}
+
+// Machine interprets one module instance. Not safe for concurrent use; the
+// fault campaign gives each worker its own Machine.
+type Machine struct {
+	mod *ir.Module
+	cfg Config
+
+	mem        []uint64
+	globalBase map[string]uint64
+	stackBase  uint64
+	memWords   uint64
+	sp         uint64
+
+	inputs map[string][]uint64 // host-bound globals, re-applied on Reset
+
+	timing *timing
+	info   map[*ir.Func]*funcInfo
+	main   *ir.Func
+
+	// Per-run state.
+	dyn           int64
+	opts          RunOptions
+	laxPhis       bool
+	checkFails    int64
+	perCheckFails map[int]int64
+	opCounts      [ir.NumOps]int64
+}
+
+// New builds a machine for mod: lays out globals from address 1 (address 0
+// is a null guard) and pre-computes per-function metadata.
+func New(mod *ir.Module, cfg Config) (*Machine, error) {
+	main := mod.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("vm: module %s has no main", mod.Name)
+	}
+	if len(main.Params) != 0 {
+		return nil, fmt.Errorf("vm: main must take no parameters")
+	}
+	m := &Machine{
+		mod:        mod,
+		cfg:        cfg,
+		globalBase: make(map[string]uint64),
+		inputs:     make(map[string][]uint64),
+		timing:     newTiming(cfg.Timing),
+		info:       make(map[*ir.Func]*funcInfo),
+		main:       main,
+	}
+	addr := uint64(1)
+	for _, g := range mod.Globals {
+		m.globalBase[g.Name] = addr
+		addr += uint64(g.Size)
+	}
+	m.stackBase = addr
+	m.memWords = addr + uint64(cfg.StackWords)
+	m.mem = make([]uint64, m.memWords)
+
+	for _, f := range mod.Funcs {
+		fi := &funcInfo{slotTypes: make([]ir.Type, f.NumValues())}
+		for _, p := range f.Params {
+			fi.slotTypes[p.ID] = p.Ty
+		}
+		f.Instrs(func(in *ir.Instr) bool {
+			if in.ID < len(fi.slotTypes) {
+				fi.slotTypes[in.ID] = in.Ty
+			}
+			return true
+		})
+		m.info[f] = fi
+	}
+	m.Reset()
+	return m, nil
+}
+
+// Module returns the module this machine executes.
+func (m *Machine) Module() *ir.Module { return m.mod }
+
+// BindInput stores data to be copied into the named global on every Reset.
+func (m *Machine) BindInput(name string, data []uint64) error {
+	g := m.mod.Global(name)
+	if g == nil {
+		return fmt.Errorf("vm: no global %q", name)
+	}
+	if len(data) > g.Size {
+		return fmt.Errorf("vm: input %q: %d words exceeds global size %d", name, len(data), g.Size)
+	}
+	m.inputs[name] = data
+	return nil
+}
+
+// BindInputInts is BindInput for signed integers.
+func (m *Machine) BindInputInts(name string, data []int64) error {
+	w := make([]uint64, len(data))
+	for i, v := range data {
+		w[i] = uint64(v)
+	}
+	return m.BindInput(name, w)
+}
+
+// BindInputFloats is BindInput for floats.
+func (m *Machine) BindInputFloats(name string, data []float64) error {
+	w := make([]uint64, len(data))
+	for i, v := range data {
+		w[i] = math.Float64bits(v)
+	}
+	return m.BindInput(name, w)
+}
+
+// Reset restores memory to its initial state (global initializers plus bound
+// inputs) and rewinds all run counters. Call before every Run.
+func (m *Machine) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	for _, g := range m.mod.Globals {
+		base := m.globalBase[g.Name]
+		copy(m.mem[base:base+uint64(g.Size)], g.Init)
+	}
+	for name, data := range m.inputs {
+		base := m.globalBase[name]
+		copy(m.mem[base:], data)
+	}
+	m.sp = m.stackBase
+	m.dyn = 0
+	m.laxPhis = false
+	m.checkFails = 0
+	m.perCheckFails = nil
+	for i := range m.opCounts {
+		m.opCounts[i] = 0
+	}
+	m.timing.reset()
+}
+
+// ReadGlobal copies the current contents of the named global out of memory.
+func (m *Machine) ReadGlobal(name string) ([]uint64, error) {
+	g := m.mod.Global(name)
+	if g == nil {
+		return nil, fmt.Errorf("vm: no global %q", name)
+	}
+	base := m.globalBase[name]
+	out := make([]uint64, g.Size)
+	copy(out, m.mem[base:base+uint64(g.Size)])
+	return out, nil
+}
+
+// ReadGlobalInts reads a global as signed integers.
+func (m *Machine) ReadGlobalInts(name string) ([]int64, error) {
+	w, err := m.ReadGlobal(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(w))
+	for i, v := range w {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+// ReadGlobalFloats reads a global as floats.
+func (m *Machine) ReadGlobalFloats(name string) ([]float64, error) {
+	w, err := m.ReadGlobal(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(w))
+	for i, v := range w {
+		out[i] = math.Float64frombits(v)
+	}
+	return out, nil
+}
+
+// Run executes main under opts. The machine must be Reset first (Run does
+// not Reset so callers can pre-poke memory in tests).
+func (m *Machine) Run(opts RunOptions) *Result {
+	m.opts = opts
+	if opts.CountChecks {
+		m.perCheckFails = make(map[int]int64)
+	}
+	ret, trap := m.call(m.main, nil, 0)
+	res := &Result{
+		Ret:           ret,
+		Dyn:           m.dyn,
+		Cycles:        m.timing.cycles(),
+		Trap:          trap,
+		CheckFails:    m.checkFails,
+		PerCheckFails: m.perCheckFails,
+		OpCounts:      m.opCounts,
+	}
+	return res
+}

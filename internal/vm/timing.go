@@ -1,0 +1,181 @@
+package vm
+
+import "repro/internal/ir"
+
+// TimingConfig parameterizes the performance model: a dependence-aware,
+// width-limited issue model with a direct-mapped data cache and a 2-bit
+// branch predictor. It is the stand-in for the paper's gem5 out-of-order ARM
+// configuration (Table II); only relative runtimes are meaningful.
+type TimingConfig struct {
+	IssueWidth int // instructions per cycle (Table II: 2)
+
+	// Latencies in cycles.
+	LatInt    int64 // add/sub/bitwise/compare
+	LatMul    int64
+	LatDiv    int64
+	LatFAdd   int64
+	LatFMul   int64
+	LatFDiv   int64
+	LatIntrin int64 // sqrt/exp/log/pow
+	LatLoad   int64 // L1 hit
+	LatStore  int64
+
+	MissPenalty    int64 // D-cache miss
+	BranchPenalty  int64 // misprediction
+	CacheLines     int   // direct-mapped line count
+	CacheLineWords int   // words per line
+	PredictorSlots int   // branch predictor table size
+	CallOverhead   int64 // fixed cycles per call
+	CheckLatency   int64 // latency of check instructions (compare + branch)
+}
+
+// DefaultTiming mirrors Table II at word granularity: 2-wide issue, 32KB
+// D-cache (512 lines x 8 words x 8 bytes), modest ALU latencies.
+func DefaultTiming() TimingConfig {
+	return TimingConfig{
+		IssueWidth:     2,
+		LatInt:         1,
+		LatMul:         3,
+		LatDiv:         12,
+		LatFAdd:        3,
+		LatFMul:        4,
+		LatFDiv:        15,
+		LatIntrin:      20,
+		LatLoad:        2,
+		LatStore:       1,
+		MissPenalty:    30,
+		BranchPenalty:  10,
+		CacheLines:     512,
+		CacheLineWords: 8,
+		PredictorSlots: 1024,
+		CallOverhead:   2,
+		CheckLatency:   1,
+	}
+}
+
+// timing tracks cycle accounting for one run.
+type timing struct {
+	cfg TimingConfig
+
+	cursor   int64 // current issue cycle
+	slotUsed int   // instructions issued at cursor
+	maxDone  int64 // latest completion time seen
+
+	cacheTags []uint64 // direct-mapped tag store; 0 = invalid, tag+1 stored
+	predictor []uint8  // 2-bit saturating counters
+}
+
+func newTiming(cfg TimingConfig) *timing {
+	return &timing{
+		cfg:       cfg,
+		cacheTags: make([]uint64, cfg.CacheLines),
+		predictor: make([]uint8, cfg.PredictorSlots),
+	}
+}
+
+func (t *timing) reset() {
+	t.cursor, t.slotUsed, t.maxDone = 0, 0, 0
+	for i := range t.cacheTags {
+		t.cacheTags[i] = 0
+	}
+	for i := range t.predictor {
+		t.predictor[i] = 1 // weakly not-taken
+	}
+}
+
+// cycles returns the total cycle count so far.
+func (t *timing) cycles() int64 {
+	if t.maxDone > t.cursor {
+		return t.maxDone
+	}
+	return t.cursor
+}
+
+// issue models issuing one instruction whose operands become ready at
+// opsReady and which takes lat cycles; it returns the completion time.
+func (t *timing) issue(opsReady int64, lat int64) int64 {
+	at := t.cursor
+	if opsReady > at {
+		at = opsReady
+		t.cursor = opsReady
+		t.slotUsed = 0
+	}
+	t.slotUsed++
+	if t.slotUsed >= t.cfg.IssueWidth {
+		t.cursor++
+		t.slotUsed = 0
+	}
+	done := at + lat
+	if done > t.maxDone {
+		t.maxDone = done
+	}
+	return done
+}
+
+// access models a data-cache access at word address addr, returning the
+// access latency (hit or miss).
+func (t *timing) access(addr uint64) int64 {
+	line := addr / uint64(t.cfg.CacheLineWords)
+	slot := line % uint64(len(t.cacheTags))
+	if t.cacheTags[slot] == line+1 {
+		return t.cfg.LatLoad
+	}
+	t.cacheTags[slot] = line + 1
+	return t.cfg.LatLoad + t.cfg.MissPenalty
+}
+
+// branch models a branch with the 2-bit predictor; uid identifies the
+// static branch, taken is the outcome. A misprediction stalls the front end.
+func (t *timing) branch(uid int, taken bool) {
+	slot := uid % len(t.predictor)
+	p := t.predictor[slot]
+	predictTaken := p >= 2
+	if predictTaken != taken {
+		t.cursor += t.cfg.BranchPenalty
+		t.slotUsed = 0
+	}
+	if taken && p < 3 {
+		t.predictor[slot] = p + 1
+	} else if !taken && p > 0 {
+		t.predictor[slot] = p - 1
+	}
+}
+
+// latency returns the base latency for op.
+func (t *timing) latency(in *ir.Instr) int64 {
+	c := &t.cfg
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub:
+		if in.Ty == ir.F64 {
+			return c.LatFAdd
+		}
+		return c.LatInt
+	case ir.OpMul:
+		if in.Ty == ir.F64 {
+			return c.LatFMul
+		}
+		return c.LatMul
+	case ir.OpDiv, ir.OpRem:
+		if in.Ty == ir.F64 {
+			return c.LatFDiv
+		}
+		return c.LatDiv
+	case ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpNeg,
+		ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe,
+		ir.OpPtrAdd, ir.OpPhi, ir.OpAlloca:
+		return c.LatInt
+	case ir.OpIToF, ir.OpFToI:
+		return c.LatFAdd
+	case ir.OpIntrinsic:
+		switch in.Intrinsic {
+		case ir.IntrIAbs, ir.IntrIMin, ir.IntrIMax, ir.IntrClampI, ir.IntrFMin, ir.IntrFMax, ir.IntrFAbs:
+			return c.LatInt
+		}
+		return c.LatIntrin
+	case ir.OpStore:
+		return c.LatStore
+	case ir.OpCmpCheck, ir.OpRangeCheck, ir.OpValCheck:
+		return c.CheckLatency
+	}
+	return c.LatInt
+}

@@ -1,0 +1,223 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestTimingIssueWidthLimitsThroughput(t *testing.T) {
+	cfg := DefaultTiming()
+	cfg.IssueWidth = 2
+	tm := newTiming(cfg)
+	tm.reset()
+	// 10 independent 1-cycle instructions on a 2-wide machine: >= 5 cycles.
+	for i := 0; i < 10; i++ {
+		tm.issue(0, 1)
+	}
+	if c := tm.cycles(); c < 5 {
+		t.Fatalf("cycles = %d, want >= 5", c)
+	}
+
+	wide := newTiming(TimingConfig{IssueWidth: 8, CacheLines: 4, CacheLineWords: 8, PredictorSlots: 4, LatInt: 1})
+	wide.reset()
+	for i := 0; i < 10; i++ {
+		wide.issue(0, 1)
+	}
+	if wide.cycles() >= tm.cycles() {
+		t.Fatalf("wider issue not faster: %d vs %d", wide.cycles(), tm.cycles())
+	}
+}
+
+func TestTimingDependenceChainsSerialize(t *testing.T) {
+	cfg := DefaultTiming()
+	tm := newTiming(cfg)
+	tm.reset()
+	// A chain of 10 dependent 3-cycle ops must take >= 30 cycles.
+	ready := int64(0)
+	for i := 0; i < 10; i++ {
+		ready = tm.issue(ready, 3)
+	}
+	if tm.cycles() < 30 {
+		t.Fatalf("dependent chain finished in %d cycles", tm.cycles())
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	tm := newTiming(DefaultTiming())
+	tm.reset()
+	missLat := tm.access(100)
+	hitLat := tm.access(100)
+	if missLat <= hitLat {
+		t.Fatalf("first access (%d) should cost more than second (%d)", missLat, hitLat)
+	}
+	// Same line, different word: still a hit.
+	if l := tm.access(101); l != hitLat {
+		t.Fatalf("same-line access missed: %d", l)
+	}
+	// Conflicting line (same slot, different tag): miss again.
+	conflict := uint64(100 + tm.cfg.CacheLineWords*tm.cfg.CacheLines)
+	if l := tm.access(conflict); l != missLat {
+		t.Fatalf("conflicting line hit: %d", l)
+	}
+}
+
+func TestBranchPredictorLearns(t *testing.T) {
+	cfg := DefaultTiming()
+	tm := newTiming(cfg)
+	tm.reset()
+	// Always-taken branch: after warmup, no penalties.
+	warm := tm.cycles()
+	for i := 0; i < 4; i++ {
+		tm.branch(7, true)
+	}
+	afterWarmup := tm.cycles()
+	for i := 0; i < 100; i++ {
+		tm.branch(7, true)
+	}
+	if tm.cycles() != afterWarmup {
+		t.Fatalf("predictor kept mispredicting a monotone branch: %d -> %d", afterWarmup, tm.cycles())
+	}
+	_ = warm
+	// Alternating branch on a fresh table: frequent penalties.
+	tm2 := newTiming(cfg)
+	tm2.reset()
+	for i := 0; i < 100; i++ {
+		tm2.branch(7, i%2 == 0)
+	}
+	if tm2.cycles() == 0 {
+		t.Fatal("alternating branch incurred no penalty")
+	}
+}
+
+func negBits(v int64) uint64 { return uint64(v) }
+
+func TestIntrinsicSemantics(t *testing.T) {
+	// main(){ out[i] = intrinsic(load in[...]) } for each intrinsic.
+	cases := []struct {
+		intr ir.Intrinsic
+		ty   ir.Type
+		args []uint64
+		want uint64
+	}{
+		{ir.IntrSqrt, ir.F64, []uint64{f2b(9)}, f2b(3)},
+		{ir.IntrFAbs, ir.F64, []uint64{f2b(-2.5)}, f2b(2.5)},
+		{ir.IntrIAbs, ir.I64, []uint64{negBits(-7)}, 7},
+		{ir.IntrFMin, ir.F64, []uint64{f2b(1), f2b(2)}, f2b(1)},
+		{ir.IntrFMax, ir.F64, []uint64{f2b(1), f2b(2)}, f2b(2)},
+		{ir.IntrIMin, ir.I64, []uint64{negBits(-5), 3}, negBits(-5)},
+		{ir.IntrIMax, ir.I64, []uint64{negBits(-5), 3}, 3},
+		{ir.IntrExp, ir.F64, []uint64{f2b(0)}, f2b(1)},
+		{ir.IntrLog, ir.F64, []uint64{f2b(math.E)}, f2b(1)},
+		{ir.IntrFloor, ir.F64, []uint64{f2b(2.9)}, f2b(2)},
+		{ir.IntrPow, ir.F64, []uint64{f2b(2), f2b(10)}, f2b(1024)},
+		{ir.IntrClampI, ir.I64, []uint64{100, 0, 50}, 50},
+	}
+	for _, c := range cases {
+		m := ir.NewModule("intr")
+		in := m.AddGlobal("in", 3)
+		out := m.AddGlobal("out", 1)
+		f := m.NewFunc("main", ir.Void)
+		b := ir.NewBuilder(f)
+		var args []ir.Value
+		for i := range c.args {
+			p := b.PtrAdd(in, ir.ConstInt(int64(i)))
+			args = append(args, b.Load(c.ty, p))
+		}
+		r := b.Intrin(c.intr, c.ty, args...)
+		b.Store(out, r)
+		b.Ret(nil)
+		m.Renumber()
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s: %v", c.intr, err)
+		}
+		mach, err := New(m, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach.BindInput("in", c.args)
+		mach.Reset()
+		res := mach.Run(RunOptions{})
+		if res.Trap != nil {
+			t.Fatalf("%s: trap %v", c.intr, res.Trap)
+		}
+		got, _ := mach.ReadGlobal("out")
+		if got[0] != c.want {
+			t.Errorf("%s(%v) = %x, want %x", c.intr, c.args, got[0], c.want)
+		}
+	}
+}
+
+func TestValCheckSingleAndTwoValues(t *testing.T) {
+	build := func(expected ...int64) *ir.Module {
+		m := ir.NewModule("vc")
+		in := m.AddGlobal("in", 1)
+		f := m.NewFunc("main", ir.Void)
+		b := ir.NewBuilder(f)
+		v := b.Load(ir.I64, in)
+		args := []ir.Value{v}
+		for _, e := range expected {
+			args = append(args, ir.ConstInt(e))
+		}
+		b.Emit(&ir.Instr{Op: ir.OpValCheck, Args: args, Check: ir.CheckValue, CheckID: 1})
+		b.Ret(nil)
+		m.Renumber()
+		return m
+	}
+	run := func(m *ir.Module, input int64) *Trap {
+		mach, _ := New(m, DefaultConfig())
+		mach.BindInputInts("in", []int64{input})
+		mach.Reset()
+		return mach.Run(RunOptions{}).Trap
+	}
+
+	single := build(42)
+	if tr := run(single, 42); tr != nil {
+		t.Fatalf("single-value check fired on expected value: %v", tr)
+	}
+	if tr := run(single, 43); tr == nil || tr.Kind != TrapCheck {
+		t.Fatalf("single-value check missed: %v", tr)
+	}
+
+	two := build(10, 20)
+	for _, ok := range []int64{10, 20} {
+		if tr := run(two, ok); tr != nil {
+			t.Fatalf("two-value check fired on %d: %v", ok, tr)
+		}
+	}
+	if tr := run(two, 15); tr == nil {
+		t.Fatal("two-value check missed 15")
+	}
+}
+
+func TestFloatRangeCheck(t *testing.T) {
+	m := ir.NewModule("frc")
+	in := m.AddGlobal("in", 1)
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	v := b.Load(ir.F64, in)
+	b.Emit(&ir.Instr{
+		Op:    ir.OpRangeCheck,
+		Args:  []ir.Value{v, ir.ConstFloat(-1.5), ir.ConstFloat(2.5)},
+		Check: ir.CheckValue, CheckID: 9,
+	})
+	b.Ret(nil)
+	m.Renumber()
+	run := func(x float64) *Trap {
+		mach, _ := New(m, DefaultConfig())
+		mach.BindInputFloats("in", []float64{x})
+		mach.Reset()
+		return mach.Run(RunOptions{}).Trap
+	}
+	for _, ok := range []float64{-1.5, 0, 2.5} {
+		if tr := run(ok); tr != nil {
+			t.Errorf("range check fired on %v", ok)
+		}
+	}
+	for _, bad := range []float64{-2, 3, math.NaN()} {
+		if tr := run(bad); tr == nil {
+			t.Errorf("range check missed %v", bad)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Tracer receives one event per executed instruction. Used for debugging
+// kernels and for inspecting fault propagation; tracing is off unless
+// RunOptions.Tracer is set.
+type Tracer interface {
+	// Trace is called after the instruction executed. bits is the produced
+	// value (0 for void instructions).
+	Trace(dyn int64, fn string, in *ir.Instr, bits uint64)
+}
+
+// WriterTracer formats a compact text trace onto W, up to Limit events
+// (0 = unlimited). It implements Tracer.
+type WriterTracer struct {
+	W     io.Writer
+	Limit int64
+	n     int64
+}
+
+// Trace implements the Tracer interface.
+func (t *WriterTracer) Trace(dyn int64, fn string, in *ir.Instr, bits uint64) {
+	if t.Limit > 0 && t.n >= t.Limit {
+		return
+	}
+	t.n++
+	switch {
+	case in.Ty == ir.F64:
+		fmt.Fprintf(t.W, "%8d %-12s %-40s = %g\n", dyn, fn, in.LongString(), math.Float64frombits(bits))
+	case in.Ty == ir.Void:
+		fmt.Fprintf(t.W, "%8d %-12s %s\n", dyn, fn, in.LongString())
+	default:
+		fmt.Fprintf(t.W, "%8d %-12s %-40s = %d\n", dyn, fn, in.LongString(), int64(bits))
+	}
+}
+
+// Events returns how many events were emitted.
+func (t *WriterTracer) Events() int64 { return t.n }

@@ -1,0 +1,439 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/fidelity"
+	"repro/internal/vm"
+)
+
+// Audio workloads: g721enc/g721dec (mediabench, ADPCM with classic
+// predictor/step-index state variables) and mp3enc/mp3dec (mibench-style
+// subband codec; the decoder carries the paper's Figure 3 CRC loop).
+
+const (
+	audioTrainN = 8192
+	audioTestN  = 2048
+	mp3TrainN   = 4096
+	mp3TestN    = 1024
+	mp3Bands    = 8
+	mp3Frame    = 32
+)
+
+func audioN(kind InputKind) int {
+	if kind == Train {
+		return audioTrainN
+	}
+	return audioTestN
+}
+
+func mp3N(kind InputKind) int {
+	if kind == Train {
+		return mp3TrainN
+	}
+	return mp3TestN
+}
+
+// IMA ADPCM tables (shared by kernels via globals and by the host mirror).
+var imaStepTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+	41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+	190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+	724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+	7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+	18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+var imaIndexTable = []int64{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+// imaEncode / imaDecode are the host mirrors of the kernels, used to
+// generate decoder inputs and to score encoder outputs.
+func imaEncode(samples []int64) []int64 {
+	codes := make([]int64, len(samples))
+	pred, index := int64(0), int64(0)
+	for i, s := range samples {
+		step := imaStepTable[index]
+		diff := s - pred
+		var code int64
+		if diff < 0 {
+			code = 8
+			diff = -diff
+		}
+		if diff >= step {
+			code |= 4
+			diff -= step
+		}
+		if diff >= step>>1 {
+			code |= 2
+			diff -= step >> 1
+		}
+		if diff >= step>>2 {
+			code |= 1
+		}
+		pred, index = imaStep(pred, index, code)
+		codes[i] = code
+	}
+	return codes
+}
+
+func imaDecode(codes []int64) []int64 {
+	out := make([]int64, len(codes))
+	pred, index := int64(0), int64(0)
+	for i, code := range codes {
+		pred, index = imaStep(pred, index, code&15)
+		out[i] = pred
+	}
+	return out
+}
+
+// imaStep applies one ADPCM state update for a 4-bit code.
+func imaStep(pred, index, code int64) (int64, int64) {
+	step := imaStepTable[index]
+	diffq := step >> 3
+	if code&4 != 0 {
+		diffq += step
+	}
+	if code&2 != 0 {
+		diffq += step >> 1
+	}
+	if code&1 != 0 {
+		diffq += step >> 2
+	}
+	if code&8 != 0 {
+		pred -= diffq
+	} else {
+		pred += diffq
+	}
+	if pred > 32767 {
+		pred = 32767
+	}
+	if pred < -32768 {
+		pred = -32768
+	}
+	index += imaIndexTable[code]
+	if index < 0 {
+		index = 0
+	}
+	if index > 88 {
+		index = 88
+	}
+	return pred, index
+}
+
+const g721encSrc = `
+// g721enc: ADPCM audio encoder. pred and index are textbook state
+// variables: they carry quantizer state across every sample.
+global int pcm[8192];
+global int steptab[89];
+global int idxtab[16];
+global int params[1];
+global int out[8192];
+
+void main() {
+	int n = params[0];
+	int pred = 0;
+	int index = 0;
+	for (int i = 0; i < n; i += 1) {
+		int step = steptab[index];
+		int diff = pcm[i] - pred;
+		int code = 0;
+		if (diff < 0) { code = 8; diff = 0 - diff; }
+		if (diff >= step) { code |= 4; diff -= step; }
+		if (diff >= (step >> 1)) { code |= 2; diff -= step >> 1; }
+		if (diff >= (step >> 2)) { code |= 1; }
+		int diffq = step >> 3;
+		if ((code & 4) != 0) { diffq += step; }
+		if ((code & 2) != 0) { diffq += step >> 1; }
+		if ((code & 1) != 0) { diffq += step >> 2; }
+		if ((code & 8) != 0) { pred -= diffq; }
+		else { pred += diffq; }
+		pred = clampi(pred, -32768, 32767);
+		index = clampi(index + idxtab[code], 0, 88);
+		out[i] = code;
+	}
+}`
+
+const g721decSrc = `
+// g721dec: ADPCM audio decoder, mirror state machine of the encoder.
+global int codes[8192];
+global int steptab[89];
+global int idxtab[16];
+global int params[1];
+global int out[8192];
+
+void main() {
+	int n = params[0];
+	int pred = 0;
+	int index = 0;
+	for (int i = 0; i < n; i += 1) {
+		int code = codes[i] & 15;
+		int step = steptab[index];
+		int diffq = step >> 3;
+		if ((code & 4) != 0) { diffq += step; }
+		if ((code & 2) != 0) { diffq += step >> 1; }
+		if ((code & 1) != 0) { diffq += step >> 2; }
+		if ((code & 8) != 0) { pred -= diffq; }
+		else { pred += diffq; }
+		pred = clampi(pred, -32768, 32767);
+		index = clampi(index + idxtab[code], 0, 88);
+		out[i] = pred;
+	}
+}`
+
+func bindADPCMTables(m *vm.Machine) error {
+	if err := bindInts(m, "steptab", imaStepTable); err != nil {
+		return err
+	}
+	return bindInts(m, "idxtab", imaIndexTable)
+}
+
+var g721enc = register(&Workload{
+	Name:      "g721enc",
+	Suite:     "mediabench",
+	Category:  "audio",
+	Desc:      "ADPCM audio encoder (G.721-class predictor state machine)",
+	Source:    g721encSrc,
+	Output:    "out",
+	InputDesc: "train 8192 samples, test 2048 samples",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricSegSNR, Threshold: 80, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		n := audioN(kind)
+		if err := bindInts(m, "pcm", synthAudio(n, 51+uint64(kind))); err != nil {
+			return err
+		}
+		if err := bindADPCMTables(m); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(n)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		n := audioN(kind)
+		g := imaDecode(wordsToInts(golden[:n]))
+		t := imaDecode(wordsToInts(test[:n]))
+		return fidelity.SegmentalSNRInts(g, t, 256)
+	},
+})
+
+var g721dec = register(&Workload{
+	Name:      "g721dec",
+	Suite:     "mediabench",
+	Category:  "audio",
+	Desc:      "ADPCM audio decoder",
+	Source:    g721decSrc,
+	Output:    "out",
+	InputDesc: "train 8192 samples, test 2048 samples",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricSegSNR, Threshold: 80, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		n := audioN(kind)
+		codes := imaEncode(synthAudio(n, 53+uint64(kind)))
+		if err := bindInts(m, "codes", codes); err != nil {
+			return err
+		}
+		if err := bindADPCMTables(m); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(n)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		n := audioN(kind)
+		return fidelity.SegmentalSNRInts(wordsToInts(golden[:n]), wordsToInts(test[:n]), 256)
+	},
+})
+
+// ---- mp3-style subband codec ---------------------------------------------
+
+// mp3Analysis returns the 8x32 analysis cosine matrix.
+func mp3Analysis() []float64 {
+	t := make([]float64, mp3Bands*mp3Frame)
+	for b := 0; b < mp3Bands; b++ {
+		for n := 0; n < mp3Frame; n++ {
+			t[b*mp3Frame+n] = math.Cos(float64(2*n+1) * float64(2*b+1) * math.Pi / 128)
+		}
+	}
+	return t
+}
+
+// mp3Synthesis returns the 32x8 synthesis matrix (scaled transpose).
+func mp3Synthesis() []float64 {
+	a := mp3Analysis()
+	t := make([]float64, mp3Frame*mp3Bands)
+	for n := 0; n < mp3Frame; n++ {
+		for b := 0; b < mp3Bands; b++ {
+			t[n*mp3Bands+b] = a[b*mp3Frame+n] * (2.0 / float64(mp3Frame))
+		}
+	}
+	return t
+}
+
+// mp3Steps is the per-band quantization step table.
+var mp3Steps = []int64{192, 224, 256, 320, 384, 448, 512, 640}
+
+// mp3HostSynthesize reconstructs a waveform from quantized subband values
+// (host mirror of the decoder's synthesis, used to score the encoder).
+func mp3HostSynthesize(q []int64, nSamples int) []int64 {
+	stab := mp3Synthesis()
+	out := make([]int64, nSamples)
+	frames := nSamples / mp3Frame
+	for f := 0; f < frames; f++ {
+		for n := 0; n < mp3Frame; n++ {
+			var s float64
+			for b := 0; b < mp3Bands; b++ {
+				s += float64(q[f*mp3Bands+b]*mp3Steps[b]) * stab[n*mp3Bands+b]
+			}
+			out[f*mp3Frame+n] = int64(math.Floor(s + 0.5))
+		}
+	}
+	return out
+}
+
+const mp3encSrc = `
+// mp3enc: subband analysis + per-band quantization (mibench mad-style
+// filterbank kernel, simplified to one granule of 8 bands).
+global int pcm[4096];
+global float atab[256];
+global int steps[8];
+global int params[1];
+global int out[1024];
+
+void main() {
+	int n = params[0];
+	int frames = n / 32;
+	for (int f = 0; f < frames; f += 1) {
+		for (int b = 0; b < 8; b += 1) {
+			float s = 0.0;
+			for (int k = 0; k < 32; k += 1) {
+				s += i2f(pcm[f * 32 + k]) * atab[b * 32 + k];
+			}
+			int st = steps[b];
+			out[f * 8 + b] = f2i(floor(s / i2f(st) + 0.5));
+		}
+	}
+}`
+
+const mp3decSrc = `
+// mp3dec: dequantization + synthesis, plus the paper Figure 3 CRC loop
+// over the compressed stream (crc is the canonical state variable).
+global int q[1024];
+global float stab[256];
+global int steps[8];
+global int crctab[64];
+global int params[1];
+global int out[4096];
+global int crcout[1];
+
+void main() {
+	int n = params[0];
+	int frames = n / 32;
+	int words = frames * 8;
+
+	// CRC over the compressed stream, as mad does while parsing.
+	int crc = 0xffff;
+	for (int i = 0; i < words; i += 1) {
+		int data = q[i];
+		int tv = crctab[(data ^ crc) & 63];
+		crc = ((crc << 8) ^ tv) & 0xffff;
+	}
+	crcout[0] = crc;
+
+	for (int f = 0; f < frames; f += 1) {
+		for (int k = 0; k < 32; k += 1) {
+			float s = 0.0;
+			for (int b = 0; b < 8; b += 1) {
+				s += i2f(q[f * 8 + b] * steps[b]) * stab[k * 8 + b];
+			}
+			out[f * 32 + k] = f2i(floor(s + 0.5));
+		}
+	}
+}`
+
+// mp3CRCTable is bound into the decoder's crctab global.
+func mp3CRCTable() []int64 {
+	t := make([]int64, 64)
+	r := newRand(97)
+	for i := range t {
+		t[i] = r.intn(1 << 16)
+	}
+	return t
+}
+
+// mp3EncodeHost quantizes a waveform host-side (mirror of mp3enc), used to
+// build mp3dec inputs.
+func mp3EncodeHost(pcm []int64) []int64 {
+	atab := mp3Analysis()
+	frames := len(pcm) / mp3Frame
+	out := make([]int64, frames*mp3Bands)
+	for f := 0; f < frames; f++ {
+		for b := 0; b < mp3Bands; b++ {
+			var s float64
+			for k := 0; k < mp3Frame; k++ {
+				s += float64(pcm[f*mp3Frame+k]) * atab[b*mp3Frame+k]
+			}
+			out[f*mp3Bands+b] = int64(math.Floor(s/float64(mp3Steps[b]) + 0.5))
+		}
+	}
+	return out
+}
+
+var mp3enc = register(&Workload{
+	Name:      "mp3enc",
+	Suite:     "mibench",
+	Category:  "audio",
+	Desc:      "MP3-style subband audio encoder",
+	Source:    mp3encSrc,
+	Output:    "out",
+	InputDesc: "train 4096 samples, test 1024 samples",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		n := mp3N(kind)
+		if err := bindInts(m, "pcm", synthAudio(n, 61+uint64(kind))); err != nil {
+			return err
+		}
+		if err := m.BindInputFloats("atab", mp3Analysis()); err != nil {
+			return err
+		}
+		if err := bindInts(m, "steps", mp3Steps); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(n)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		n := mp3N(kind)
+		words := (n / mp3Frame) * mp3Bands
+		g := mp3HostSynthesize(wordsToInts(golden[:words]), n)
+		t := mp3HostSynthesize(wordsToInts(test[:words]), n)
+		return fidelity.PSNRInts(g, t, 32768)
+	},
+})
+
+var mp3dec = register(&Workload{
+	Name:      "mp3dec",
+	Suite:     "mibench",
+	Category:  "audio",
+	Desc:      "MP3-style subband audio decoder with stream CRC (Figure 3 kernel)",
+	Source:    mp3decSrc,
+	Output:    "out",
+	InputDesc: "train 4096 samples, test 1024 samples",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		n := mp3N(kind)
+		q := mp3EncodeHost(synthAudio(n, 67+uint64(kind)))
+		if err := bindInts(m, "q", q); err != nil {
+			return err
+		}
+		if err := m.BindInputFloats("stab", mp3Synthesis()); err != nil {
+			return err
+		}
+		if err := bindInts(m, "steps", mp3Steps); err != nil {
+			return err
+		}
+		if err := bindInts(m, "crctab", mp3CRCTable()); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(n)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		n := mp3N(kind)
+		return fidelity.PSNRInts(wordsToInts(golden[:n]), wordsToInts(test[:n]), 32768)
+	},
+})

@@ -1,0 +1,260 @@
+package workloads
+
+import (
+	"repro/internal/fidelity"
+	"repro/internal/vm"
+)
+
+// Image workloads: jpegenc, jpegdec (mediabench) and tiff2bw (mibench).
+// Train and test images differ in size and content (Table I uses a larger
+// training image), mirroring the paper's profiling/test input split.
+
+const (
+	jpegTrainW, jpegTrainH = 48, 48
+	jpegTestW, jpegTestH   = 32, 32
+	bwTrainW, bwTrainH     = 96, 96
+	bwTestW, bwTestH       = 64, 64
+)
+
+func jpegDims(kind InputKind) (w, h int) {
+	if kind == Train {
+		return jpegTrainW, jpegTrainH
+	}
+	return jpegTestW, jpegTestH
+}
+
+func bwDims(kind InputKind) (w, h int) {
+	if kind == Train {
+		return bwTrainW, bwTrainH
+	}
+	return bwTestW, bwTestH
+}
+
+const jpegdecSrc = `
+// jpegdec: run-length entropy decode + dequantize + inverse DCT of 8x8
+// blocks (mediabench jpeg decoder kernel). The stream position pos is the
+// paper's Figure 1 villain: a fault while parsing the entropy-coded
+// stream corrupts every subsequent block. pos, k and the block loop
+// counters are loop-carried state variables; zigzag, quantization and
+// cosine tables are the lookup tables value checks guard.
+global int stream[4800];
+global int qtab[64];
+global int zig[64];
+global float ctab[64];
+global int params[2];
+global int out[2304];
+
+void main() {
+	int bw = params[0];
+	int bh = params[1];
+	int W = bw * 8;
+	int pos = 0;
+	for (int by = 0; by < bh; by += 1) {
+		for (int bx = 0; bx < bw; bx += 1) {
+			float blk[64];
+			for (int k0 = 0; k0 < 64; k0 += 1) { blk[k0] = 0.0; }
+			// Entropy decode: (zero-run, value) pairs, (255, _) ends a block.
+			int k = 0;
+			while (1) {
+				int runlen = stream[pos];
+				pos += 1;
+				int val = stream[pos];
+				pos += 1;
+				if (runlen == 255) { break; }
+				k += runlen;
+				int r = zig[k & 63];
+				blk[r] = i2f(val * qtab[r]);
+				k += 1;
+			}
+			float tmp[64];
+			for (int v = 0; v < 8; v += 1) {
+				for (int x = 0; x < 8; x += 1) {
+					float s = 0.0;
+					for (int u = 0; u < 8; u += 1) {
+						s += blk[v * 8 + u] * ctab[u * 8 + x];
+					}
+					tmp[v * 8 + x] = s;
+				}
+			}
+			for (int y = 0; y < 8; y += 1) {
+				for (int x = 0; x < 8; x += 1) {
+					float s = 0.0;
+					for (int v = 0; v < 8; v += 1) {
+						s += tmp[v * 8 + x] * ctab[v * 8 + y];
+					}
+					int pix = clampi(f2i(floor(s + 128.5)), 0, 255);
+					out[(by * 8 + y) * W + bx * 8 + x] = pix;
+				}
+			}
+		}
+	}
+}`
+
+const jpegencSrc = `
+// jpegenc: forward DCT + quantization + zigzag of 8x8 blocks (mediabench
+// jpeg encoder kernel).
+global int img[2304];
+global int qtab[64];
+global int zig[64];
+global float ctab[64];
+global int params[2];
+global int out[2304];
+
+void main() {
+	int bw = params[0];
+	int bh = params[1];
+	int W = bw * 8;
+	for (int by = 0; by < bh; by += 1) {
+		for (int bx = 0; bx < bw; bx += 1) {
+			float f[64];
+			for (int y = 0; y < 8; y += 1) {
+				for (int x = 0; x < 8; x += 1) {
+					f[y * 8 + x] = i2f(img[(by * 8 + y) * W + bx * 8 + x] - 128);
+				}
+			}
+			float t[64];
+			for (int y = 0; y < 8; y += 1) {
+				for (int u = 0; u < 8; u += 1) {
+					float s = 0.0;
+					for (int x = 0; x < 8; x += 1) {
+						s += f[y * 8 + x] * ctab[u * 8 + x];
+					}
+					t[y * 8 + u] = s;
+				}
+			}
+			int base = (by * bw + bx) * 64;
+			float F[64];
+			for (int u = 0; u < 8; u += 1) {
+				for (int v = 0; v < 8; v += 1) {
+					float s = 0.0;
+					for (int y = 0; y < 8; y += 1) {
+						s += t[y * 8 + u] * ctab[v * 8 + y];
+					}
+					F[v * 8 + u] = s;
+				}
+			}
+			for (int k = 0; k < 64; k += 1) {
+				int r = zig[k];
+				out[base + k] = f2i(floor(F[r] / i2f(qtab[r]) + 0.5));
+			}
+		}
+	}
+}`
+
+const tiff2bwSrc = `
+// tiff2bw: RGB to grayscale conversion (mibench consumer kernel) using the
+// ITU-R 601 integer weights, same fixed-point shifts as the original.
+global int rp[9216];
+global int gp[9216];
+global int bp[9216];
+global int params[1];
+global int out[9216];
+
+void main() {
+	int n = params[0];
+	for (int i = 0; i < n; i += 1) {
+		int v = (rp[i] * 77 + gp[i] * 151 + bp[i] * 28) >> 8;
+		out[i] = clampi(v, 0, 255);
+	}
+}`
+
+func bindJPEGTables(m *vm.Machine) error {
+	if err := bindInts(m, "qtab", jpegQuant); err != nil {
+		return err
+	}
+	if err := bindInts(m, "zig", jpegZigzag); err != nil {
+		return err
+	}
+	return m.BindInputFloats("ctab", dctTable())
+}
+
+var jpegdec = register(&Workload{
+	Name:      "jpegdec",
+	Suite:     "mediabench",
+	Category:  "image",
+	Desc:      "JPEG image decoder (dequantize + 8x8 IDCT)",
+	Source:    jpegdecSrc,
+	Output:    "out",
+	InputDesc: "train 48x48 image, test 32x32 image",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		w, h := jpegDims(kind)
+		img := synthImage(w, h, 11+uint64(kind))
+		stream := rleEncode(encodeImage(img, w, h))
+		if err := bindInts(m, "stream", stream); err != nil {
+			return err
+		}
+		if err := bindJPEGTables(m); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(w / 8), int64(h / 8)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		w, h := jpegDims(kind)
+		n := w * h
+		return fidelity.PSNRInts(wordsToInts(golden[:n]), wordsToInts(test[:n]), 255)
+	},
+})
+
+var jpegenc = register(&Workload{
+	Name:      "jpegenc",
+	Suite:     "mediabench",
+	Category:  "image",
+	Desc:      "JPEG image encoder (8x8 DCT + quantize + zigzag)",
+	Source:    jpegencSrc,
+	Output:    "out",
+	InputDesc: "train 48x48 image, test 32x32 image",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		w, h := jpegDims(kind)
+		img := synthImage(w, h, 23+uint64(kind))
+		if err := bindInts(m, "img", img); err != nil {
+			return err
+		}
+		if err := bindJPEGTables(m); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(w / 8), int64(h / 8)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		// Score the encoder by decoding both outputs host-side and
+		// comparing the images, as a user would.
+		w, h := jpegDims(kind)
+		n := w * h
+		g := decodeImage(wordsToInts(golden[:n]), w, h)
+		t := decodeImage(wordsToInts(test[:n]), w, h)
+		return fidelity.PSNRInts(g, t, 255)
+	},
+})
+
+var tiff2bw = register(&Workload{
+	Name:      "tiff2bw",
+	Suite:     "mibench",
+	Category:  "image",
+	Desc:      "TIFF color to black-and-white converter",
+	Source:    tiff2bwSrc,
+	Output:    "out",
+	InputDesc: "train 96x96 RGB, test 64x64 RGB",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		w, h := bwDims(kind)
+		r := synthImage(w, h, 31+uint64(kind))
+		g := synthImage(w, h, 37+uint64(kind))
+		b := synthImage(w, h, 41+uint64(kind))
+		if err := bindInts(m, "rp", r); err != nil {
+			return err
+		}
+		if err := bindInts(m, "gp", g); err != nil {
+			return err
+		}
+		if err := bindInts(m, "bp", b); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(w * h)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		w, h := bwDims(kind)
+		n := w * h
+		return fidelity.PSNRInts(wordsToInts(golden[:n]), wordsToInts(test[:n]), 255)
+	},
+})

@@ -1,0 +1,167 @@
+package workloads
+
+import "math"
+
+// Host-side JPEG math shared by the jpegenc/jpegdec workloads: the same
+// orthonormal 8x8 DCT the kernels use (via the ctab global), the standard
+// luminance quantization table, and the zigzag scan order.
+
+// dctTable returns C[u*8+x] = a(u) * cos((2x+1) u pi / 16), the orthonormal
+// DCT-II basis; forward is F = C f, inverse is f = C^T F.
+func dctTable() []float64 {
+	t := make([]float64, 64)
+	for u := 0; u < 8; u++ {
+		a := math.Sqrt(2.0 / 8.0)
+		if u == 0 {
+			a = math.Sqrt(1.0 / 8.0)
+		}
+		for x := 0; x < 8; x++ {
+			t[u*8+x] = a * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+	return t
+}
+
+// jpegQuant is the standard JPEG luminance quantization table (quality ~50).
+var jpegQuant = []int64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZigzag maps scan position k to raster position within an 8x8 block.
+var jpegZigzag = []int64{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// forwardBlock computes quantized zigzag coefficients of one 8x8 pixel
+// block (host-side encoder, used to build jpegdec inputs).
+func forwardBlock(pix []int64, stride int, ctab []float64) []int64 {
+	var f [64]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f[y*8+x] = float64(pix[y*stride+x]) - 128
+		}
+	}
+	// rows: t[y][u] = sum_x f[y][x] * C[u][x]
+	var t [64]float64
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for x := 0; x < 8; x++ {
+				s += f[y*8+x] * ctab[u*8+x]
+			}
+			t[y*8+u] = s
+		}
+	}
+	// cols: F[v][u] = sum_y t[y][u] * C[v][y]
+	var F [64]float64
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				s += t[y*8+u] * ctab[v*8+y]
+			}
+			F[v*8+u] = s
+		}
+	}
+	out := make([]int64, 64)
+	for k := 0; k < 64; k++ {
+		r := jpegZigzag[k]
+		q := jpegQuant[r]
+		out[k] = int64(math.Floor(F[r]/float64(q) + 0.5))
+	}
+	return out
+}
+
+// inverseBlock reconstructs 8x8 pixels from quantized zigzag coefficients
+// (host-side decoder, used to score jpegenc outputs).
+func inverseBlock(coef []int64, pix []int64, stride int, ctab []float64) {
+	var F [64]float64
+	for k := 0; k < 64; k++ {
+		r := jpegZigzag[k]
+		F[r] = float64(coef[k] * jpegQuant[r])
+	}
+	// rows: t[v][x] = sum_u F[v][u] * C[u][x]
+	var t [64]float64
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for u := 0; u < 8; u++ {
+				s += F[v*8+u] * ctab[u*8+x]
+			}
+			t[v*8+x] = s
+		}
+	}
+	// cols: f[y][x] = sum_v t[v][x] * C[v][y]
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				s += t[v*8+x] * ctab[v*8+y]
+			}
+			pix[y*stride+x] = clamp255(int64(math.Floor(s + 128.5)))
+		}
+	}
+}
+
+// encodeImage converts a w x h image into per-block zigzag coefficients.
+func encodeImage(img []int64, w, h int) []int64 {
+	ctab := dctTable()
+	bw, bh := w/8, h/8
+	out := make([]int64, bw*bh*64)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			blk := forwardBlock(img[(by*8*w+bx*8):], w, ctab)
+			copy(out[(by*bw+bx)*64:], blk)
+		}
+	}
+	return out
+}
+
+// decodeImage reconstructs pixels from per-block zigzag coefficients.
+func decodeImage(coef []int64, w, h int) []int64 {
+	ctab := dctTable()
+	bw, bh := w/8, h/8
+	img := make([]int64, w*h)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			inverseBlock(coef[(by*bw+bx)*64:(by*bw+bx)*64+64], img[(by*8*w+bx*8):], w, ctab)
+		}
+	}
+	return img
+}
+
+// rleEncode entropy-codes per-block zigzag coefficients as a stream of
+// (zero-run, value) pairs with a (255, 0) end-of-block marker — the
+// simplified stand-in for JPEG's Huffman-coded runs that gives the decoder
+// the stream-parsing state the paper's Figure 1 discussion centers on.
+func rleEncode(coef []int64) []int64 {
+	var stream []int64
+	for base := 0; base < len(coef); base += 64 {
+		run := int64(0)
+		for k := 0; k < 64; k++ {
+			v := coef[base+k]
+			if v == 0 {
+				run++
+				continue
+			}
+			stream = append(stream, run, v)
+			run = 0
+		}
+		stream = append(stream, 255, 0)
+	}
+	return stream
+}

@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"repro/internal/fidelity"
+	"repro/internal/vm"
+)
+
+// Machine-learning workloads: kmeans (in-house, as in the paper) and svm
+// (after svmlight). Both emit classification labels; fidelity is the label
+// mismatch rate against the fault-free run (threshold 10%, Table I).
+
+const (
+	kmTrainN, kmTestN = 128, 96
+	kmDims            = 8
+	kmK               = 4
+	kmIters           = 10
+
+	svmTrainExamples, svmTrainEval = 256, 128
+	svmTestExamples, svmTestEval   = 128, 96
+	svmDims                        = 8
+	svmEpochs                      = 4
+)
+
+func kmN(kind InputKind) int {
+	if kind == Train {
+		return kmTrainN
+	}
+	return kmTestN
+}
+
+func svmSizes(kind InputKind) (train, eval int) {
+	if kind == Train {
+		return svmTrainExamples, svmTrainEval
+	}
+	return svmTestExamples, svmTestEval
+}
+
+const kmeansSrc = `
+// kmeans: Lloyd's algorithm. Centroids (cent) persist across iterations in
+// memory; the per-point best-distance search carries best/bestD state.
+global int pts[1024];
+global float cent[32];
+global float sums[32];
+global int counts[4];
+global int params[2];
+global int out[128];
+
+void main() {
+	int n = params[0];
+	int d = params[1];
+	// Initialize centroids from the first k points.
+	for (int c = 0; c < 4; c += 1) {
+		for (int j = 0; j < d; j += 1) {
+			cent[c * d + j] = i2f(pts[c * d + j]);
+		}
+	}
+	for (int iter = 0; iter < 10; iter += 1) {
+		for (int c = 0; c < 4; c += 1) {
+			counts[c] = 0;
+			for (int j = 0; j < d; j += 1) { sums[c * d + j] = 0.0; }
+		}
+		for (int i = 0; i < n; i += 1) {
+			int best = 0;
+			float bestD = 1.0e300;
+			for (int c = 0; c < 4; c += 1) {
+				float dist = 0.0;
+				for (int j = 0; j < d; j += 1) {
+					float dv = i2f(pts[i * d + j]) - cent[c * d + j];
+					dist += dv * dv;
+				}
+				if (dist < bestD) { bestD = dist; best = c; }
+			}
+			out[i] = best;
+			counts[best] += 1;
+			for (int j = 0; j < d; j += 1) {
+				sums[best * d + j] += i2f(pts[i * d + j]);
+			}
+		}
+		for (int c = 0; c < 4; c += 1) {
+			if (counts[c] > 0) {
+				for (int j = 0; j < d; j += 1) {
+					cent[c * d + j] = sums[c * d + j] / i2f(counts[c]);
+				}
+			}
+		}
+	}
+}`
+
+const svmSrc = `
+// svm: linear SVM trained with Pegasos-style SGD, then used to classify an
+// evaluation set. The weight vector (in memory) plus the loop and scaling
+// state are the critical computation.
+global int trainx[2048];
+global int trainy[256];
+global int evalx[1024];
+global float wvec[8];
+global int params[3];
+global int out[128];
+
+void main() {
+	int ntr = params[0];
+	int nev = params[1];
+	int d = params[2];
+	for (int j = 0; j < d; j += 1) { wvec[j] = 0.0; }
+	float scale = 1.0;
+	int t = 1;
+	for (int epoch = 0; epoch < 4; epoch += 1) {
+		for (int i = 0; i < ntr; i += 1) {
+			float eta = 1.0 / (0.0001 * i2f(t));
+			float margin = 0.0;
+			for (int j = 0; j < d; j += 1) {
+				margin += wvec[j] * i2f(trainx[i * d + j]);
+			}
+			margin = margin * i2f(trainy[i]) * scale;
+			// Regularization shrink folded into a running scale.
+			scale = scale * (1.0 - 0.0001 * eta);
+			if (scale < 1.0e-6) { scale = 1.0e-6; }
+			if (margin < 1000000.0) {
+				float step = eta * i2f(trainy[i]) / scale;
+				for (int j = 0; j < d; j += 1) {
+					wvec[j] += step * i2f(trainx[i * d + j]) * 0.001;
+				}
+			}
+			t += 1;
+		}
+	}
+	for (int i = 0; i < nev; i += 1) {
+		float s = 0.0;
+		for (int j = 0; j < d; j += 1) {
+			s += wvec[j] * i2f(evalx[i * d + j]);
+		}
+		if (s >= 0.0) { out[i] = 1; }
+		else { out[i] = -1; }
+	}
+}`
+
+var kmeans = register(&Workload{
+	Name:      "kmeans",
+	Suite:     "in-house",
+	Category:  "machine learning",
+	Desc:      "K-means clustering (Lloyd's algorithm)",
+	Source:    kmeansSrc,
+	Output:    "out",
+	InputDesc: "train 128x8 samples, test 96x8 samples",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricClassErr, Threshold: 10},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		n := kmN(kind)
+		pts, _ := synthClusters(n, kmDims, kmK, 91+uint64(kind))
+		if err := bindInts(m, "pts", pts); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(n), kmDims})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		n := kmN(kind)
+		return fidelity.ClassificationError(wordsToInts(golden[:n]), wordsToInts(test[:n]))
+	},
+})
+
+var svm = register(&Workload{
+	Name:      "svm",
+	Suite:     "svmlight",
+	Category:  "machine learning",
+	Desc:      "Linear SVM (SGD training + classification)",
+	Source:    svmSrc,
+	Output:    "out",
+	InputDesc: "train 256/128 examples, test 128/96 examples",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricClassErr, Threshold: 10},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		ntr, nev := svmSizes(kind)
+		fx, fy := synthLinear(ntr, svmDims, 93+uint64(kind))
+		ex, _ := synthLinear(nev, svmDims, 95+uint64(kind))
+		if err := bindInts(m, "trainx", fx); err != nil {
+			return err
+		}
+		if err := bindInts(m, "trainy", fy); err != nil {
+			return err
+		}
+		if err := bindInts(m, "evalx", ex); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(ntr), int64(nev), svmDims})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		_, nev := svmSizes(kind)
+		return fidelity.ClassificationError(wordsToInts(golden[:nev]), wordsToInts(test[:nev]))
+	},
+})

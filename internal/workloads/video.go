@@ -1,0 +1,372 @@
+package workloads
+
+import (
+	"repro/internal/fidelity"
+	"repro/internal/vm"
+)
+
+// Video workloads: h264enc/h264dec (mediabench II), reduced to the H.264
+// intra path: DC prediction from reconstructed neighbors + the 4x4 integer
+// core transform + quantization. Prediction from the running reconstruction
+// makes each block depend on all earlier blocks, the video analog of
+// loop-carried state.
+
+const (
+	h264TrainW, h264TrainH = 48, 48
+	h264TestW, h264TestH   = 32, 32
+	h264QP                 = 20
+)
+
+func h264Dims(kind InputKind) (w, h int) {
+	if kind == Train {
+		return h264TrainW, h264TrainH
+	}
+	return h264TestW, h264TestH
+}
+
+// h264T is the H.264 4x4 core transform matrix (row-major).
+var h264T = []int64{
+	1, 1, 1, 1,
+	2, 1, -1, -2,
+	1, -1, -1, 1,
+	1, -2, 2, -1,
+}
+
+// h264D is diag(T T^t): the per-axis scale divided out after the inverse.
+var h264D = []int64{4, 10, 4, 10}
+
+const h264CommonSrc = `
+int divround(int v, int d) {
+	if (v >= 0) { return (v + d / 2) / d; }
+	return 0 - ((d / 2 - v) / d);
+}
+
+// fwd4x4: y = T x T^t for one 4x4 block held in a flat buffer.
+void fwd4x4(int off) {
+	int t[16];
+	for (int i = 0; i < 4; i += 1) {
+		for (int j = 0; j < 4; j += 1) {
+			int s = 0;
+			for (int k = 0; k < 4; k += 1) {
+				s += tmat[i * 4 + k] * blk[off + k * 4 + j];
+			}
+			t[i * 4 + j] = s;
+		}
+	}
+	for (int i = 0; i < 4; i += 1) {
+		for (int j = 0; j < 4; j += 1) {
+			int s = 0;
+			for (int k = 0; k < 4; k += 1) {
+				s += t[i * 4 + k] * tmat[j * 4 + k];
+			}
+			blk[off + i * 4 + j] = s;
+		}
+	}
+}
+
+// inv4x4: x = round(T^t y T / (d_i d_j)).
+void inv4x4(int off) {
+	int t[16];
+	for (int i = 0; i < 4; i += 1) {
+		for (int j = 0; j < 4; j += 1) {
+			int s = 0;
+			for (int k = 0; k < 4; k += 1) {
+				s += tmat[k * 4 + i] * blk[off + k * 4 + j];
+			}
+			t[i * 4 + j] = s;
+		}
+	}
+	for (int i = 0; i < 4; i += 1) {
+		for (int j = 0; j < 4; j += 1) {
+			int s = 0;
+			for (int k = 0; k < 4; k += 1) {
+				s += t[i * 4 + k] * tmat[k * 4 + j];
+			}
+			blk[off + i * 4 + j] = divround(s, dtab[i] * dtab[j]);
+		}
+	}
+}
+
+// dcpred: DC intra prediction from reconstructed neighbors.
+int dcpred(int bx, int by, int W) {
+	int sum = 0;
+	int cnt = 0;
+	if (bx > 0) {
+		for (int y = 0; y < 4; y += 1) {
+			sum += recon[(by * 4 + y) * W + bx * 4 - 1];
+			cnt += 1;
+		}
+	}
+	if (by > 0) {
+		for (int x = 0; x < 4; x += 1) {
+			sum += recon[(by * 4 - 1) * W + bx * 4 + x];
+			cnt += 1;
+		}
+	}
+	if (cnt == 0) { return 128; }
+	return (sum + cnt / 2) / cnt;
+}
+`
+
+const h264encSrc = `
+// h264enc: intra-only encoder (DC prediction + 4x4 integer transform +
+// quantization), reconstructing as it goes so later predictions match the
+// decoder.
+global int img[2304];
+global int tmat[16];
+global int dtab[4];
+global int params[3];
+global int blk[16];
+global int recon[2304];
+global int out[2304];
+` + h264CommonSrc + `
+void main() {
+	int bw = params[0];
+	int bh = params[1];
+	int qp = params[2];
+	int W = bw * 4;
+	for (int by = 0; by < bh; by += 1) {
+		for (int bx = 0; bx < bw; bx += 1) {
+			int pred = dcpred(bx, by, W);
+			for (int y = 0; y < 4; y += 1) {
+				for (int x = 0; x < 4; x += 1) {
+					blk[y * 4 + x] = img[(by * 4 + y) * W + bx * 4 + x] - pred;
+				}
+			}
+			fwd4x4(0);
+			int base = (by * bw + bx) * 16;
+			for (int k = 0; k < 16; k += 1) {
+				int qv = divround(blk[k], qp);
+				out[base + k] = qv;
+				blk[k] = qv * qp;
+			}
+			inv4x4(0);
+			for (int y = 0; y < 4; y += 1) {
+				for (int x = 0; x < 4; x += 1) {
+					recon[(by * 4 + y) * W + bx * 4 + x] =
+						clampi(blk[y * 4 + x] + pred, 0, 255);
+				}
+			}
+		}
+	}
+}`
+
+const h264decSrc = `
+// h264dec: intra-only decoder, mirror of the encoder's reconstruction.
+global int coef[2304];
+global int tmat[16];
+global int dtab[4];
+global int params[3];
+global int blk[16];
+global int recon[2304];
+global int out[2304];
+` + h264CommonSrc + `
+void main() {
+	int bw = params[0];
+	int bh = params[1];
+	int qp = params[2];
+	int W = bw * 4;
+	for (int by = 0; by < bh; by += 1) {
+		for (int bx = 0; bx < bw; bx += 1) {
+			int pred = dcpred(bx, by, W);
+			int base = (by * bw + bx) * 16;
+			for (int k = 0; k < 16; k += 1) {
+				blk[k] = coef[base + k] * qp;
+			}
+			inv4x4(0);
+			for (int y = 0; y < 4; y += 1) {
+				for (int x = 0; x < 4; x += 1) {
+					int pix = clampi(blk[y * 4 + x] + pred, 0, 255);
+					recon[(by * 4 + y) * W + bx * 4 + x] = pix;
+					out[(by * 4 + y) * W + bx * 4 + x] = pix;
+				}
+			}
+		}
+	}
+}`
+
+// h264HostEncode mirrors h264enc to generate decoder inputs.
+func h264HostEncode(img []int64, w, h int) []int64 {
+	bw, bh := w/4, h/4
+	recon := make([]int64, w*h)
+	out := make([]int64, w*h)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			pred := h264HostDCPred(recon, bx, by, w)
+			var blk [16]int64
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					blk[y*4+x] = img[(by*4+y)*w+bx*4+x] - pred
+				}
+			}
+			h264Fwd(&blk)
+			base := (by*bw + bx) * 16
+			for k := 0; k < 16; k++ {
+				qv := divRound(blk[k], h264QP)
+				out[base+k] = qv
+				blk[k] = qv * h264QP
+			}
+			h264Inv(&blk)
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					recon[(by*4+y)*w+bx*4+x] = clamp255(blk[y*4+x] + pred)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// h264HostDecode mirrors h264dec to score encoder outputs.
+func h264HostDecode(coef []int64, w, h int) []int64 {
+	bw, bh := w/4, h/4
+	recon := make([]int64, w*h)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			pred := h264HostDCPred(recon, bx, by, w)
+			var blk [16]int64
+			base := (by*bw + bx) * 16
+			for k := 0; k < 16; k++ {
+				blk[k] = coef[base+k] * h264QP
+			}
+			h264Inv(&blk)
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					recon[(by*4+y)*w+bx*4+x] = clamp255(blk[y*4+x] + pred)
+				}
+			}
+		}
+	}
+	return recon
+}
+
+func h264HostDCPred(recon []int64, bx, by, w int) int64 {
+	var sum, cnt int64
+	if bx > 0 {
+		for y := 0; y < 4; y++ {
+			sum += recon[(by*4+y)*w+bx*4-1]
+			cnt++
+		}
+	}
+	if by > 0 {
+		for x := 0; x < 4; x++ {
+			sum += recon[(by*4-1)*w+bx*4+x]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 128
+	}
+	return (sum + cnt/2) / cnt
+}
+
+func h264Fwd(blk *[16]int64) {
+	var t [16]int64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s int64
+			for k := 0; k < 4; k++ {
+				s += h264T[i*4+k] * blk[k*4+j]
+			}
+			t[i*4+j] = s
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s int64
+			for k := 0; k < 4; k++ {
+				s += t[i*4+k] * h264T[j*4+k]
+			}
+			blk[i*4+j] = s
+		}
+	}
+}
+
+func h264Inv(blk *[16]int64) {
+	var t [16]int64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s int64
+			for k := 0; k < 4; k++ {
+				s += h264T[k*4+i] * blk[k*4+j]
+			}
+			t[i*4+j] = s
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s int64
+			for k := 0; k < 4; k++ {
+				s += t[i*4+k] * h264T[k*4+j]
+			}
+			blk[i*4+j] = divRound(s, h264D[i]*h264D[j])
+		}
+	}
+}
+
+func divRound(v, d int64) int64 {
+	if v >= 0 {
+		return (v + d/2) / d
+	}
+	return -((d/2 - v) / d)
+}
+
+func bindH264Tables(m *vm.Machine, kind InputKind) error {
+	w, h := h264Dims(kind)
+	if err := bindInts(m, "tmat", h264T); err != nil {
+		return err
+	}
+	if err := bindInts(m, "dtab", h264D); err != nil {
+		return err
+	}
+	return bindInts(m, "params", []int64{int64(w / 4), int64(h / 4), h264QP})
+}
+
+var h264enc = register(&Workload{
+	Name:      "h264enc",
+	Suite:     "mediabench II",
+	Category:  "video",
+	Desc:      "H.264 intra encoder (DC prediction + 4x4 integer transform)",
+	Source:    h264encSrc,
+	Output:    "out",
+	InputDesc: "train 48x48 frame, test 32x32 frame",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		w, h := h264Dims(kind)
+		if err := bindInts(m, "img", synthImage(w, h, 71+uint64(kind))); err != nil {
+			return err
+		}
+		return bindH264Tables(m, kind)
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		w, h := h264Dims(kind)
+		n := w * h
+		g := h264HostDecode(wordsToInts(golden[:n]), w, h)
+		t := h264HostDecode(wordsToInts(test[:n]), w, h)
+		return fidelity.PSNRInts(g, t, 255)
+	},
+})
+
+var h264dec = register(&Workload{
+	Name:      "h264dec",
+	Suite:     "mediabench II",
+	Category:  "video",
+	Desc:      "H.264 intra decoder",
+	Source:    h264decSrc,
+	Output:    "out",
+	InputDesc: "train 48x48 frame, test 32x32 frame",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricPSNR, Threshold: 30, HigherIsBetter: true},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		w, h := h264Dims(kind)
+		coef := h264HostEncode(synthImage(w, h, 73+uint64(kind)), w, h)
+		if err := bindInts(m, "coef", coef); err != nil {
+			return err
+		}
+		return bindH264Tables(m, kind)
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		w, h := h264Dims(kind)
+		n := w * h
+		return fidelity.PSNRInts(wordsToInts(golden[:n]), wordsToInts(test[:n]), 255)
+	},
+})

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"repro/internal/fidelity"
+	"repro/internal/vm"
+)
+
+// Computer-vision workloads: segm (image segmentation) and tex_synth
+// (texture synthesis), after the SD-VBS kernels the paper uses.
+
+const (
+	segmTrainW, segmTrainH     = 64, 64
+	segmTestW, segmTestH       = 44, 44
+	texTrainSrcW, texTrainOutW = 20, 28
+	texTestSrcW, texTestOutW   = 16, 24
+)
+
+func segmDims(kind InputKind) (w, h int) {
+	if kind == Train {
+		return segmTrainW, segmTrainH
+	}
+	return segmTestW, segmTestH
+}
+
+func texDims(kind InputKind) (src, out int) {
+	if kind == Train {
+		return texTrainSrcW, texTrainOutW
+	}
+	return texTestSrcW, texTestOutW
+}
+
+const segmSrc = `
+// segm: two-class image segmentation by iterative threshold selection
+// (Ridler-Calvard). The threshold estimate t is carried across iterations —
+// a state variable whose corruption relabels large image regions.
+global int img[4096];
+global int hist[256];
+global int params[1];
+global int out[4096];
+
+void main() {
+	int n = params[0];
+	for (int b = 0; b < 256; b += 1) { hist[b] = 0; }
+	for (int i = 0; i < n; i += 1) {
+		hist[img[i] & 255] += 1;
+	}
+	int t = 128;
+	for (int iter = 0; iter < 16; iter += 1) {
+		int sum0 = 0;
+		int cnt0 = 0;
+		int sum1 = 0;
+		int cnt1 = 0;
+		for (int b = 0; b < 256; b += 1) {
+			int c = hist[b];
+			if (b <= t) { sum0 += b * c; cnt0 += c; }
+			else { sum1 += b * c; cnt1 += c; }
+		}
+		int m0 = 0;
+		int m1 = 255;
+		if (cnt0 > 0) { m0 = sum0 / cnt0; }
+		if (cnt1 > 0) { m1 = sum1 / cnt1; }
+		int tn = (m0 + m1) / 2;
+		if (tn == t) { break; }
+		t = tn;
+	}
+	for (int i = 0; i < n; i += 1) {
+		if (img[i] > t) { out[i] = 1; }
+		else { out[i] = 0; }
+	}
+}`
+
+const texSynthSrc = `
+// tex_synth: non-parametric texture synthesis. Each output pixel copies the
+// source pixel whose causal neighborhood (3 left + 3 above) best matches
+// the already-synthesized neighborhood (SSD search). best/bestCost are
+// state variables of the inner search loop.
+global int src[400];
+global int params[2];
+global int out[784];
+
+void main() {
+	int S = params[0];
+	int W = params[1];
+	// Seed the first rows/cols directly from the source (tiled).
+	for (int y = 0; y < W; y += 1) {
+		for (int x = 0; x < W; x += 1) {
+			if (y < 1 || x < 1) {
+				out[y * W + x] = src[(y % S) * S + (x % S)];
+			}
+		}
+	}
+	for (int y = 1; y < W; y += 1) {
+		for (int x = 1; x < W; x += 1) {
+			int best = 0;
+			int bestCost = 0x7fffffff;
+			for (int sy = 1; sy < S; sy += 1) {
+				for (int sx = 1; sx < S; sx += 1) {
+					int cost = 0;
+					int d1 = out[y * W + x - 1] - src[sy * S + sx - 1];
+					cost += d1 * d1;
+					int d2 = out[(y - 1) * W + x] - src[(sy - 1) * S + sx];
+					cost += d2 * d2;
+					int d3 = out[(y - 1) * W + x - 1] - src[(sy - 1) * S + sx - 1];
+					cost += d3 * d3;
+					if (cost < bestCost) {
+						bestCost = cost;
+						best = src[sy * S + sx];
+					}
+				}
+			}
+			out[y * W + x] = best;
+		}
+	}
+}`
+
+var segm = register(&Workload{
+	Name:      "segm",
+	Suite:     "SD-VBS",
+	Category:  "vision",
+	Desc:      "Image segmentation (iterative threshold selection)",
+	Source:    segmSrc,
+	Output:    "out",
+	InputDesc: "train 64x64 image, test 44x44 image",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricMismatch, Threshold: 10},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		w, h := segmDims(kind)
+		if err := bindInts(m, "img", synthImage(w, h, 81+uint64(kind))); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(w * h)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		w, h := segmDims(kind)
+		n := w * h
+		return fidelity.MatrixMismatch(wordsToInts(golden[:n]), wordsToInts(test[:n]), 0)
+	},
+})
+
+var texSynth = register(&Workload{
+	Name:      "tex_synth",
+	Suite:     "SD-VBS",
+	Category:  "vision",
+	Desc:      "Texture synthesis (causal neighborhood matching)",
+	Source:    texSynthSrc,
+	Output:    "out",
+	InputDesc: "train 20x20 -> 28x28, test 16x16 -> 24x24",
+	Judge:     fidelity.Judgment{Metric: fidelity.MetricMismatch, Threshold: 10},
+	Bind: func(m *vm.Machine, kind InputKind) error {
+		s, o := texDims(kind)
+		if err := bindInts(m, "src", synthImage(s, s, 83+uint64(kind))); err != nil {
+			return err
+		}
+		return bindInts(m, "params", []int64{int64(s), int64(o)})
+	},
+	Measure: func(golden, test []uint64, kind InputKind) float64 {
+		_, o := texDims(kind)
+		n := o * o
+		// Texture is stochastic in character: tolerate small pixel drift,
+		// count structurally different pixels.
+		return fidelity.MatrixMismatch(wordsToInts(golden[:n]), wordsToInts(test[:n]), 8)
+	},
+})

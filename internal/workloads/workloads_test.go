@@ -1,0 +1,287 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+func TestRegistryHasThirteenBenchmarks(t *testing.T) {
+	if got := len(All()); got != 13 {
+		t.Fatalf("registry has %d workloads, want 13 (Table I): %v", got, Names())
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Source == "" || w.Output == "" || w.Bind == nil || w.Measure == nil {
+			t.Errorf("workload %s incomplete", w.Name)
+		}
+	}
+	for _, name := range []string{"jpegenc", "jpegdec", "tiff2bw", "segm",
+		"tex_synth", "g721enc", "g721dec", "mp3enc", "mp3dec", "h264enc",
+		"h264dec", "kmeans", "svm"} {
+		if ByName(name) == nil {
+			t.Errorf("missing workload %s", name)
+		}
+	}
+}
+
+// runWorkload compiles, binds and runs one workload, returning the result
+// and output words.
+func runWorkload(t *testing.T, w *Workload, kind InputKind) (*vm.Result, []uint64) {
+	t.Helper()
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if err := w.Bind(mach, kind); err != nil {
+		t.Fatalf("%s bind: %v", w.Name, err)
+	}
+	mach.Reset()
+	res := mach.Run(vm.RunOptions{})
+	if res.Trap != nil {
+		t.Fatalf("%s (%s input) trapped: %v", w.Name, kind, res.Trap)
+	}
+	out, err := mach.ReadGlobal(w.Output)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res, out
+}
+
+func TestAllWorkloadsRunCleanOnBothInputs(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, kind := range []InputKind{Train, Test} {
+				res, out := runWorkload(t, w, kind)
+				if res.Dyn < 1000 {
+					t.Errorf("%s input: only %d dynamic instructions — kernel too trivial?", kind, res.Dyn)
+				}
+				// Output must not be all zeros (the program did something).
+				nonzero := false
+				for _, v := range out {
+					if v != 0 {
+						nonzero = true
+						break
+					}
+				}
+				if !nonzero {
+					t.Errorf("%s input: output global is all zeros", kind)
+				}
+				// Self-fidelity must be perfect and acceptable.
+				fid := w.Measure(out, out, kind)
+				if !w.Acceptable(fid) {
+					t.Errorf("%s input: perfect output rated unacceptable (%v %v)", kind, fid, w.Judge.Describe())
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r1, o1 := runWorkload(t, w, Test)
+			r2, o2 := runWorkload(t, w, Test)
+			if r1.Dyn != r2.Dyn || r1.Cycles != r2.Cycles {
+				t.Fatalf("nondeterministic run: dyn %d/%d cycles %d/%d", r1.Dyn, r2.Dyn, r1.Cycles, r2.Cycles)
+			}
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					t.Fatalf("output differs at word %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainAndTestInputsDiffer(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r1, _ := runWorkload(t, w, Train)
+			r2, _ := runWorkload(t, w, Test)
+			if r1.Dyn == r2.Dyn {
+				t.Errorf("train and test runs have identical instruction counts (%d); inputs likely identical", r1.Dyn)
+			}
+			if r1.Dyn < r2.Dyn {
+				t.Errorf("train input (%d dyn) smaller than test (%d); Table I uses larger training inputs", r1.Dyn, r2.Dyn)
+			}
+		})
+	}
+}
+
+// TestProtectionPreservesWorkloadSemantics is the central end-to-end
+// property: every protection mode leaves every benchmark's fault-free
+// output bit-identical.
+func TestProtectionPreservesWorkloadSemantics(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			mod, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, golden := runWorkload(t, w, Test)
+
+			// Profile on the training input.
+			profMach, err := vm.New(mod.Clone(), vm.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Bind(profMach, Train); err != nil {
+				t.Fatal(err)
+			}
+			profMach.Reset()
+			col := profile.NewCollector(profile.DefaultBins)
+			if res := profMach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+				t.Fatalf("profiling trapped: %v", res.Trap)
+			}
+			prof := col.Data()
+
+			for _, mode := range []core.Mode{core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup} {
+				prot := mod.Clone()
+				var pd *profile.Data
+				if mode == core.ModeDupVal {
+					pd = prof
+				}
+				stats, err := core.Protect(prot, mode, pd, core.DefaultParams())
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if mode != core.ModeDupVal && stats.DupInstrs == 0 {
+					t.Errorf("%s: nothing duplicated", mode)
+				}
+				mach, err := vm.New(prot, vm.DefaultConfig())
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				if err := w.Bind(mach, Test); err != nil {
+					t.Fatal(err)
+				}
+				mach.Reset()
+				res := mach.Run(vm.RunOptions{CountChecks: true})
+				if res.Trap != nil {
+					t.Fatalf("%s trapped: %v", mode, res.Trap)
+				}
+				out, _ := mach.ReadGlobal(w.Output)
+				for i := range golden {
+					if out[i] != golden[i] {
+						t.Fatalf("%s changed output word %d: %x -> %x", mode, i, golden[i], out[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFidelityDegradesWithCorruption corrupts outputs artificially and
+// checks every metric responds in the right direction.
+func TestFidelityDegradesWithCorruption(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			_, golden := runWorkload(t, w, Test)
+			perfect := w.Measure(golden, golden, Test)
+
+			// Corrupt a large portion of the output massively.
+			bad := append([]uint64(nil), golden...)
+			for i := 0; i < len(bad); i += 2 {
+				if w.Name == "kmeans" || w.Name == "svm" || w.Name == "segm" {
+					bad[i] = uint64(int64(bad[i]) + 1) // flip labels
+				} else {
+					bad[i] = uint64(int64(bad[i]) ^ 0x3fff)
+				}
+			}
+			worse := w.Measure(golden, bad, Test)
+			if w.Judge.HigherIsBetter {
+				if !(worse < perfect) && !math.IsInf(perfect, 1) {
+					t.Errorf("corruption did not lower metric: %v -> %v", perfect, worse)
+				}
+				if w.Acceptable(worse) {
+					t.Errorf("gross corruption rated acceptable (%v)", worse)
+				}
+			} else {
+				if worse <= perfect {
+					t.Errorf("corruption did not raise error metric: %v -> %v", perfect, worse)
+				}
+				if w.Acceptable(worse) {
+					t.Errorf("gross corruption rated acceptable (%v)", worse)
+				}
+			}
+		})
+	}
+}
+
+func TestStaticProtectionFractionsReasonable(t *testing.T) {
+	// Figure 10's headline: at most ~11.4% of static instructions are
+	// duplicated and ~8.3% carry value checks. Our kernels are smaller, so
+	// allow generous slack, but catch runaway duplication.
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			mod, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prot := mod.Clone()
+			stats, err := core.Protect(prot, core.ModeDupOnly, nil, core.DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.StateVars == 0 {
+				t.Error("no state variables found — every benchmark has loops")
+			}
+			if f := stats.FracDuplicated(); f > 0.6 {
+				t.Errorf("duplicated fraction %.2f implausibly high", f)
+			}
+		})
+	}
+}
+
+// TestJpegdecStreamFaultsCorruptManyBlocks checks the paper's Figure 1
+// narrative: some faults in the entropy-decode path corrupt far more than
+// one block, pushing PSNR way below the 30 dB threshold.
+func TestJpegdecStreamFaultsCorruptManyBlocks(t *testing.T) {
+	w := ByName("jpegdec")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fault.Run(w.Target(Test), mod.Clone(), "Original", fault.Config{
+		Trials: 400, Seed: 77, SymptomWindow: 1000, WatchdogFactor: 20, LargeChange: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 1e9
+	sdcs := 0
+	for _, tr := range rep.Trials {
+		if tr.SDC && tr.Fidelity < worst {
+			worst = tr.Fidelity
+		}
+		if tr.SDC {
+			sdcs++
+		}
+	}
+	if sdcs == 0 {
+		t.Skip("no SDCs in this campaign")
+	}
+	if worst > 25 {
+		t.Errorf("worst SDC PSNR %.1f dB — no multi-block corruption observed (Fig. 1c behaviour)", worst)
+	}
+	t.Logf("%d SDCs, worst PSNR %.1f dB", sdcs, worst)
+}

@@ -1,0 +1,29 @@
+package softft
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+)
+
+// Save writes the profile as JSON, tagged with the program name it was
+// collected on.
+func (p *Profile) Save(w io.Writer, programName string) error {
+	return p.data.Save(w, programName)
+}
+
+// LoadProfile reads a profile saved with Profile.Save. If programName is
+// non-empty it must match the name recorded in the file (profiles are keyed
+// by instruction identity and do not transfer across recompilations of
+// different sources).
+func LoadProfile(r io.Reader, programName string) (*Profile, error) {
+	data, module, err := profile.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if programName != "" && module != programName {
+		return nil, fmt.Errorf("softft: profile was collected on %q, not %q", module, programName)
+	}
+	return &Profile{data: data}, nil
+}

@@ -1,0 +1,64 @@
+package softft
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSampleSourceFile keeps testdata/sobel.sf (the `softft -src` demo
+// program) compiling and behaving: protection must preserve its output.
+func TestSampleSourceFile(t *testing.T) {
+	src, err := os.ReadFile("testdata/sobel.sf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile("sobel", string(src))
+	if err != nil {
+		t.Fatalf("sample program no longer compiles: %v", err)
+	}
+	const w, h = 32, 32
+	img := make([]int64, 4096)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int64((x*8 + y*3) % 256)
+			if x > 16 {
+				v = 255 - v
+			}
+			img[y*w+x] = v
+		}
+	}
+	in := NewInput().SetInts("img", img).SetInts("params", []int64{w, h})
+
+	base, err := prog.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _ := base.Ints("out")
+	edges := 0
+	for _, v := range golden {
+		if v > 128 {
+			edges++
+		}
+	}
+	if edges == 0 {
+		t.Fatal("sobel found no edges in an image with a hard vertical edge")
+	}
+
+	hard, stats, err := prog.Protect(DuplicationOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StateVars < 2 {
+		t.Errorf("expected at least the two loop counters as state vars, got %d", stats.StateVars)
+	}
+	prot, err := hard.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := prot.Ints("out")
+	for i := range golden {
+		if out[i] != golden[i] {
+			t.Fatalf("protection changed sobel output at %d", i)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package softft is a library for low-budget software-only transient-fault
+// tolerance of soft-computing programs, reproducing Khudia & Mahlke,
+// "Harnessing Soft Computations for Low-budget Fault Tolerance" (MICRO
+// 2014).
+//
+// Programs are written in a small C-like language and compiled to an SSA
+// IR. The library identifies critical loop-carried state variables and
+// protects them by selectively duplicating their producer chains, while
+// guarding the remaining soft computation with cheap expected-value checks
+// derived from value profiles. A simulated machine executes programs,
+// models runtime cost, and injects single-bit register faults so the
+// protection's coverage can be measured.
+//
+// Typical use:
+//
+//	prog, _ := softft.Compile("pipeline", source)
+//	prof, _ := prog.ProfileValues(trainInput)
+//	hard, stats, _ := prog.Protect(softft.DuplicationWithValueChecks, prof)
+//	res, _ := hard.Run(testInput)
+package softft
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// Program is a compiled (and possibly protected) program.
+type Program struct {
+	name string
+	mod  *ir.Module
+}
+
+// Compile parses and compiles source written in the workload language into
+// an SSA-form program ready to run, profile, or protect.
+func Compile(name, source string) (*Program, error) {
+	mod, err := lang.Compile(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{name: name, mod: mod}, nil
+}
+
+// Name returns the program's name.
+func (p *Program) Name() string { return p.name }
+
+// Clone returns an independent deep copy.
+func (p *Program) Clone() *Program {
+	return &Program{name: p.name, mod: p.mod.Clone()}
+}
+
+// Dump renders the program's IR as text.
+func (p *Program) Dump() string { return p.mod.String() }
+
+// NumInstrs returns the static instruction count.
+func (p *Program) NumInstrs() int { return p.mod.NumInstrs() }
+
+// Input carries the host-side bindings of a program's input globals.
+type Input struct {
+	binds []func(*vm.Machine) error
+}
+
+// NewInput returns an empty input set.
+func NewInput() *Input { return &Input{} }
+
+// SetInts binds an integer array to the named global.
+func (in *Input) SetInts(global string, vals []int64) *Input {
+	in.binds = append(in.binds, func(m *vm.Machine) error {
+		return m.BindInputInts(global, vals)
+	})
+	return in
+}
+
+// SetFloats binds a float array to the named global.
+func (in *Input) SetFloats(global string, vals []float64) *Input {
+	in.binds = append(in.binds, func(m *vm.Machine) error {
+		return m.BindInputFloats(global, vals)
+	})
+	return in
+}
+
+// bind applies all bindings to a machine.
+func (in *Input) bind(m *vm.Machine) error {
+	if in == nil {
+		return nil
+	}
+	for _, b := range in.binds {
+		if err := b(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of a fault-free run.
+type Result struct {
+	// Dyn is the dynamic instruction count; Cycles the timing-model cost.
+	Dyn, Cycles int64
+	// CheckFailures counts expected-value checks that fired (false
+	// positives in a fault-free run).
+	CheckFailures int64
+	mach          *vm.Machine
+}
+
+// Ints reads an output global as integers.
+func (r *Result) Ints(global string) ([]int64, error) {
+	return r.mach.ReadGlobalInts(global)
+}
+
+// Floats reads an output global as floats.
+func (r *Result) Floats(global string) ([]float64, error) {
+	return r.mach.ReadGlobalFloats(global)
+}
+
+// Words reads an output global as raw 64-bit words.
+func (r *Result) Words(global string) ([]uint64, error) {
+	return r.mach.ReadGlobal(global)
+}
+
+// Run executes the program with the given input. Check failures are
+// counted, not fatal; traps (out-of-bounds, division by zero, runaway
+// loops) surface as errors.
+func (p *Program) Run(in *Input) (*Result, error) {
+	mach, err := p.machine(in)
+	if err != nil {
+		return nil, err
+	}
+	res := mach.Run(vm.RunOptions{CountChecks: true})
+	if res.Trap != nil {
+		return nil, fmt.Errorf("softft: %s: %w", p.name, res.Trap)
+	}
+	return &Result{Dyn: res.Dyn, Cycles: res.Cycles, CheckFailures: res.CheckFails, mach: mach}, nil
+}
+
+func (p *Program) machine(in *Input) (*vm.Machine, error) {
+	mach, err := vm.New(p.mod, vm.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := in.bind(mach); err != nil {
+		return nil, err
+	}
+	mach.Reset()
+	return mach, nil
+}
+
+// Profile holds per-instruction value profiles collected on a training
+// input (the paper's one-time offline step).
+type Profile struct {
+	data *profile.Data
+}
+
+// ProfileValues runs the program under the value profiler (Algorithm 1 of
+// the paper, B=5 bins per instruction) and returns the collected profiles.
+func (p *Program) ProfileValues(in *Input) (*Profile, error) {
+	mach, err := p.machine(in)
+	if err != nil {
+		return nil, err
+	}
+	col := profile.NewCollector(profile.DefaultBins)
+	res := mach.Run(vm.RunOptions{Profiler: col})
+	if res.Trap != nil {
+		return nil, fmt.Errorf("softft: profiling %s: %w", p.name, res.Trap)
+	}
+	return &Profile{data: col.Data()}, nil
+}
+
+// Mode selects a protection scheme.
+type Mode uint8
+
+// Protection modes.
+const (
+	// Original applies no protection.
+	Original Mode = iota
+	// DuplicationOnly duplicates the producer chains of loop-carried state
+	// variables and compares original against duplicate each iteration.
+	DuplicationOnly
+	// DuplicationWithValueChecks adds profile-derived expected-value
+	// checks and the paper's two optimizations; requires a Profile.
+	DuplicationWithValueChecks
+	// FullDuplication is the SWIFT-style baseline: duplicate every
+	// computation chain feeding a store, branch, call or return.
+	FullDuplication
+)
+
+func (m Mode) String() string { return m.coreMode().String() }
+
+func (m Mode) coreMode() core.Mode {
+	switch m {
+	case DuplicationOnly:
+		return core.ModeDupOnly
+	case DuplicationWithValueChecks:
+		return core.ModeDupVal
+	case FullDuplication:
+		return core.ModeFullDup
+	}
+	return core.ModeOriginal
+}
+
+// Stats summarizes what a protection pass did.
+type Stats struct {
+	TotalInstrs      int // static instructions before protection
+	StateVars        int
+	DuplicatedInstrs int
+	ValueChecks      int
+	DupChecks        int
+}
+
+// Tuning exposes the check-amenability knobs (see the paper's R_thr and
+// the coverage thresholds controlling false positives).
+type Tuning struct {
+	RangeThreshold   float64
+	MinRangeCoverage float64
+	MinValueCoverage float64
+	// DisableOpt1 turns off check deduplication along producer chains.
+	DisableOpt1 bool
+	// DisableOpt2 keeps duplicating through check-amenable producers.
+	DisableOpt2 bool
+}
+
+// Protect returns a protected copy of the program. prof may be nil except
+// for DuplicationWithValueChecks.
+func (p *Program) Protect(mode Mode, prof *Profile) (*Program, Stats, error) {
+	return p.ProtectTuned(mode, prof, Tuning{})
+}
+
+// ProtectTuned is Protect with explicit tuning; zero-valued fields take the
+// defaults used in the paper reproduction.
+func (p *Program) ProtectTuned(mode Mode, prof *Profile, t Tuning) (*Program, Stats, error) {
+	params := core.DefaultParams()
+	if t.RangeThreshold > 0 {
+		params.RangeThreshold = t.RangeThreshold
+	}
+	if t.MinRangeCoverage > 0 {
+		params.MinRangeCoverage = t.MinRangeCoverage
+	}
+	if t.MinValueCoverage > 0 {
+		params.MinValueCoverage = t.MinValueCoverage
+	}
+	params.Opt1 = !t.DisableOpt1
+	params.Opt2 = !t.DisableOpt2
+
+	var data *profile.Data
+	if prof != nil {
+		data = prof.data
+	}
+	mod := p.mod.Clone()
+	st, err := core.Protect(mod, mode.coreMode(), data, params)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return &Program{name: p.name + "+" + mode.String(), mod: mod}, Stats{
+		TotalInstrs:      st.TotalInstrs,
+		StateVars:        st.StateVars,
+		DuplicatedInstrs: st.DupInstrs,
+		ValueChecks:      st.ValueChecks,
+		DupChecks:        st.DupChecks,
+	}, nil
+}
+
+// Trace runs the program writing a per-instruction execution trace to w
+// (at most limit events; 0 = unlimited). Useful for debugging kernels and
+// inspecting how a protected program interleaves checks with computation.
+func (p *Program) Trace(in *Input, w io.Writer, limit int64) (*Result, error) {
+	mach, err := p.machine(in)
+	if err != nil {
+		return nil, err
+	}
+	res := mach.Run(vm.RunOptions{CountChecks: true, Tracer: &vm.WriterTracer{W: w, Limit: limit}})
+	if res.Trap != nil {
+		return nil, fmt.Errorf("softft: %s: %w", p.name, res.Trap)
+	}
+	return &Result{Dyn: res.Dyn, Cycles: res.Cycles, CheckFailures: res.CheckFails, mach: mach}, nil
+}

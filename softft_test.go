@@ -1,0 +1,264 @@
+package softft
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const testKernel = `
+// Running-sum filter with a CRC over the input: state variables (acc, crc)
+// plus per-element soft computation.
+global int in[256];
+global int tab[16];
+global int out[256];
+global int crcout[1];
+
+void main() {
+	int acc = 0;
+	int crc = 0xff;
+	for (int i = 0; i < 256; i += 1) {
+		int v = in[i];
+		crc = ((crc << 1) ^ tab[(v ^ crc) & 15]) & 0xffff;
+		acc = (acc * 3 + v) & 0xffff;
+		out[i] = (v * 7 + acc) & 255;
+	}
+	crcout[0] = crc;
+}`
+
+func testInput() *Input {
+	vals := make([]int64, 256)
+	for i := range vals {
+		vals[i] = int64((i*31 + 7) % 251)
+	}
+	tab := make([]int64, 16)
+	for i := range tab {
+		tab[i] = int64(i*i*37 + 11)
+	}
+	return NewInput().SetInts("in", vals).SetInts("tab", tab)
+}
+
+func TestCompileAndRun(t *testing.T) {
+	prog, err := Compile("kernel", testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(testInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dyn == 0 || res.Cycles == 0 {
+		t.Fatal("no execution recorded")
+	}
+	out, err := res.Ints("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, v := range out {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("output all zeros")
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	if _, err := Compile("bad", "void main() { undeclared = 1; }"); err == nil {
+		t.Fatal("bad program accepted")
+	}
+}
+
+func TestProtectModesPreserveOutput(t *testing.T) {
+	prog, err := Compile("kernel", testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := prog.Run(testInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _ := base.Ints("out")
+
+	prof, err := prog.ProfileValues(testInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []Mode{DuplicationOnly, DuplicationWithValueChecks, FullDuplication} {
+		hard, stats, err := prog.Protect(mode, prof)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if mode != DuplicationWithValueChecks && stats.DuplicatedInstrs == 0 {
+			t.Errorf("%s: nothing duplicated", mode)
+		}
+		if mode == DuplicationWithValueChecks && stats.ValueChecks == 0 {
+			t.Errorf("%s: no value checks", mode)
+		}
+		res, err := hard.Run(testInput())
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		out, _ := res.Ints("out")
+		for i := range golden {
+			if out[i] != golden[i] {
+				t.Fatalf("%s changed output[%d]", mode, i)
+			}
+		}
+		if res.Cycles <= base.Cycles {
+			t.Errorf("%s: protection cost nothing (%d <= %d)", mode, res.Cycles, base.Cycles)
+		}
+	}
+}
+
+func TestProtectRequiresProfileForValueChecks(t *testing.T) {
+	prog, _ := Compile("kernel", testKernel)
+	if _, _, err := prog.Protect(DuplicationWithValueChecks, nil); err == nil {
+		t.Fatal("value-check protection without profile accepted")
+	}
+}
+
+func TestInjectFaultsThroughPublicAPI(t *testing.T) {
+	prog, _ := Compile("kernel", testKernel)
+	prof, _ := prog.ProfileValues(testInput())
+	hard, _, err := prog.Protect(DuplicationWithValueChecks, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := hard.InjectFaults(testInput(), Campaign{Trials: 150, Seed: 7, Output: "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 150 {
+		t.Fatalf("trials = %d", out.Trials)
+	}
+	total := out.Masked + out.HWDetected + out.SWDetected + out.Failures + out.USDCs
+	if total != out.Trials {
+		t.Fatalf("outcomes sum to %d", total)
+	}
+	if out.Coverage() < 0.5 {
+		t.Errorf("coverage %.2f implausibly low", out.Coverage())
+	}
+	if !strings.Contains(out.String(), "coverage") {
+		t.Error("String() missing coverage")
+	}
+}
+
+func TestBenchmarkAccess(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 13 {
+		t.Fatalf("benchmarks = %d", len(names))
+	}
+	b, err := GetBenchmark("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Description(), "Clustering") && !strings.Contains(b.Description(), "K-means") {
+		t.Errorf("description = %q", b.Description())
+	}
+	prog, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(b.TestInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dyn == 0 {
+		t.Fatal("benchmark did not run")
+	}
+	if _, err := GetBenchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkCampaignViaFacade(t *testing.T) {
+	b, _ := GetBenchmark("tiff2bw")
+	prog, _ := b.Program()
+	prof, err := prog.ProfileValues(b.TrainInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, _, err := prog.Protect(DuplicationWithValueChecks, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.NewCampaign(80)
+	out, err := hard.InjectFaults(b.TestInput(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trials != 80 {
+		t.Fatalf("trials = %d", out.Trials)
+	}
+}
+
+func TestTuningKnobs(t *testing.T) {
+	prog, _ := Compile("kernel", testKernel)
+	prof, _ := prog.ProfileValues(testInput())
+	_, loose, err := prog.ProtectTuned(DuplicationWithValueChecks, prof, Tuning{RangeThreshold: 1 << 30, MinRangeCoverage: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tight, err := prog.ProtectTuned(DuplicationWithValueChecks, prof, Tuning{RangeThreshold: 1, MinRangeCoverage: 0.999999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.ValueChecks < tight.ValueChecks {
+		t.Errorf("loose tuning produced fewer checks (%d) than tight (%d)", loose.ValueChecks, tight.ValueChecks)
+	}
+}
+
+func TestInjectFaultsWithRecovery(t *testing.T) {
+	prog, _ := Compile("kernel", testKernel)
+	hard, _, err := prog.Protect(DuplicationOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := hard.InjectFaultsWithRecovery(testInput(), Campaign{Trials: 150, Seed: 11, Output: "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recovered == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if out.Overhead <= 0 {
+		t.Errorf("overhead = %v", out.Overhead)
+	}
+}
+
+func TestTraceThroughFacade(t *testing.T) {
+	prog, _ := Compile("kernel", testKernel)
+	var buf bytes.Buffer
+	res, err := prog.Trace(testInput(), &buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dyn == 0 {
+		t.Fatal("no execution")
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 100 {
+		t.Fatalf("trace lines = %d, want 100 (limit)", lines)
+	}
+	if !strings.Contains(buf.String(), "main") {
+		t.Error("trace missing function name")
+	}
+}
+
+func TestOutcomesHelpers(t *testing.T) {
+	o := &Outcomes{Trials: 200, Masked: 150, HWDetected: 20, SWDetected: 20, Failures: 5, USDCs: 5}
+	if got := o.Coverage(); got != 0.95 {
+		t.Errorf("coverage = %v", got)
+	}
+	if got := o.USDCRate(); got != 0.025 {
+		t.Errorf("usdc rate = %v", got)
+	}
+	empty := &Outcomes{}
+	if empty.Coverage() != 0 || empty.USDCRate() != 0 {
+		t.Error("empty outcomes should report zero rates")
+	}
+}
