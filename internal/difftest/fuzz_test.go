@@ -1,0 +1,99 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/passes"
+	"repro/internal/vm"
+)
+
+// FuzzCompileAndRun pushes arbitrary source through the whole pipeline:
+// parse, codegen, verify, normalize, verify again, protect with DupOnly,
+// then execute both versions under a tight dynamic-instruction budget.
+// Nothing past the parser may panic, the verifier must stay clean after
+// every transform, and when both the original and the protected program
+// finish fault-free their outputs must agree (duplication is semantically
+// transparent).
+func FuzzCompileAndRun(f *testing.F) {
+	f.Add("global int in[8]; global int out[8];\nvoid main() { out[0] = in[0] + 1; }")
+	f.Add("global int out[4];\nvoid main() { for (int i = 0; i < 9; i += 1) { out[i & 3] += i; } }")
+	f.Add("global float fout[4];\nvoid main() { fout[0] = (1.5 * 2.0); }")
+	f.Add(Generate(1, DefaultGenConfig()).Source())
+	f.Add(Generate(3, DefaultGenConfig()).Source())
+	f.Add(Generate(9, DefaultGenConfig()).Source())
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		// Bound memory before codegen: fuzzed sources may declare huge
+		// globals; the pipeline's correctness is independent of size.
+		total := 0
+		for _, g := range prog.Globals {
+			if g.Size < 0 || g.Size > 1<<12 {
+				return
+			}
+			total += g.Size
+		}
+		if total > 1<<14 {
+			return
+		}
+		mod, err := lang.Codegen("fuzz", prog)
+		if err != nil {
+			return
+		}
+		mod.Renumber()
+		if err := mod.Verify(); err != nil {
+			t.Fatalf("verifier unclean after codegen: %v\n%s", err, src)
+		}
+		if err := passes.Normalize(mod); err != nil {
+			t.Fatalf("verifier unclean after normalize: %v\n%s", err, src)
+		}
+
+		cfg := vm.DefaultConfig()
+		cfg.MaxDyn = 200_000
+		m1, err := vm.New(mod, cfg)
+		if err != nil {
+			return // e.g. no main — fine
+		}
+		m1.Reset()
+		r1 := m1.Run(vm.RunOptions{})
+
+		prot := mod.Clone()
+		if _, err := core.Protect(prot, core.ModeDupOnly, nil, core.DefaultParams()); err != nil {
+			t.Fatalf("protect failed on verified module: %v\n%s", err, src)
+		}
+		prot.Renumber()
+		if err := prot.Verify(); err != nil {
+			t.Fatalf("verifier unclean after protect: %v\n%s", err, src)
+		}
+		cfg.MaxDyn = 600_000 // duplication inflates the dynamic count
+		m2, err := vm.New(prot, cfg)
+		if err != nil {
+			t.Fatalf("vm.New on protected module: %v\n%s", err, src)
+		}
+		m2.Reset()
+		r2 := m2.Run(vm.RunOptions{})
+
+		if r1.Trap == nil && r2.Trap == nil {
+			for _, g := range prog.Globals {
+				a, err1 := m1.ReadGlobal(g.Name)
+				b, err2 := m2.ReadGlobal(g.Name)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("DupOnly changed %s[%d]: %#x != %#x\n%s",
+							g.Name, i, a[i], b[i], src)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,632 @@
+// Package difftest is a generative differential-testing harness for the
+// whole compile→protect→execute pipeline. A seeded, grammar-based generator
+// produces random, always-terminating programs in the workload language;
+// a differential oracle compiles each one under several pass pipelines,
+// applies every protection mode, and asserts four invariants:
+//
+//  1. fault-free outputs are identical across all pipeline × mode combos,
+//  2. the IR verifier is clean after every transform,
+//  3. no software check fires when a program is profiled and run on the
+//     same input (with full-coverage check planning),
+//  4. timing-model cost obeys the provable orderings Original ≤ DupOnly,
+//     DupOnly ≤ Dup+ValChks and DupOnly ≤ FullDup (value checks planned
+//     without Optimization 2, which trades duplication for checks and
+//     legitimately breaks the ordering). Dup+ValChks vs FullDup is NOT
+//     asserted — the harness found counterexamples; see EXPERIMENTS.md.
+//
+// Failing programs are shrunk by greedy statement deletion and saved as
+// reproducers that the package's tests replay forever after.
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig bounds the generator. The zero value is unusable; start from
+// DefaultGenConfig.
+type GenConfig struct {
+	MaxStmts     int // statement budget for main
+	MaxHelpers   int // extra callable functions
+	MaxExprDepth int
+	MaxLoopNest  int
+	MaxTotalIter int // bound on the product of nested loop trip counts
+}
+
+// DefaultGenConfig returns the bounds used by cmd/difftest and the tests.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxStmts:     18,
+		MaxHelpers:   2,
+		MaxExprDepth: 3,
+		MaxLoopNest:  2,
+		MaxTotalIter: 1200,
+	}
+}
+
+// ArraySize is the length of the four fixed I/O globals (in, fin, out,
+// fout). Power of two so generated indexes can be masked in range.
+const ArraySize = 64
+
+// GenStmt is one statement of a generated program: either a leaf line or a
+// compound statement (loop / if) with a body. The tree shape exists so the
+// shrinker can delete statements and re-emit source.
+type GenStmt struct {
+	Line string     // leaf text, e.g. "x3 += (in[(i0) & 63] * 5);"
+	Head string     // compound opener, e.g. "for (int i0 = 0; ...) {"
+	Body []*GenStmt // compound body (Head != "")
+	Else []*GenStmt // else-branch body (if statements only)
+	Keep bool       // structurally required (loop decrements); never deleted
+}
+
+// GenFunc is a generated function.
+type GenFunc struct {
+	Decl string // e.g. "int helper1(int a0, float a1)"
+	Body []*GenStmt
+	Ret  string // trailing return statement text ("" for void main)
+}
+
+// GenProgram is a generated program plus the inputs it runs on. Inputs are
+// a pure function of Seed, so a reproducer file only needs to record the
+// seed alongside the (possibly shrunk) source text.
+type GenProgram struct {
+	Seed    int64
+	Helpers []*GenFunc
+	Main    *GenFunc
+}
+
+// Source emits the program as workload-language source. The first line is
+// a comment carrying the seed so reproducer files are self-describing.
+func (p *GenProgram) Source() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "// difftest seed=%d\n", p.Seed)
+	fmt.Fprintf(&b, "global int in[%d];\n", ArraySize)
+	fmt.Fprintf(&b, "global float fin[%d];\n", ArraySize)
+	fmt.Fprintf(&b, "global int out[%d];\n", ArraySize)
+	fmt.Fprintf(&b, "global float fout[%d];\n", ArraySize)
+	for _, h := range p.Helpers {
+		emitFunc(&b, h)
+	}
+	emitFunc(&b, p.Main)
+	return b.String()
+}
+
+func emitFunc(b *bytes.Buffer, f *GenFunc) {
+	fmt.Fprintf(b, "%s {\n", f.Decl)
+	emitStmts(b, f.Body, "\t")
+	if f.Ret != "" {
+		fmt.Fprintf(b, "\t%s\n", f.Ret)
+	}
+	b.WriteString("}\n")
+}
+
+func emitStmts(b *bytes.Buffer, stmts []*GenStmt, ind string) {
+	for _, s := range stmts {
+		if s.Head == "" {
+			fmt.Fprintf(b, "%s%s\n", ind, s.Line)
+			continue
+		}
+		fmt.Fprintf(b, "%s%s\n", ind, s.Head)
+		emitStmts(b, s.Body, ind+"\t")
+		if s.Else != nil {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			emitStmts(b, s.Else, ind+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	}
+}
+
+// InputsForSeed derives the integer and float input arrays bound to the
+// "in"/"fin" globals. Pure function of the seed — shrinking rewrites the
+// program but never the inputs. The mix deliberately includes integers
+// beyond 2^53 (not exactly representable as float64) and large floats, to
+// stress the profile → check-planning path.
+func InputsForSeed(seed int64) ([]int64, []float64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	ints := make([]int64, ArraySize)
+	floats := make([]float64, ArraySize)
+	for i := range ints {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			ints[i] = int64(rng.Intn(10))
+		case 4, 5, 6:
+			ints[i] = int64(rng.Intn(256))
+		case 7:
+			ints[i] = -int64(rng.Intn(1 << 20))
+		case 8:
+			ints[i] = int64(rng.Intn(1 << 30))
+		default:
+			ints[i] = (int64(1) << 62) | int64(rng.Intn(1<<16))<<1 | 1
+		}
+	}
+	for i := range floats {
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			floats[i] = float64(rng.Intn(16))
+		case 3, 4:
+			floats[i] = rng.Float64()*8 - 4
+		case 5:
+			floats[i] = rng.Float64() * 1e6
+		case 6:
+			floats[i] = -rng.Float64() * 1e3
+		default:
+			floats[i] = rng.Float64() * 0.001
+		}
+	}
+	return ints, floats
+}
+
+// gen carries generation state.
+type gen struct {
+	rng *rand.Rand
+	cfg GenConfig
+
+	nextVar    int
+	helpers    []*GenFunc // helpers callable from main, with param metadata
+	helperSigs []helperSig
+
+	// Current scope (main and helpers are generated independently).
+	// ints are assignable; ctrs are loop counters — readable in expressions
+	// but never assignment targets, which is what keeps every loop bounded.
+	ints    []string
+	ctrs    []string
+	floats  []string
+	intArrs []arrRef
+	fltArrs []arrRef
+
+	loopNest int
+	iterMult int
+	inHelper bool
+}
+
+type arrRef struct {
+	name string
+	mask int // size-1; sizes are powers of two
+}
+
+type helperSig struct {
+	name   string
+	ret    byte // 'i' or 'f'
+	params []byte
+}
+
+// Generate builds a random program for the seed.
+func Generate(seed int64, cfg GenConfig) *GenProgram {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg, iterMult: 1}
+	p := &GenProgram{Seed: seed}
+
+	nh := g.rng.Intn(cfg.MaxHelpers + 1)
+	for i := 0; i < nh; i++ {
+		p.Helpers = append(p.Helpers, g.genHelper(i))
+	}
+	p.Main = g.genMain()
+	return p
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nextVar++
+	return fmt.Sprintf("%s%d", prefix, g.nextVar)
+}
+
+// scopeMark snapshots the visible-name lists so compound statements can
+// restore them: the language is block-scoped, and names declared inside a
+// loop or branch must not be referenced after it closes.
+type scopeMark struct{ ni, nc, nf, nia, nfa int }
+
+func (g *gen) markScope() scopeMark {
+	return scopeMark{len(g.ints), len(g.ctrs), len(g.floats), len(g.intArrs), len(g.fltArrs)}
+}
+
+func (g *gen) popScope(m scopeMark) {
+	g.ints = g.ints[:m.ni]
+	g.ctrs = g.ctrs[:m.nc]
+	g.floats = g.floats[:m.nf]
+	g.intArrs = g.intArrs[:m.nia]
+	g.fltArrs = g.fltArrs[:m.nfa]
+}
+
+func (g *gen) resetScope() {
+	g.ints = nil
+	g.ctrs = nil
+	g.floats = nil
+	g.intArrs = []arrRef{{"in", ArraySize - 1}, {"out", ArraySize - 1}}
+	g.fltArrs = []arrRef{{"fin", ArraySize - 1}, {"fout", ArraySize - 1}}
+	g.loopNest = 0
+	g.iterMult = 1
+}
+
+// genHelper builds one straight-line-ish helper function.
+func (g *gen) genHelper(idx int) *GenFunc {
+	g.resetScope()
+	g.inHelper = true
+	defer func() { g.inHelper = false }()
+
+	name := fmt.Sprintf("helper%d", idx+1)
+	ret := byte('i')
+	if g.rng.Intn(2) == 0 {
+		ret = 'f'
+	}
+	np := 1 + g.rng.Intn(3)
+	sig := helperSig{name: name, ret: ret}
+	decl := ""
+	for i := 0; i < np; i++ {
+		pt := byte('i')
+		if g.rng.Intn(3) == 0 {
+			pt = 'f'
+		}
+		pn := fmt.Sprintf("a%d", i)
+		if pt == 'i' {
+			decl += fmt.Sprintf("int %s, ", pn)
+			g.ints = append(g.ints, pn)
+		} else {
+			decl += fmt.Sprintf("float %s, ", pn)
+			g.floats = append(g.floats, pn)
+		}
+		sig.params = append(sig.params, pt)
+	}
+	decl = decl[:len(decl)-2]
+
+	f := &GenFunc{}
+	if ret == 'i' {
+		f.Decl = fmt.Sprintf("int %s(%s)", name, decl)
+	} else {
+		f.Decl = fmt.Sprintf("float %s(%s)", name, decl)
+	}
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		f.Body = append(f.Body, g.genStmt(false))
+	}
+	if ret == 'i' {
+		f.Ret = fmt.Sprintf("return %s;", g.intExpr(g.cfg.MaxExprDepth))
+	} else {
+		f.Ret = fmt.Sprintf("return %s;", g.floatExpr(g.cfg.MaxExprDepth))
+	}
+	g.helperSigs = append(g.helperSigs, sig)
+	return f
+}
+
+func (g *gen) genMain() *GenFunc {
+	g.resetScope()
+	f := &GenFunc{Decl: "void main()"}
+	n := 4 + g.rng.Intn(g.cfg.MaxStmts-3)
+	for i := 0; i < n; i++ {
+		f.Body = append(f.Body, g.genStmt(true))
+	}
+	// Always end with observable writes so DCE has something to keep.
+	f.Body = append(f.Body,
+		&GenStmt{Line: fmt.Sprintf("out[0] = %s;", g.intExpr(2))},
+		&GenStmt{Line: fmt.Sprintf("fout[0] = %s;", g.floatExpr(2))},
+	)
+	return f
+}
+
+// genStmt produces one statement, possibly compound. loops controls whether
+// loop statements may be generated (helpers stay cheap).
+func (g *gen) genStmt(loops bool) *GenStmt {
+	d := g.cfg.MaxExprDepth
+	for {
+		switch g.rng.Intn(12) {
+		case 0: // int decl
+			v := g.fresh("x")
+			s := &GenStmt{Line: fmt.Sprintf("int %s = %s;", v, g.intExpr(d))}
+			g.ints = append(g.ints, v)
+			return s
+		case 1: // float decl
+			v := g.fresh("f")
+			s := &GenStmt{Line: fmt.Sprintf("float %s = %s;", v, g.floatExpr(d))}
+			g.floats = append(g.floats, v)
+			return s
+		case 2: // compound assign to an int var
+			if len(g.ints) == 0 {
+				continue
+			}
+			v := g.ints[g.rng.Intn(len(g.ints))]
+			ops := []string{"+=", "-=", "*=", "&=", "|=", "^="}
+			return &GenStmt{Line: fmt.Sprintf("%s %s %s;", v, ops[g.rng.Intn(len(ops))], g.intExpr(d-1))}
+		case 3: // accumulator update — the classic loop-carried state shape
+			if len(g.ints) == 0 {
+				continue
+			}
+			v := g.ints[g.rng.Intn(len(g.ints))]
+			return &GenStmt{Line: fmt.Sprintf("%s = (%s * %d + %s) %% %d;",
+				v, v, 2+g.rng.Intn(5), g.intExpr(d-1), 1<<(8+g.rng.Intn(8)))}
+		case 4: // float assign
+			if len(g.floats) == 0 {
+				continue
+			}
+			v := g.floats[g.rng.Intn(len(g.floats))]
+			if g.rng.Intn(2) == 0 {
+				return &GenStmt{Line: fmt.Sprintf("%s = (%s * 0.5 + %s);", v, v, g.floatExpr(d-1))}
+			}
+			return &GenStmt{Line: fmt.Sprintf("%s = %s;", v, g.floatExpr(d))}
+		case 5: // int array store
+			a := g.intArrs[g.rng.Intn(len(g.intArrs))]
+			if a.name == "in" { // keep inputs read-only for clarity
+				a = arrRef{"out", ArraySize - 1}
+			}
+			return &GenStmt{Line: fmt.Sprintf("%s[(%s) & %d] = %s;", a.name, g.intExpr(d-1), a.mask, g.intExpr(d))}
+		case 6: // float array store
+			a := g.fltArrs[g.rng.Intn(len(g.fltArrs))]
+			if a.name == "fin" {
+				a = arrRef{"fout", ArraySize - 1}
+			}
+			return &GenStmt{Line: fmt.Sprintf("%s[(%s) & %d] = %s;", a.name, g.intExpr(d-1), a.mask, g.floatExpr(d))}
+		case 7: // local array decl (exercises alloca / mem2reg differences)
+			if g.inHelper || g.loopNest > 0 {
+				continue
+			}
+			v := g.fresh("t")
+			size := 8
+			s := &GenStmt{Line: fmt.Sprintf("int %s[%d];", v, size)}
+			g.intArrs = append(g.intArrs, arrRef{v, size - 1})
+			return s
+		case 8: // if / if-else
+			s := &GenStmt{Head: fmt.Sprintf("if (%s) {", g.condExpr())}
+			mark := g.markScope()
+			nb := 1 + g.rng.Intn(3)
+			for i := 0; i < nb; i++ {
+				s.Body = append(s.Body, g.genStmt(false))
+			}
+			g.popScope(mark)
+			if g.rng.Intn(2) == 0 {
+				ne := 1 + g.rng.Intn(2)
+				s.Else = []*GenStmt{}
+				for i := 0; i < ne; i++ {
+					s.Else = append(s.Else, g.genStmt(false))
+				}
+				g.popScope(mark)
+			}
+			return s
+		case 9, 10: // for loop with loop-carried accumulator
+			if !loops || g.loopNest >= g.cfg.MaxLoopNest {
+				continue
+			}
+			bound := 2 + g.rng.Intn(40)
+			if g.iterMult*bound > g.cfg.MaxTotalIter {
+				bound = 2
+			}
+			if g.iterMult*bound > g.cfg.MaxTotalIter {
+				continue
+			}
+			i := g.fresh("i")
+			s := &GenStmt{Head: fmt.Sprintf("for (int %s = 0; %s < %d; %s += 1) {", i, i, bound, i)}
+			mark := g.markScope()
+			g.ctrs = append(g.ctrs, i)
+			g.loopNest++
+			g.iterMult *= bound
+			nb := 1 + g.rng.Intn(4)
+			for k := 0; k < nb; k++ {
+				s.Body = append(s.Body, g.genStmt(true))
+			}
+			if g.rng.Intn(3) == 0 { // guarded break/continue
+				kw := "break"
+				if g.rng.Intn(2) == 0 {
+					kw = "continue"
+				}
+				s.Body = append(s.Body, &GenStmt{
+					Head: fmt.Sprintf("if (%s) {", g.condExpr()),
+					Body: []*GenStmt{{Line: kw + ";"}},
+				})
+			}
+			g.iterMult /= bound
+			g.loopNest--
+			g.popScope(mark) // counter and body-local declarations die here
+			return s
+		default: // while loop with explicit down-counter
+			if !loops || g.loopNest >= g.cfg.MaxLoopNest {
+				continue
+			}
+			bound := 2 + g.rng.Intn(20)
+			if g.iterMult*bound > g.cfg.MaxTotalIter {
+				continue
+			}
+			w := g.fresh("w")
+			decl := &GenStmt{Line: fmt.Sprintf("int %s = %d;", w, bound), Keep: true}
+			s := &GenStmt{Head: fmt.Sprintf("while (%s > 0) {", w)}
+			s.Body = append(s.Body, &GenStmt{Line: fmt.Sprintf("%s -= 1;", w), Keep: true})
+			mark := g.markScope()
+			g.ctrs = append(g.ctrs, w)
+			g.loopNest++
+			g.iterMult *= bound
+			nb := 1 + g.rng.Intn(3)
+			for k := 0; k < nb; k++ {
+				s.Body = append(s.Body, g.genStmt(true))
+			}
+			g.iterMult /= bound
+			g.loopNest--
+			g.popScope(mark)
+			// Wrap decl+loop in a synthetic compound so they travel (and
+			// shrink) together: deleting the pair is fine, splitting is not.
+			return &GenStmt{Head: "{", Body: []*GenStmt{decl, s}}
+		}
+	}
+}
+
+// condExpr yields an int-typed condition.
+func (g *gen) condExpr() string {
+	cmp := []string{"<", "<=", ">", ">=", "==", "!="}
+	op := cmp[g.rng.Intn(len(cmp))]
+	if g.rng.Intn(4) == 0 && len(g.floats) > 0 {
+		return fmt.Sprintf("(%s %s %s)", g.floatExpr(1), op, g.floatExpr(1))
+	}
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(1), op, g.intExpr(1))
+}
+
+// intExpr yields an int-typed expression of bounded depth. Division and
+// remainder force a nonzero divisor; shift counts are masked small.
+func (g *gen) intExpr(d int) string {
+	if d <= 0 {
+		return g.intLeaf()
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		return g.intLeaf()
+	case 2:
+		ops := []string{"-", "~"}
+		return fmt.Sprintf("(%s%s)", ops[g.rng.Intn(len(ops))], g.intExpr(d-1))
+	case 3, 4, 5:
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(d-1), ops[g.rng.Intn(len(ops))], g.intExpr(d-1))
+	case 6:
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("(%s / (%s | 1))", g.intExpr(d-1), g.intExpr(d-1))
+		}
+		return fmt.Sprintf("(%s %% (%s | 1))", g.intExpr(d-1), g.intExpr(d-1))
+	case 7:
+		ops := []string{"<<", ">>"}
+		return fmt.Sprintf("(%s %s (%s & 31))", g.intExpr(d-1), ops[g.rng.Intn(2)], g.intExpr(d-1))
+	case 8:
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("iabs(%s)", g.intExpr(d-1))
+		case 1:
+			return fmt.Sprintf("imin(%s, %s)", g.intExpr(d-1), g.intExpr(d-1))
+		case 2:
+			return fmt.Sprintf("imax(%s, %s)", g.intExpr(d-1), g.intExpr(d-1))
+		default:
+			return fmt.Sprintf("clampi(%s, %d, %d)", g.intExpr(d-1), -256+g.rng.Intn(256), 256+g.rng.Intn(1024))
+		}
+	default:
+		if g.rng.Intn(3) == 0 {
+			return fmt.Sprintf("f2i(%s)", g.floatExpr(d-1))
+		}
+		if call := g.helperCall('i', d); call != "" {
+			return call
+		}
+		return g.intLeaf()
+	}
+}
+
+func (g *gen) intLeaf() string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(10))
+	case 1:
+		return fmt.Sprintf("%d", g.rng.Intn(1<<12))
+	case 2:
+		return fmt.Sprintf("(-%d)", g.rng.Intn(1<<8))
+	case 3, 4:
+		if v := g.anyInt(); v != "" {
+			return v
+		}
+		fallthrough
+	default:
+		a := g.intArrs[g.rng.Intn(len(g.intArrs))]
+		return fmt.Sprintf("%s[(%s) & %d]", a.name, g.indexExpr(), a.mask)
+	}
+}
+
+// anyInt picks a readable int name — assignable variables and loop
+// counters alike ("" if none in scope).
+func (g *gen) anyInt() string {
+	n := len(g.ints) + len(g.ctrs)
+	if n == 0 {
+		return ""
+	}
+	k := g.rng.Intn(n)
+	if k < len(g.ints) {
+		return g.ints[k]
+	}
+	return g.ctrs[k-len(g.ints)]
+}
+
+// indexExpr is a cheap int expression used inside array subscripts.
+func (g *gen) indexExpr() string {
+	if v := g.anyInt(); v != "" && g.rng.Intn(3) != 0 {
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s + %d", v, g.rng.Intn(16))
+		}
+		return v
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(ArraySize))
+}
+
+// floatExpr yields a float-typed expression of bounded depth. Generated
+// float math may overflow to ±Inf or produce NaN downstream — the VM and
+// the (fixed) profiler both handle non-finite values, and the differential
+// oracle compares raw bits, so that is deliberate, not a hazard.
+func (g *gen) floatExpr(d int) string {
+	if d <= 0 {
+		return g.floatLeaf()
+	}
+	switch g.rng.Intn(8) {
+	case 0, 1:
+		return g.floatLeaf()
+	case 2:
+		return fmt.Sprintf("(-%s)", g.floatExpr(d-1))
+	case 3, 4:
+		ops := []string{"+", "-", "*", "/"}
+		return fmt.Sprintf("(%s %s %s)", g.floatExpr(d-1), ops[g.rng.Intn(len(ops))], g.floatExpr(d-1))
+	case 5:
+		switch g.rng.Intn(5) {
+		case 0:
+			return fmt.Sprintf("sqrt(fabs(%s))", g.floatExpr(d-1))
+		case 1:
+			return fmt.Sprintf("fabs(%s)", g.floatExpr(d-1))
+		case 2:
+			return fmt.Sprintf("fmin(%s, %s)", g.floatExpr(d-1), g.floatExpr(d-1))
+		case 3:
+			return fmt.Sprintf("fmax(%s, %s)", g.floatExpr(d-1), g.floatExpr(d-1))
+		default:
+			return fmt.Sprintf("floor(%s)", g.floatExpr(d-1))
+		}
+	case 6:
+		return fmt.Sprintf("i2f(%s)", g.intExpr(d-1))
+	default:
+		if call := g.helperCall('f', d); call != "" {
+			return call
+		}
+		return g.floatLeaf()
+	}
+}
+
+func (g *gen) floatLeaf() string {
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d.%d", g.rng.Intn(100), g.rng.Intn(100))
+	case 1:
+		return "0.5"
+	case 2:
+		return fmt.Sprintf("(-%d.%d)", g.rng.Intn(10), g.rng.Intn(100))
+	case 3, 4:
+		if len(g.floats) > 0 {
+			return g.floats[g.rng.Intn(len(g.floats))]
+		}
+		fallthrough
+	default:
+		a := g.fltArrs[g.rng.Intn(len(g.fltArrs))]
+		return fmt.Sprintf("%s[(%s) & %d]", a.name, g.indexExpr(), a.mask)
+	}
+}
+
+// helperCall builds a call to a previously generated helper with the wanted
+// return type, or "" if none exists (or we are inside a helper — helpers
+// never call each other, so there is no recursion).
+func (g *gen) helperCall(ret byte, d int) string {
+	if g.inHelper {
+		return ""
+	}
+	var cands []helperSig
+	for _, h := range g.helperSigs {
+		if h.ret == ret {
+			cands = append(cands, h)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	h := cands[g.rng.Intn(len(cands))]
+	args := ""
+	for i, pt := range h.params {
+		if i > 0 {
+			args += ", "
+		}
+		if pt == 'i' {
+			args += g.intExpr(d - 1)
+		} else {
+			args += g.floatExpr(d - 1)
+		}
+	}
+	return fmt.Sprintf("%s(%s)", h.name, args)
+}

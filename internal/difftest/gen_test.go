@@ -1,0 +1,60 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestGenerateDeterministic: the same seed must reproduce byte-identical
+// source and inputs — reproducer files record only the seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed < 20; seed++ {
+		a := Generate(seed, DefaultGenConfig()).Source()
+		b := Generate(seed, DefaultGenConfig()).Source()
+		if a != b {
+			t.Fatalf("seed %d: non-deterministic generation", seed)
+		}
+		i1, f1 := InputsForSeed(seed)
+		i2, f2 := InputsForSeed(seed)
+		for k := range i1 {
+			if i1[k] != i2[k] || f1[k] != f2[k] {
+				t.Fatalf("seed %d: non-deterministic inputs", seed)
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsCompile: every generated program must be accepted by
+// the frontend — a parse or codegen error is a generator bug.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	n := int64(300)
+	if testing.Short() {
+		n = 50
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		src := p.Source()
+		if _, err := lang.Compile("gen", src); err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+		if !strings.Contains(src, "void main()") {
+			t.Fatalf("seed %d: no main:\n%s", seed, src)
+		}
+	}
+}
+
+// TestOracleSmoke runs the full differential oracle over a batch of seeds.
+func TestOracleSmoke(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		if _, fail := Check(seed, DefaultGenConfig(), DefaultOracleConfig()); fail != nil {
+			p := Generate(seed, DefaultGenConfig())
+			t.Fatalf("seed %d: %v\n%s", seed, fail, p.Source())
+		}
+	}
+}

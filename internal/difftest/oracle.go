@@ -1,0 +1,308 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/passes"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// Invariant names reported by the oracle.
+const (
+	InvCompile   = "compile"     // frontend rejected or crashed on a generated program
+	InvVerify    = "verify"      // IR verifier unclean after a transform
+	InvTrap      = "trap"        // a fault-free run trapped
+	InvOutput    = "output"      // outputs differ across pipeline/mode combos
+	InvCheck     = "check-fired" // a software check fired on the profiled input
+	InvCostOrder = "cost-order"  // timing cost not ordered across modes
+)
+
+// Failure describes one violated invariant. It implements error.
+type Failure struct {
+	Invariant string
+	Pipeline  string
+	Mode      string
+	Detail    string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("difftest: invariant %q violated (pipeline=%s mode=%s): %s",
+		f.Invariant, f.Pipeline, f.Mode, f.Detail)
+}
+
+// Pipeline is one pass-pipeline configuration. Unreachable-block removal
+// always runs (the frontend may emit dead blocks); the three optional
+// passes are toggled to cross-check that none of them changes observable
+// behavior.
+type Pipeline struct {
+	Name    string
+	Mem2Reg bool
+	Fold    bool
+	DCE     bool
+}
+
+// Pipelines is the set the oracle exercises: the full Normalize pipeline
+// and one variant with each pass disabled.
+var Pipelines = []Pipeline{
+	{Name: "full", Mem2Reg: true, Fold: true, DCE: true},
+	{Name: "nomem2reg", Mem2Reg: false, Fold: true, DCE: true},
+	{Name: "nofold", Mem2Reg: true, Fold: false, DCE: true},
+	{Name: "nodce", Mem2Reg: true, Fold: true, DCE: false},
+}
+
+// Modes exercised by the oracle, in cost order.
+var Modes = []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+
+// OracleConfig tunes a differential check.
+type OracleConfig struct {
+	MaxDyn int64 // dynamic-instruction watchdog per run
+	// SkipCost disables the cost-ordering invariant (used while shrinking
+	// failures of other invariants, where deleting statements can flip
+	// borderline cycle counts).
+	SkipCost bool
+	// Only restricts the protection modes exercised (Original is always
+	// run as the reference). Nil means all of Modes. When set, the
+	// cost-ordering invariant is skipped — it needs the full set.
+	Only []core.Mode
+}
+
+// DefaultOracleConfig bounds runs far above anything the generator emits.
+func DefaultOracleConfig() OracleConfig {
+	return OracleConfig{MaxDyn: 50_000_000}
+}
+
+// checkParams are the protection parameters the oracle uses for ModeDupVal.
+// Coverage thresholds are 1.0: a check is only planned when it admits every
+// profiled observation, which is what makes invariant 3 (no check fires on
+// the profiled input) a theorem rather than a statistical statement.
+// Optimization 2 is disabled so DupVal's duplication is a superset of
+// DupOnly's and the cost ordering of invariant 4 is well-defined; Opt2
+// deliberately trades duplication for cheaper checks and would (correctly)
+// break it.
+func checkParams() core.Params {
+	p := core.DefaultParams()
+	p.MinRangeCoverage = 1.0
+	p.MinValueCoverage = 1.0
+	p.Opt2 = false
+	return p
+}
+
+// runOut captures everything the oracle compares between two runs.
+type runOut struct {
+	out        []uint64
+	fout       []uint64
+	dyn        int64
+	cycles     int64
+	checkFails int64
+	trap       error
+}
+
+// CheckSource compiles src under every pipeline, applies every protection
+// mode, runs everything on the seed-derived inputs and cross-checks the
+// four invariants. Returns nil if all hold.
+func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleConfig) *Failure {
+	var ref *runOut // full pipeline, Original — the single source of truth
+
+	for _, pl := range Pipelines {
+		mod, fail := compilePipeline(name, src, pl)
+		if fail != nil {
+			return fail
+		}
+
+		// Profile the unprotected module on the oracle input (protection
+		// clones preserve instruction UIDs, so the profile applies to them).
+		prof, fail := collectProfile(mod, ints, floats, pl, cfg)
+		if fail != nil {
+			return fail
+		}
+
+		modes := Modes
+		if len(cfg.Only) > 0 {
+			modes = append([]core.Mode{core.ModeOriginal}, cfg.Only...)
+		}
+		cycles := make(map[core.Mode]int64)
+		for _, mode := range modes {
+			pm := mod
+			if mode != core.ModeOriginal {
+				pm = mod.Clone()
+				if _, err := core.Protect(pm, mode, prof, checkParams()); err != nil {
+					return &Failure{Invariant: InvVerify, Pipeline: pl.Name, Mode: mode.String(),
+						Detail: fmt.Sprintf("protection produced invalid IR: %v", err)}
+				}
+			}
+			r := runModule(pm, ints, floats, cfg.MaxDyn)
+			if r.trap != nil {
+				return &Failure{Invariant: InvTrap, Pipeline: pl.Name, Mode: mode.String(),
+					Detail: r.trap.Error()}
+			}
+			if ref == nil {
+				ref = r
+			} else if d := diffOutputs(ref, r); d != "" {
+				return &Failure{Invariant: InvOutput, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+			}
+			if r.checkFails != 0 {
+				return &Failure{Invariant: InvCheck, Pipeline: pl.Name, Mode: mode.String(),
+					Detail: fmt.Sprintf("%d check failures on the profiled input", r.checkFails)}
+			}
+			cycles[mode] = r.cycles
+		}
+
+		if pl.Name == "full" && !cfg.SkipCost && len(cfg.Only) == 0 {
+			// The provable orderings: duplication only ever adds work on
+			// top of the original; DupVal (with Opt2 off) is DupOnly's
+			// exact duplication plus value checks; FullDup duplicates a
+			// superset of DupOnly's chains and adds more comparison
+			// points. DupVal vs FullDup is deliberately NOT asserted: this
+			// very harness produced counterexamples (load-heavy programs
+			// where one value check per check-amenable load outruns full
+			// duplication, which stops chains at loads) — the paper's
+			// Figure-12 ordering is an empirical property of real
+			// workloads, not a structural invariant. See EXPERIMENTS.md.
+			orderings := [][2]core.Mode{
+				{core.ModeOriginal, core.ModeDupOnly},
+				{core.ModeDupOnly, core.ModeDupVal},
+				{core.ModeDupOnly, core.ModeFullDup},
+			}
+			for _, o := range orderings {
+				lo, hi := o[0], o[1]
+				if cycles[lo] > cycles[hi] {
+					return &Failure{Invariant: InvCostOrder, Pipeline: pl.Name, Mode: hi.String(),
+						Detail: fmt.Sprintf("cycles(%s)=%d > cycles(%s)=%d",
+							lo, cycles[lo], hi, cycles[hi])}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compilePipeline runs the frontend and the pipeline's passes, verifying
+// the module after codegen and after every individual transform.
+func compilePipeline(name, src string, pl Pipeline) (*ir.Module, *Failure) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, &Failure{Invariant: InvCompile, Pipeline: pl.Name, Detail: fmt.Sprintf("parse: %v", err)}
+	}
+	mod, err := lang.Codegen(name, prog)
+	if err != nil {
+		return nil, &Failure{Invariant: InvCompile, Pipeline: pl.Name, Detail: fmt.Sprintf("codegen: %v", err)}
+	}
+	verify := func(stage string) *Failure {
+		mod.Renumber()
+		if err := mod.Verify(); err != nil {
+			return &Failure{Invariant: InvVerify, Pipeline: pl.Name,
+				Detail: fmt.Sprintf("after %s: %v", stage, err)}
+		}
+		return nil
+	}
+	if f := verify("codegen"); f != nil {
+		return nil, f
+	}
+	steps := []struct {
+		name    string
+		enabled bool
+		run     func(*ir.Func)
+	}{
+		{"remove-unreachable", true, passes.RemoveUnreachable},
+		{"mem2reg", pl.Mem2Reg, passes.Mem2Reg},
+		{"fold", pl.Fold, passes.Fold},
+		{"dce", pl.DCE, passes.DCE},
+	}
+	for _, st := range steps {
+		if !st.enabled {
+			continue
+		}
+		for _, f := range mod.Funcs {
+			st.run(f)
+		}
+		if f := verify(st.name); f != nil {
+			return nil, f
+		}
+	}
+	return mod, nil
+}
+
+// collectProfile runs the unprotected module under the value profiler.
+func collectProfile(mod *ir.Module, ints []int64, floats []float64, pl Pipeline, cfg OracleConfig) (*profile.Data, *Failure) {
+	mach, err := newMachine(mod, ints, floats, cfg.MaxDyn)
+	if err != nil {
+		return nil, &Failure{Invariant: InvCompile, Pipeline: pl.Name, Detail: err.Error()}
+	}
+	col := profile.NewCollector(profile.DefaultBins)
+	if res := mach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+		return nil, &Failure{Invariant: InvTrap, Pipeline: pl.Name, Mode: "profiling",
+			Detail: res.Trap.Error()}
+	}
+	return col.Data(), nil
+}
+
+func newMachine(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) (*vm.Machine, error) {
+	vcfg := vm.DefaultConfig()
+	if maxDyn > 0 {
+		vcfg.MaxDyn = maxDyn
+	}
+	mach, err := vm.New(mod, vcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := mach.BindInputInts("in", ints); err != nil {
+		return nil, err
+	}
+	if err := mach.BindInputFloats("fin", floats); err != nil {
+		return nil, err
+	}
+	mach.Reset()
+	return mach, nil
+}
+
+// runModule executes a module fault-free, counting (not trapping on) check
+// failures, and captures the observable outputs.
+func runModule(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) *runOut {
+	mach, err := newMachine(mod, ints, floats, maxDyn)
+	if err != nil {
+		return &runOut{trap: err}
+	}
+	res := mach.Run(vm.RunOptions{CountChecks: true})
+	if res.Trap != nil {
+		return &runOut{trap: res.Trap}
+	}
+	out, err := mach.ReadGlobal("out")
+	if err != nil {
+		return &runOut{trap: err}
+	}
+	fout, err := mach.ReadGlobal("fout")
+	if err != nil {
+		return &runOut{trap: err}
+	}
+	return &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles, checkFails: res.CheckFails}
+}
+
+// diffOutputs compares raw output words and returns a description of the
+// first mismatch ("" when identical). Bitwise comparison: float outputs
+// must match exactly, NaN payloads included — every pipeline and mode runs
+// the same arithmetic in the same order.
+func diffOutputs(a, b *runOut) string {
+	for i := range a.out {
+		if a.out[i] != b.out[i] {
+			return fmt.Sprintf("out[%d]: %d != %d", i, int64(a.out[i]), int64(b.out[i]))
+		}
+	}
+	for i := range a.fout {
+		if a.fout[i] != b.fout[i] {
+			return fmt.Sprintf("fout[%d]: %#x != %#x", i, a.fout[i], b.fout[i])
+		}
+	}
+	return ""
+}
+
+// Check generates the program for seed, derives its inputs and runs the
+// oracle — the single entry point used by cmd/difftest and the tests.
+func Check(seed int64, gcfg GenConfig, ocfg OracleConfig) (*GenProgram, *Failure) {
+	p := Generate(seed, gcfg)
+	ints, floats := InputsForSeed(seed)
+	return p, CheckSource(fmt.Sprintf("gen%d", seed), p.Source(), ints, floats, ocfg)
+}

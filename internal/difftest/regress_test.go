@@ -1,0 +1,103 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// profileProtectRun compiles src, profiles it on the given int/float
+// inputs, protects a clone with full-coverage check planning, reruns the
+// protected module on the same inputs and returns the check-failure count.
+// Shared fixture for the regression tests below: all of them assert
+// oracle invariant 3 — checks planned from a profile must never fire on
+// the profiled input.
+func profileProtectRun(t *testing.T, src string, mode core.Mode, ints []int64, floats []float64) int64 {
+	t.Helper()
+	mod, err := lang.Compile("regress", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(m *vm.Machine, opts vm.RunOptions) *vm.Result {
+		if ints != nil {
+			if err := m.BindInputInts("in", ints); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if floats != nil {
+			if err := m.BindInputFloats("fin", floats); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Reset()
+		res := m.Run(opts)
+		if res.Trap != nil {
+			t.Fatal(res.Trap)
+		}
+		return res
+	}
+	mach, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector(profile.DefaultBins)
+	run(mach, vm.RunOptions{Profiler: col})
+
+	prot := mod.Clone()
+	if _, err := core.Protect(prot, mode, col.Data(), checkParams()); err != nil {
+		t.Fatal(err)
+	}
+	mach2, err := vm.New(prot, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(mach2, vm.RunOptions{CountChecks: true})
+	return res.CheckFails
+}
+
+// TestRegressBigIntValueCheck pins the first bug the harness surfaced:
+// profile.Collector used to round int64 observations through float64, so a
+// value check planned for 2^62+1 compared against 2^62 and fired on the
+// very input it was trained on.
+func TestRegressBigIntValueCheck(t *testing.T) {
+	src := `
+global int in[4];
+global int out[64];
+void main() {
+	for (int i = 0; i < 40; i += 1) {
+		out[i & 63] = in[1] + in[2];
+	}
+}`
+	huge := int64(1)<<62 + 1
+	fails := profileProtectRun(t, src, core.ModeDupVal, []int64{0, huge, 2, 0}, nil)
+	if fails != 0 {
+		t.Errorf("value checks fired on the profiled input: %d (int64 rounded through float64?)", fails)
+	}
+}
+
+// TestRegressNegZeroValueCheck pins the second bug (found at generator
+// seed 9): an instruction observing both +0.0 and -0.0 profiles into one
+// histogram bin whose representative is whichever arrived first (+0.0
+// here, since -0.0 == 0.0 numerically), but OpValCheck compared raw bits,
+// so the planned check %x == +0.0 rejected 0x8000000000000000 on every
+// -0.0 iteration of the training input itself. Value checks on F64 must
+// compare numerically, exactly like range checks.
+func TestRegressNegZeroValueCheck(t *testing.T) {
+	src := `
+global float fin[4];
+global float fout[64];
+void main() {
+	for (int i = 0; i < 40; i += 1) {
+		fout[i & 63] = (fin[i & 3] * 1.0);
+	}
+}`
+	fails := profileProtectRun(t, src, core.ModeDupVal, nil,
+		[]float64{0.0, math.Copysign(0, -1), 0.0, math.Copysign(0, -1)})
+	if fails != 0 {
+		t.Errorf("value checks fired on the profiled input: %d (bitwise F64 compare vs -0.0?)", fails)
+	}
+}

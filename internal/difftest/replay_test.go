@@ -1,0 +1,44 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReplayReproducers re-runs the oracle over every minimized reproducer
+// cmd/difftest ever wrote to testdata/difftest/. Each file is a program
+// that once violated an invariant; its first line records the generator
+// seed, which (inputs being a pure function of the seed) is everything
+// needed to replay it. The corpus must stay green forever — a failure here
+// is a regression of a previously-fixed pipeline bug.
+func TestReplayReproducers(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "difftest", "*.sf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no reproducers in testdata/difftest — at least seed9.sf should be committed")
+	}
+	for _, fn := range files {
+		fn := fn
+		t.Run(filepath.Base(fn), func(t *testing.T) {
+			b, err := os.ReadFile(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(b)
+			first, _, _ := strings.Cut(src, "\n")
+			var seed int64
+			if _, err := fmt.Sscanf(first, "// difftest seed=%d", &seed); err != nil {
+				t.Fatalf("malformed reproducer header %q: %v", first, err)
+			}
+			ints, floats := InputsForSeed(seed)
+			if fail := CheckSource(filepath.Base(fn), src, ints, floats, DefaultOracleConfig()); fail != nil {
+				t.Errorf("reproducer regressed: %v", fail)
+			}
+		})
+	}
+}

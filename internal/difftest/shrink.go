@@ -1,0 +1,159 @@
+package difftest
+
+import "fmt"
+
+// Shrink minimizes a failing generated program by greedy statement
+// deletion. A candidate deletion is accepted only when the reduced program
+// still fails with the SAME invariant as the original failure — a candidate
+// that passes, trips a different invariant, or stops compiling is rejected.
+// Keep-marked statements (structural loop decrements) are never deleted;
+// deleting a compound statement removes its whole subtree. The process
+// repeats until a full pass over the program accepts no deletion.
+//
+// The cost-ordering invariant is suppressed while shrinking failures of
+// other invariants: deleting statements shifts cycle counts and a
+// borderline cost flip must not hijack the reduction.
+func Shrink(p *GenProgram, orig *Failure, ints []int64, floats []float64, ocfg OracleConfig) (*GenProgram, int) {
+	if orig.Invariant != InvCostOrder {
+		ocfg.SkipCost = true
+	}
+	cur := cloneProgram(p)
+	deleted := 0
+	for {
+		progress := false
+		for {
+			slots := deletableSlots(cur)
+			accepted := false
+			for _, sl := range slots {
+				cand := cloneProgram(cur)
+				removeAt(cand, sl)
+				fail := CheckSource(fmt.Sprintf("shrink%d", p.Seed), cand.Source(), ints, floats, ocfg)
+				if fail != nil && fail.Invariant == orig.Invariant {
+					cur = cand
+					deleted++
+					accepted = true
+					break // slot list is stale; re-enumerate
+				}
+			}
+			if !accepted {
+				break
+			}
+			progress = true
+		}
+		if !progress {
+			return cur, deleted
+		}
+	}
+}
+
+// slot addresses one deletable statement by a path of child indexes from a
+// function body. Path elements alternate between Body and Else via the sign
+// trick used in stepInto.
+type slot struct {
+	helper int // index into Helpers, or -1 for Main
+	path   []pathStep
+}
+
+type pathStep struct {
+	idx    int
+	inElse bool // descend into Else instead of Body
+}
+
+func deletableSlots(p *GenProgram) []slot {
+	var out []slot
+	for hi, h := range p.Helpers {
+		collectSlots(h.Body, slot{helper: hi}, &out)
+	}
+	collectSlots(p.Main.Body, slot{helper: -1}, &out)
+	return out
+}
+
+func collectSlots(ss []*GenStmt, base slot, out *[]slot) {
+	for i, s := range ss {
+		here := slot{helper: base.helper, path: appendStep(base.path, pathStep{idx: i})}
+		if !s.Keep {
+			*out = append(*out, here)
+		}
+		if s.Head != "" {
+			collectSlots(s.Body, here, out)
+			if s.Else != nil {
+				elseBase := slot{helper: base.helper,
+					path: appendStep(base.path, pathStep{idx: i, inElse: true})}
+				collectSlots(s.Else, elseBase, out)
+			}
+		}
+	}
+}
+
+func appendStep(path []pathStep, st pathStep) []pathStep {
+	out := make([]pathStep, len(path)+1)
+	copy(out, path)
+	out[len(path)] = st
+	return out
+}
+
+// removeAt deletes the statement addressed by sl from a freshly cloned
+// program.
+func removeAt(p *GenProgram, sl slot) {
+	f := p.Main
+	if sl.helper >= 0 {
+		f = p.Helpers[sl.helper]
+	}
+	list := &f.Body
+	for i, st := range sl.path {
+		if i == len(sl.path)-1 {
+			*list = append((*list)[:st.idx], (*list)[st.idx+1:]...)
+			return
+		}
+		s := (*list)[st.idx]
+		if st.inElse {
+			list = &s.Else
+		} else {
+			list = &s.Body
+		}
+	}
+}
+
+func cloneStmts(ss []*GenStmt) []*GenStmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]*GenStmt, len(ss))
+	for i, s := range ss {
+		out[i] = &GenStmt{Line: s.Line, Head: s.Head, Keep: s.Keep,
+			Body: cloneStmts(s.Body), Else: cloneStmts(s.Else)}
+	}
+	return out
+}
+
+func cloneFunc(f *GenFunc) *GenFunc {
+	return &GenFunc{Decl: f.Decl, Ret: f.Ret, Body: cloneStmts(f.Body)}
+}
+
+func cloneProgram(p *GenProgram) *GenProgram {
+	q := &GenProgram{Seed: p.Seed, Main: cloneFunc(p.Main)}
+	for _, h := range p.Helpers {
+		q.Helpers = append(q.Helpers, cloneFunc(h))
+	}
+	return q
+}
+
+// StmtCount reports the number of statements in the program, counting
+// compound heads as one statement each.
+func StmtCount(p *GenProgram) int {
+	n := 0
+	for _, h := range p.Helpers {
+		n += countStmts(h.Body)
+	}
+	return n + countStmts(p.Main.Body)
+}
+
+func countStmts(ss []*GenStmt) int {
+	n := 0
+	for _, s := range ss {
+		n++
+		n += countStmts(s.Body)
+		n += countStmts(s.Else)
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShrinkTrapRepro hand-builds a program that violates the trap
+// invariant (integer divide by a value that is provably zero at runtime
+// but not at compile time) surrounded by padding, and checks that Shrink
+// deletes everything except the one statement that reproduces the failure.
+func TestShrinkTrapRepro(t *testing.T) {
+	p := &GenProgram{Seed: 1, Main: &GenFunc{Decl: "void main()", Body: []*GenStmt{
+		{Line: "int x0 = (in[0] + 3);"},
+		{Line: "out[1] = (x0 * 2);"},
+		{Line: "out[0] = (in[1] / (in[2] & 0));"},
+		{Line: "fout[0] = (fin[0] * 0.5);"},
+	}}}
+	ints, floats := InputsForSeed(1)
+	fail := CheckSource("trap", p.Source(), ints, floats, DefaultOracleConfig())
+	if fail == nil || fail.Invariant != InvTrap {
+		t.Fatalf("expected a trap failure, got %v", fail)
+	}
+
+	small, deleted := Shrink(p, fail, ints, floats, DefaultOracleConfig())
+	if got := StmtCount(small); got != 1 {
+		t.Fatalf("shrunk to %d statements, want 1:\n%s", got, small.Source())
+	}
+	if deleted != 3 {
+		t.Fatalf("deleted %d statements, want 3", deleted)
+	}
+	if !strings.Contains(small.Source(), "in[1] / (in[2] & 0)") {
+		t.Fatalf("shrinker deleted the failing statement:\n%s", small.Source())
+	}
+	// The reduced program must still fail identically.
+	again := CheckSource("trap", small.Source(), ints, floats, DefaultOracleConfig())
+	if again == nil || again.Invariant != InvTrap {
+		t.Fatalf("shrunk program no longer fails the trap invariant: %v", again)
+	}
+	// The original program object must be untouched.
+	if StmtCount(p) != 4 {
+		t.Fatalf("Shrink mutated its input: %d statements", StmtCount(p))
+	}
+}
+
+// TestShrinkKeepsStructure: when the failure lives inside a while loop,
+// the Keep-marked counter declaration and decrement must survive (deleting
+// either alone would change or unbound the loop), while deletable padding
+// in the loop body goes away.
+func TestShrinkKeepsStructure(t *testing.T) {
+	p := &GenProgram{Seed: 2, Main: &GenFunc{Decl: "void main()", Body: []*GenStmt{
+		{Head: "{", Body: []*GenStmt{
+			{Line: "int w0 = 4;", Keep: true},
+			{Head: "while (w0 > 0) {", Body: []*GenStmt{
+				{Line: "w0 -= 1;", Keep: true},
+				{Line: "out[2] = (out[2] + 1);"},
+				{Line: "out[0] = (in[0] / (in[1] & 0));"},
+			}},
+		}},
+	}}}
+
+	ints, floats := InputsForSeed(2)
+	fail := CheckSource("keep", p.Source(), ints, floats, DefaultOracleConfig())
+	if fail == nil || fail.Invariant != InvTrap {
+		t.Fatalf("expected a trap failure, got %v", fail)
+	}
+	small, _ := Shrink(p, fail, ints, floats, DefaultOracleConfig())
+	src := small.Source()
+	if !strings.Contains(src, "int w0 = 4;") || !strings.Contains(src, "w0 -= 1;") {
+		t.Fatalf("shrinker deleted Keep-marked statements:\n%s", src)
+	}
+	if strings.Contains(src, "out[2]") {
+		t.Fatalf("shrinker left deletable loop body statement:\n%s", src)
+	}
+}

@@ -1,0 +1,54 @@
+package lang
+
+import (
+	"testing"
+)
+
+// FuzzLexer feeds arbitrary bytes to the lexer. The lexer must either
+// return a clean token stream terminated by EOF or report an error — never
+// panic, never loop without consuming input.
+func FuzzLexer(f *testing.F) {
+	f.Add("void main() { out[0] = 1; }")
+	f.Add("int f(int a) { return (a * 0x7f) >> 3; }")
+	f.Add("float g() { return 1.5e-3; }")
+	f.Add("// comment\nglobal int in[64];")
+	f.Add("\"unterminated")
+	f.Add("0x")
+	f.Add("1.e")
+	f.Fuzz(func(t *testing.T, src string) {
+		l := newLexer(src)
+		for i := 0; ; i++ {
+			tok, err := l.next()
+			if err != nil {
+				return // rejecting input is fine; hanging or panicking is not
+			}
+			if tok.kind == tokEOF {
+				return
+			}
+			if i > len(src)+1 {
+				t.Fatalf("lexer produced more tokens than input bytes: %q", src)
+			}
+		}
+	})
+}
+
+// FuzzParser feeds arbitrary bytes to the full parser. Any input must
+// either parse or produce an error; a panic is a bug.
+func FuzzParser(f *testing.F) {
+	f.Add("void main() { out[0] = 1; }")
+	f.Add("global int in[8];\nint h(int a) { return a + 1; }\nvoid main() { out[0] = h(in[0]); }")
+	f.Add("void main() { for (int i = 0; i < 4; i += 1) { out[i & 7] = i; } }")
+	f.Add("void main() { if (in[0] > 0) { out[0] = 1; } else { out[0] = 2; } }")
+	f.Add("void main() { while (0) { } }")
+	f.Add("void main() { int x = ((((1))))")
+	f.Add("int f( {")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A program that parses must also survive codegen without panicking
+		// (codegen errors for semantic problems are fine).
+		_, _ = Codegen("fuzz", prog)
+	})
+}

@@ -31,25 +31,47 @@ func NewCollector(bins int) *Collector {
 }
 
 // Record implements the profiler hook: it feeds one observed value into the
-// producing instruction's histogram. Non-finite floats are skipped (they
-// cannot be range-checked meaningfully).
+// producing instruction's histogram. Values with no exact float64
+// representation — NaN, infinities, and integers beyond 2^53 that would be
+// rounded — are recorded as uncheckable: they count toward the observation
+// total (deflating check coverage) but enter no bin, so no expected-value
+// check is ever planned around a constant that differs from the value the
+// program actually computes.
 func (c *Collector) Record(in *ir.Instr, bits uint64) {
 	var v float64
+	ok := true
 	if in.Ty == ir.F64 {
 		v = math.Float64frombits(bits)
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return
+			ok = false
 		}
 	} else {
-		v = float64(int64(bits))
+		i := int64(bits)
+		v = float64(i)
+		// Exact round-trip check: v may round up to 2^63, which does not
+		// fit back into an int64, so guard the conversion range first.
+		if v < minInt64F || v >= maxInt64F || int64(v) != i {
+			ok = false
+		}
 	}
 	h := c.data.ByUID[in.UID]
 	if h == nil {
 		h = NewHistogram(c.bins)
 		c.data.ByUID[in.UID] = h
 	}
-	h.Add(v)
+	if ok {
+		h.Add(v)
+	} else {
+		h.AddUncheckable()
+	}
 }
+
+// int64 range bounds as float64s. maxInt64F is 2^63 exactly; any float
+// >= 2^63 or < -2^63 cannot have come from an exactly-represented int64.
+const (
+	maxInt64F = 9223372036854775808.0
+	minInt64F = -9223372036854775808.0
+)
 
 // Data returns the collected profiles.
 func (c *Collector) Data() *Data { return c.data }
@@ -63,6 +85,14 @@ func (d *Data) Merge(other *Data) {
 		if h == nil {
 			h = NewHistogram(d.Bins)
 			d.ByUID[uid] = h
+		}
+		var binned uint64
+		for _, b := range oh.Bins {
+			binned += b.Count
+		}
+		// Carry over uncheckable observations (counted but unbinned).
+		if oh.Total > binned {
+			h.Total += oh.Total - binned
 		}
 		for _, b := range oh.Bins {
 			mid := (b.Lo + b.Hi) / 2

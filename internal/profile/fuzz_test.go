@@ -1,0 +1,72 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// FuzzProfileRoundTrip feeds arbitrary bytes to the profile loader. Inputs
+// the loader rejects are fine; inputs it accepts must satisfy every
+// histogram invariant and must round-trip: Load → Save → Load yields
+// deeply-equal data (the serialized form is canonical, nothing is lost).
+func FuzzProfileRoundTrip(f *testing.F) {
+	// Seed with a real profile produced by the collector.
+	col := NewCollector(DefaultBins)
+	iInt := &ir.Instr{UID: 7, Ty: ir.I64}
+	iFlt := &ir.Instr{UID: 9, Ty: ir.F64}
+	for i := 0; i < 100; i++ {
+		col.Record(iInt, uint64(i%5))
+		col.Record(iFlt, math.Float64bits(float64(i)*0.25))
+	}
+	var buf bytes.Buffer
+	if err := col.Data().Save(&buf, "seed"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"bins":5,"module":"m","hists":{}}`))
+	f.Add([]byte(`{"version":1,"bins":5,"hists":{"3":{"total":2,"bins":[{"lo":1,"hi":1,"count":2}]}}}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d1, mod, err := Load(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		for uid, h := range d1.ByUID {
+			if err := h.Invariant(); err != nil {
+				t.Fatalf("loader accepted corrupt histogram for uid %d: %v", uid, err)
+			}
+		}
+		var out bytes.Buffer
+		if err := d1.Save(&out, mod); err != nil {
+			t.Fatalf("save of loaded profile failed: %v", err)
+		}
+		d2, mod2, err := Load(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of saved profile failed: %v\n%s", err, out.String())
+		}
+		if mod2 != mod {
+			t.Fatalf("module name did not round-trip: %q != %q", mod2, mod)
+		}
+		if !reflect.DeepEqual(normalize(d1), normalize(d2)) {
+			t.Fatalf("profile did not round-trip:\nin:  %+v\nout: %+v", d1, d2)
+		}
+	})
+}
+
+// normalize clears fields Save does not persist (per-histogram bin bound is
+// stored once at the top level) so DeepEqual compares only durable state.
+func normalize(d *Data) *Data {
+	for _, h := range d.ByUID {
+		h.B = d.Bins
+		if h.Bins == nil {
+			h.Bins = []Bin{}
+		}
+	}
+	return d
+}

@@ -42,6 +42,16 @@ func NewHistogram(b int) *Histogram {
 	return &Histogram{B: b}
 }
 
+// AddUncheckable records an observation whose value cannot be represented
+// exactly as a float64 (an int64 beyond 2^53, a NaN or an infinity). It
+// counts toward Total but enters no bin, so the coverage of any planned
+// check correctly reflects that this value would escape it. Without this
+// accounting, a check planned from the representable observations fires on
+// the unrepresentable ones — on the very input it was profiled on.
+func (h *Histogram) AddUncheckable() {
+	h.Total++
+}
+
 // Add inserts a value (Algorithm 1).
 func (h *Histogram) Add(v float64) {
 	h.Total++
@@ -198,8 +208,10 @@ func (h *Histogram) Invariant() error {
 		}
 		sum += b.Count
 	}
-	if sum != h.Total {
-		return fmt.Errorf("bin counts %d != total %d", sum, h.Total)
+	// Total may exceed the bin sum: uncheckable observations (see
+	// AddUncheckable) are counted but never binned.
+	if sum > h.Total {
+		return fmt.Errorf("bin counts %d exceed total %d", sum, h.Total)
 	}
 	return nil
 }

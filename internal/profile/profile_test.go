@@ -164,7 +164,7 @@ func TestCollectorRoutesByUIDAndType(t *testing.T) {
 	c.Record(i1, uint64(neg7))
 	c.Record(i1, uint64(neg7))
 	c.Record(i2, math.Float64bits(2.5))
-	c.Record(i2, math.Float64bits(math.NaN())) // must be skipped
+	c.Record(i2, math.Float64bits(math.NaN())) // counted but not binned
 
 	d := c.Data()
 	h1 := d.Hist(1)
@@ -172,8 +172,11 @@ func TestCollectorRoutesByUIDAndType(t *testing.T) {
 		t.Fatalf("int profile wrong: %v", h1)
 	}
 	h2 := d.Hist(2)
-	if h2 == nil || h2.Total != 1 || h2.Bins[0].Lo != 2.5 {
+	if h2 == nil || h2.Total != 2 || len(h2.Bins) != 1 || h2.Bins[0].Lo != 2.5 || h2.Bins[0].Count != 1 {
 		t.Fatalf("float profile wrong: %v", h2)
+	}
+	if _, cov := h2.TopValues(1); cov != 0.5 {
+		t.Fatalf("NaN observation must deflate coverage: got %v, want 0.5", cov)
 	}
 }
 

@@ -195,10 +195,15 @@ blockLoop:
 			}
 			m.opCounts[in.Op]++
 
-			m.trace(fn, in, 0)
+			// tbits is the value the instruction produces, reported to the
+			// tracer after execution (the Tracer contract). Control-flow
+			// ops trace before they leave the loop; everything else traces
+			// at the bottom of the iteration.
+			var tbits uint64
 			switch in.Op {
 			case ir.OpJmp:
 				m.timing.issue(0, 0)
+				m.trace(fn, in, 0)
 				prev, blk = blk, in.Then
 				if t := m.maybeBranchFault(fn, &blk); t != nil {
 					return 0, t
@@ -209,6 +214,7 @@ blockLoop:
 				cond := m.eval(fr, in.Args[0])
 				m.timing.issue(m.readyOf(fr, in.Args[0]), 0)
 				m.timing.branch(in.UID, cond != 0)
+				m.trace(fn, in, 0)
 				prev = blk
 				if cond != 0 {
 					blk = in.Then
@@ -226,6 +232,7 @@ blockLoop:
 					ret = m.eval(fr, in.Args[0])
 				}
 				m.timing.issue(0, 0)
+				m.trace(fn, in, 0)
 				return ret, nil
 
 			case ir.OpCall:
@@ -244,6 +251,7 @@ blockLoop:
 				}
 				if in.Ty != ir.Void {
 					fr.define(in.ID, ret, m.timing.cursor)
+					tbits = ret
 				}
 
 			case ir.OpStore:
@@ -266,6 +274,7 @@ blockLoop:
 				done := m.timing.issue(m.readyOf(fr, in.Args[0]), lat)
 				bits := m.mem[addr]
 				fr.define(in.ID, bits, done)
+				tbits = bits
 				if m.opts.Profiler != nil {
 					m.opts.Profiler.Record(in, bits)
 				}
@@ -279,6 +288,7 @@ blockLoop:
 				m.sp += size
 				done := m.timing.issue(0, m.cfg.Timing.LatInt)
 				fr.define(in.ID, addr, done)
+				tbits = addr
 
 			case ir.OpCmpCheck:
 				a := m.eval(fr, in.Args[0])
@@ -312,9 +322,22 @@ blockLoop:
 
 			case ir.OpValCheck:
 				v := m.eval(fr, in.Args[0])
-				ok := v == m.eval(fr, in.Args[1])
+				// Expected-value constants come from the value profiler,
+				// which compares numerically — so must we: -0.0 profiles
+				// as 0 and must satisfy a v==0 check (bitwise comparison
+				// would fire on the profiled input itself). Float range
+				// checks below already compare numerically for the same
+				// reason.
+				isF := in.Args[0].Type() == ir.F64
+				eq := func(a, b uint64) bool {
+					if isF {
+						return math.Float64frombits(a) == math.Float64frombits(b)
+					}
+					return a == b
+				}
+				ok := eq(v, m.eval(fr, in.Args[1]))
 				if !ok && len(in.Args) == 3 {
-					ok = v == m.eval(fr, in.Args[2])
+					ok = eq(v, m.eval(fr, in.Args[2]))
 				}
 				m.timing.issue(m.readyOf(fr, in.Args[0]), m.cfg.Timing.CheckLatency)
 				if !ok {
@@ -336,10 +359,12 @@ blockLoop:
 				}
 				done := m.timing.issue(opsReady, m.timing.latency(in))
 				fr.define(in.ID, bits, done)
+				tbits = bits
 				if m.opts.Profiler != nil && (in.Ty == ir.I64 || in.Ty == ir.F64) {
 					m.opts.Profiler.Record(in, bits)
 				}
 			}
+			m.trace(fn, in, tbits)
 		}
 		// A verified function never falls off a block.
 		return 0, trapAt(TrapBadCall)

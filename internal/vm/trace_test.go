@@ -1,0 +1,95 @@
+package vm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// runTraced executes a two-input binop module under a WriterTracer and
+// returns the trace text plus the tracer itself.
+func runTraced(t *testing.T, op ir.Op, ty ir.Type, x, y uint64, limit int64) (string, *WriterTracer) {
+	t.Helper()
+	m := binOpModule(t, op, ty)
+	mach, err := New(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.BindInput("in", []uint64{x, y}); err != nil {
+		t.Fatal(err)
+	}
+	mach.Reset()
+	var buf bytes.Buffer
+	tr := &WriterTracer{W: &buf, Limit: limit}
+	if res := mach.Run(RunOptions{Tracer: tr}); res.Trap != nil {
+		t.Fatal(res.Trap)
+	}
+	return buf.String(), tr
+}
+
+// TestTraceShape checks the one-line-per-instruction contract: every
+// executed instruction appears once, in execution order, tagged with the
+// function name and the produced value formatted per result type.
+func TestTraceShape(t *testing.T) {
+	out, tr := runTraced(t, ir.OpAdd, ir.I64, uint64(int64(19)), uint64(int64(23)), 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if int64(len(lines)) != tr.Events() {
+		t.Fatalf("%d trace lines but tracer reports %d events", len(lines), tr.Events())
+	}
+	// binOpModule executes: load, ptradd, load, add, store, ret.
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 events, got %d:\n%s", len(lines), out)
+	}
+	for i, ln := range lines {
+		if !strings.Contains(ln, "main") {
+			t.Errorf("line %d missing function name: %q", i, ln)
+		}
+	}
+	// Integer results are rendered in decimal after " = ".
+	if !strings.Contains(out, "= 19") || !strings.Contains(out, "= 23") {
+		t.Errorf("loads of the two inputs not visible in trace:\n%s", out)
+	}
+	if !strings.Contains(out, "= 42") {
+		t.Errorf("add result not visible in trace:\n%s", out)
+	}
+	// Void instructions (store, ret) have no " = " suffix.
+	voids := 0
+	for _, ln := range lines {
+		if !strings.Contains(ln, " = ") {
+			voids++
+		}
+	}
+	if voids != 2 {
+		t.Errorf("expected 2 void trace lines (store, ret), got %d:\n%s", voids, out)
+	}
+}
+
+// TestTraceFloatFormatting: F64 results are rendered as floats, not raw
+// bit patterns.
+func TestTraceFloatFormatting(t *testing.T) {
+	out, _ := runTraced(t, ir.OpAdd, ir.F64,
+		math.Float64bits(1.5), math.Float64bits(2.25), 0)
+	if !strings.Contains(out, "= 3.75") {
+		t.Errorf("float add result not formatted numerically:\n%s", out)
+	}
+	if strings.Contains(out, "= 46") { // bits of 3.75 start 0x400e... ≈ 4.6e18 decimal
+		t.Errorf("float result leaked as raw bits:\n%s", out)
+	}
+}
+
+// TestTraceLimit: Limit caps emitted events while execution continues, and
+// Events reports the capped count.
+func TestTraceLimit(t *testing.T) {
+	out, tr := runTraced(t, ir.OpAdd, ir.I64, 1, 2, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || tr.Events() != 3 {
+		t.Fatalf("limit 3 produced %d lines, Events()=%d:\n%s", len(lines), tr.Events(), out)
+	}
+	// The dyn counter in column one still reflects true execution order.
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "1") {
+		t.Errorf("first trace line should carry dyn=1: %q", lines[0])
+	}
+}
