@@ -7,6 +7,7 @@ package softft
 // benchmark metrics report the reproduced quantities alongside wall time.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -366,30 +367,73 @@ func BenchmarkAblationRangeThreshold(b *testing.B) {
 	b.ReportMetric(float64(counts[1<<20]), "checks_rthr_1M")
 }
 
-// BenchmarkInterpreter measures raw interpreter throughput on the heaviest
-// kernel (dynamic instructions per second appear as the custom metric).
+// BenchmarkInterpreter measures raw single-run throughput on the heaviest
+// kernel for both execution engines (dynamic instructions per second appear
+// as the custom metric), so benchstat shows the precompiled engine's gain
+// over the tree-walking reference.
 func BenchmarkInterpreter(b *testing.B) {
 	w := workloads.ByName("jpegdec")
 	mod, err := w.Compile()
 	if err != nil {
 		b.Fatal(err)
 	}
-	mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
+	for _, bc := range []struct {
+		name   string
+		engine vm.EngineKind
+	}{{"fast", vm.EngineFast}, {"tree", vm.EngineTree}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := vm.DefaultConfig()
+			cfg.Engine = bc.engine
+			mach, err := vm.New(mod.Clone(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Bind(mach, workloads.Test); err != nil {
+				b.Fatal(err)
+			}
+			var dyn int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mach.Reset()
+				res := mach.Run(vm.RunOptions{})
+				if res.Trap != nil {
+					b.Fatal(res.Trap)
+				}
+				dyn += res.Dyn
+			}
+			b.ReportMetric(float64(dyn)/b.Elapsed().Seconds(), "instrs/s")
+		})
+	}
+}
+
+// BenchmarkCampaign measures end-to-end fault-campaign throughput (trials
+// per second) on each execution engine — the workload the precompiled
+// engine exists to accelerate. Single-worker so the comparison measures
+// engine speed, not scheduler behavior.
+func BenchmarkCampaign(b *testing.B) {
+	w := workloads.ByName("jpegdec")
+	mod, err := w.Compile()
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := w.Bind(mach, workloads.Test); err != nil {
-		b.Fatal(err)
+	for _, bc := range []struct {
+		name   string
+		engine vm.EngineKind
+	}{{"fast", vm.EngineFast}, {"tree", vm.EngineTree}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var trials int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(60, int64(i))
+				cfg.Engine = bc.engine
+				cfg.Workers = 1
+				rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod.Clone(), "Original", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trials += rep.Tally.N
+			}
+			b.ReportMetric(float64(trials)/b.Elapsed().Seconds(), "trials/s")
+		})
 	}
-	var dyn int64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mach.Reset()
-		res := mach.Run(vm.RunOptions{})
-		if res.Trap != nil {
-			b.Fatal(res.Trap)
-		}
-		dyn += res.Dyn
-	}
-	b.ReportMetric(float64(dyn)/b.Elapsed().Seconds(), "instrs/s")
 }

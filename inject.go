@@ -1,6 +1,7 @@
 package softft
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -24,6 +25,18 @@ type Campaign struct {
 	// Acceptable judges a Measure value; nil with nil Measure means only
 	// bit-exact outputs are acceptable.
 	Acceptable func(v float64) bool
+	// Workers bounds campaign parallelism. 0 (the default) uses one worker
+	// per available CPU (GOMAXPROCS).
+	Workers int
+	// WatchdogFactor bounds each faulty run at fault-free-dynamic-length ×
+	// factor before declaring a runaway execution (a Failure outcome).
+	// 0 uses the default factor of 20.
+	WatchdogFactor int64
+	// LargeChange is the relative value-change threshold separating "large"
+	// from "small" register corruptions in outcome attribution (the paper's
+	// Figure 2 split). 0 uses the default threshold of 1.0, i.e. a 100%
+	// relative change.
+	LargeChange float64
 }
 
 // Outcomes aggregates a campaign: counts per outcome class plus the
@@ -65,12 +78,12 @@ func (o *Outcomes) String() string {
 		o.Trials, o.Masked, o.HWDetected, o.SWDetected, o.Failures, o.USDCs, 100*o.Coverage())
 }
 
-// InjectFaults runs a fault-injection campaign: each trial flips one bit of
-// one live register at a random point of execution and classifies the
-// outcome.
-func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
+// campaignSetup validates a Campaign, applies its defaults, and builds the
+// fault.Target/fault.Config pair shared by every injection entry point, so
+// the plain and recovery campaign paths cannot drift.
+func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Config, error) {
 	if c.Output == "" {
-		return nil, fmt.Errorf("softft: campaign needs an Output global")
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: campaign needs an Output global")
 	}
 	if c.Trials <= 0 {
 		c.Trials = 100
@@ -81,7 +94,7 @@ func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
 		measure = func(golden, test []uint64) float64 { return 0 }
 		acceptable = func(float64) bool { return false }
 	} else if acceptable == nil {
-		return nil, fmt.Errorf("softft: campaign with Measure needs Acceptable")
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: campaign with Measure needs Acceptable")
 	}
 
 	cfg := fault.DefaultConfig()
@@ -92,6 +105,15 @@ func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
 	if c.BranchTargets {
 		cfg.Kind = vm.FaultBranchTarget
 	}
+	if c.Workers > 0 {
+		cfg.Workers = c.Workers
+	}
+	if c.WatchdogFactor > 0 {
+		cfg.WatchdogFactor = c.WatchdogFactor
+	}
+	if c.LargeChange > 0 {
+		cfg.LargeChange = c.LargeChange
+	}
 	target := fault.Target{
 		Name:       p.name,
 		Bind:       func(m *vm.Machine) error { return in.bind(m) },
@@ -99,7 +121,25 @@ func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
 		Measure:    measure,
 		Acceptable: acceptable,
 	}
-	rep, err := fault.Run(target, p.mod, p.name, cfg)
+	return target, cfg, nil
+}
+
+// InjectFaults runs a fault-injection campaign: each trial flips one bit of
+// one live register at a random point of execution and classifies the
+// outcome.
+func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
+	return p.InjectFaultsContext(context.Background(), in, c)
+}
+
+// InjectFaultsContext is InjectFaults with cancellation: when ctx is
+// cancelled the campaign's workers stop between trials and the context's
+// error is returned.
+func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign) (*Outcomes, error) {
+	target, cfg, err := p.campaignSetup(in, c)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := fault.Run(ctx, target, p.mod, p.name, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -137,36 +177,18 @@ type RecoveryOutcome struct {
 // from the fault-free output (it cannot, for transient faults — the check
 // is an internal soundness assertion).
 func (p *Program) InjectFaultsWithRecovery(in *Input, c Campaign) (*RecoveryOutcome, error) {
-	if c.Output == "" {
-		return nil, fmt.Errorf("softft: campaign needs an Output global")
+	return p.InjectFaultsWithRecoveryContext(context.Background(), in, c)
+}
+
+// InjectFaultsWithRecoveryContext is InjectFaultsWithRecovery with
+// cancellation: when ctx is cancelled the campaign stops between trials and
+// the context's error is returned.
+func (p *Program) InjectFaultsWithRecoveryContext(ctx context.Context, in *Input, c Campaign) (*RecoveryOutcome, error) {
+	target, cfg, err := p.campaignSetup(in, c)
+	if err != nil {
+		return nil, err
 	}
-	if c.Trials <= 0 {
-		c.Trials = 100
-	}
-	measure := c.Measure
-	acceptable := c.Acceptable
-	if measure == nil {
-		measure = func(golden, test []uint64) float64 { return 0 }
-		acceptable = func(float64) bool { return false }
-	} else if acceptable == nil {
-		return nil, fmt.Errorf("softft: campaign with Measure needs Acceptable")
-	}
-	cfg := fault.DefaultConfig()
-	cfg.Trials = c.Trials
-	if c.Seed != 0 {
-		cfg.Seed = c.Seed
-	}
-	if c.BranchTargets {
-		cfg.Kind = vm.FaultBranchTarget
-	}
-	target := fault.Target{
-		Name:       p.name,
-		Bind:       func(m *vm.Machine) error { return in.bind(m) },
-		Output:     c.Output,
-		Measure:    measure,
-		Acceptable: acceptable,
-	}
-	rep, err := fault.RunWithRecovery(target, p.mod, p.name, cfg)
+	rep, err := fault.RunWithRecovery(ctx, target, p.mod, p.name, cfg)
 	if err != nil {
 		return nil, err
 	}

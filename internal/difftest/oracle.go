@@ -19,6 +19,7 @@ const (
 	InvOutput    = "output"      // outputs differ across pipeline/mode combos
 	InvCheck     = "check-fired" // a software check fired on the profiled input
 	InvCostOrder = "cost-order"  // timing cost not ordered across modes
+	InvEngine    = "engine-diff" // precompiled engine disagrees with the tree interpreter
 )
 
 // Failure describes one violated invariant. It implements error.
@@ -134,10 +135,15 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 						Detail: fmt.Sprintf("protection produced invalid IR: %v", err)}
 				}
 			}
-			r := runModule(pm, ints, floats, cfg.MaxDyn)
+			r := runModule(pm, ints, floats, cfg.MaxDyn, vm.EngineFast)
 			if r.trap != nil {
 				return &Failure{Invariant: InvTrap, Pipeline: pl.Name, Mode: mode.String(),
 					Detail: r.trap.Error()}
+			}
+			// Engine cross-check: the reference tree-walking interpreter
+			// must agree with the precompiled engine on every observable.
+			if d := diffEngines(r, runModule(pm, ints, floats, cfg.MaxDyn, vm.EngineTree)); d != "" {
+				return &Failure{Invariant: InvEngine, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
 			}
 			if ref == nil {
 				ref = r
@@ -241,7 +247,12 @@ func collectProfile(mod *ir.Module, ints []int64, floats []float64, pl Pipeline,
 }
 
 func newMachine(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) (*vm.Machine, error) {
+	return newMachineEngine(mod, ints, floats, maxDyn, vm.EngineFast)
+}
+
+func newMachineEngine(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, engine vm.EngineKind) (*vm.Machine, error) {
 	vcfg := vm.DefaultConfig()
+	vcfg.Engine = engine
 	if maxDyn > 0 {
 		vcfg.MaxDyn = maxDyn
 	}
@@ -261,8 +272,8 @@ func newMachine(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) (*
 
 // runModule executes a module fault-free, counting (not trapping on) check
 // failures, and captures the observable outputs.
-func runModule(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) *runOut {
-	mach, err := newMachine(mod, ints, floats, maxDyn)
+func runModule(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, engine vm.EngineKind) *runOut {
+	mach, err := newMachineEngine(mod, ints, floats, maxDyn, engine)
 	if err != nil {
 		return &runOut{trap: err}
 	}
@@ -295,6 +306,29 @@ func diffOutputs(a, b *runOut) string {
 		if a.fout[i] != b.fout[i] {
 			return fmt.Sprintf("fout[%d]: %#x != %#x", i, a.fout[i], b.fout[i])
 		}
+	}
+	return ""
+}
+
+// diffEngines compares a fast-engine run against a tree-interpreter run of
+// the same module. The engines promise bit-for-bit equivalence, so every
+// observable is compared: outputs, dynamic instruction count, timing-model
+// cycles, and check-failure count.
+func diffEngines(fast, tree *runOut) string {
+	if tree.trap != nil {
+		return fmt.Sprintf("tree engine trapped where fast engine completed: %v", tree.trap)
+	}
+	if d := diffOutputs(fast, tree); d != "" {
+		return "tree vs fast " + d
+	}
+	if fast.dyn != tree.dyn {
+		return fmt.Sprintf("dyn: fast=%d tree=%d", fast.dyn, tree.dyn)
+	}
+	if fast.cycles != tree.cycles {
+		return fmt.Sprintf("cycles: fast=%d tree=%d", fast.cycles, tree.cycles)
+	}
+	if fast.checkFails != tree.checkFails {
+		return fmt.Sprintf("checkFails: fast=%d tree=%d", fast.checkFails, tree.checkFails)
 	}
 	return ""
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -100,11 +101,11 @@ func CrossValidation(cfg fault.Config) ([]CrossValRow, string, error) {
 			return nil, "", err
 		}
 
-		normRep, err := fault.Run(w.Target(workloads.Test), normalVar.Module, "normal", cfg)
+		normRep, err := fault.Run(context.Background(), w.Target(workloads.Test), normalVar.Module, "normal", cfg)
 		if err != nil {
 			return nil, "", err
 		}
-		swapRep, err := fault.Run(w.Target(workloads.Train), swappedVar.Module, "swapped", cfg)
+		swapRep, err := fault.Run(context.Background(), w.Target(workloads.Train), swappedVar.Module, "swapped", cfg)
 		if err != nil {
 			return nil, "", err
 		}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -121,7 +122,7 @@ func (p *Prepared) Overhead(mode core.Mode) float64 {
 // Campaign runs a fault campaign for one workload/mode pair on the given
 // input kind.
 func Campaign(p *Prepared, mode core.Mode, kind workloads.InputKind, cfg fault.Config) (*fault.Report, error) {
-	return fault.Run(p.Workload.Target(kind), p.Variants[mode].Module, mode.String(), cfg)
+	return fault.Run(context.Background(), p.Workload.Target(kind), p.Variants[mode].Module, mode.String(), cfg)
 }
 
 // GeoMean returns the geometric mean of 1+x values minus 1 (for overheads)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cfc"
@@ -56,7 +57,7 @@ func BranchFaults(cfg fault.Config) ([]CFCRow, string, error) {
 			{"Dup + val chks + CFC", withCFC},
 		}
 		for _, c := range configs {
-			rep, err := fault.Run(w.Target(workloads.Test), c.mod, c.label, cfg)
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), c.mod, c.label, cfg)
 			if err != nil {
 				return nil, "", err
 			}

@@ -21,7 +21,7 @@ type FalsePositiveReport struct {
 // FalsePositives runs the protected module fault-free on the target's
 // input and counts expected-value check failures.
 func FalsePositives(t Target, mod *ir.Module) (*FalsePositiveReport, error) {
-	mach, err := newMachine(t, mod, 0)
+	mach, err := newMachine(t, mod, 0, vm.EngineFast)
 	if err != nil {
 		return nil, err
 	}

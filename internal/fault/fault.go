@@ -7,6 +7,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,6 +54,9 @@ type Config struct {
 	LargeChange float64
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the vm execution engine for every run in the campaign
+	// (zero value: the precompiled fast engine).
+	Engine vm.EngineKind
 }
 
 // Target abstracts the program under injection: how to bind its inputs,
@@ -149,8 +153,13 @@ type Report struct {
 }
 
 // Run executes a fault-injection campaign for one target on one (possibly
-// protected) module. The module is not mutated.
-func Run(t Target, mod *ir.Module, technique string, cfg Config) (*Report, error) {
+// protected) module. The module is not mutated. Cancelling ctx stops the
+// campaign between trials — in-flight trials finish (each is bounded by the
+// watchdog) and Run returns the context's error.
+func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("fault: non-positive trial count")
 	}
@@ -159,7 +168,7 @@ func Run(t Target, mod *ir.Module, technique string, cfg Config) (*Report, error
 	}
 
 	// Golden run: outputs, dynamic length, and persistently failing checks.
-	goldenMach, err := newMachine(t, mod, 0)
+	goldenMach, err := newMachine(t, mod, 0, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -206,12 +215,15 @@ func Run(t Target, mod *ir.Module, technique string, cfg Config) (*Report, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			mach, err := newMachine(t, mod, maxDyn)
+			mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
 			if err != nil {
 				errCh <- err
 				return
 			}
 			for i := range trialCh {
+				if ctx.Err() != nil {
+					return
+				}
 				rep.Trials[i] = runTrial(mach, t, cfg, golden, goldenRes.Dyn, disabled, i)
 			}
 		}()
@@ -225,6 +237,9 @@ func Run(t Target, mod *ir.Module, technique string, cfg Config) (*Report, error
 	case err := <-errCh:
 		return nil, err
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	for _, tr := range rep.Trials {
@@ -257,8 +272,9 @@ func Run(t Target, mod *ir.Module, technique string, cfg Config) (*Report, error
 
 // newMachine builds a machine with the target's inputs bound. maxDyn of 0
 // keeps the default watchdog (golden runs must never hit it).
-func newMachine(t Target, mod *ir.Module, maxDyn int64) (*vm.Machine, error) {
+func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*vm.Machine, error) {
 	vmCfg := vm.DefaultConfig()
+	vmCfg.Engine = engine
 	if maxDyn > 0 {
 		vmCfg.MaxDyn = maxDyn
 	}

@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -43,7 +44,7 @@ func smallCampaign(t *testing.T, name string, mode core.Mode, trials int) *fault
 	}
 	cfg := fault.DefaultConfig()
 	cfg.Trials = trials
-	rep, err := fault.Run(w.Target(workloads.Test), prot, mode.String(), cfg)
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode.String(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +123,62 @@ func TestProtectionReducesUSDCs(t *testing.T) {
 		t.Logf("%s: fault.USDC %d -> %d, coverage %.3f -> %.3f", name,
 			orig.Tally.Count[fault.USDC], dup.Tally.Count[fault.USDC],
 			orig.Tally.Coverage(), dup.Tally.Coverage())
+	}
+}
+
+// TestCampaignEngineEquivalence runs the same campaign on the precompiled
+// engine and the reference tree interpreter: every trial record and the
+// whole tally must match, since the engines are bit-for-bit equivalent and
+// the trial RNG streams depend only on the seed.
+func TestCampaignEngineEquivalence(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(engine vm.EngineKind) *fault.Report {
+		cfg := fault.DefaultConfig()
+		cfg.Trials = 80
+		cfg.Engine = engine
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod.Clone(), "Original", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fast := run(vm.EngineFast)
+	tree := run(vm.EngineTree)
+	if fast.Tally != tree.Tally {
+		t.Fatalf("tallies differ:\nfast=%+v\ntree=%+v", fast.Tally, tree.Tally)
+	}
+	if fast.GoldenDyn != tree.GoldenDyn || fast.GoldenCycles != tree.GoldenCycles {
+		t.Fatalf("golden run differs: fast=(%d,%d) tree=(%d,%d)",
+			fast.GoldenDyn, fast.GoldenCycles, tree.GoldenDyn, tree.GoldenCycles)
+	}
+	for i := range fast.Trials {
+		if fast.Trials[i] != tree.Trials[i] {
+			t.Fatalf("trial %d differs:\nfast=%+v\ntree=%+v", i, fast.Trials[i], tree.Trials[i])
+		}
+	}
+}
+
+// TestCampaignCancellation checks a cancelled context stops the campaign
+// between trials and surfaces the context error.
+func TestCampaignCancellation(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 50
+	if _, err := fault.Run(ctx, w.Target(workloads.Test), mod.Clone(), "Original", cfg); err != context.Canceled {
+		t.Fatalf("Run: expected context.Canceled, got %v", err)
+	}
+	if _, err := fault.RunWithRecovery(ctx, w.Target(workloads.Test), mod.Clone(), "Original", cfg); err != context.Canceled {
+		t.Fatalf("RunWithRecovery: expected context.Canceled, got %v", err)
 	}
 }
 

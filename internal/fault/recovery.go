@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -49,8 +50,12 @@ func (r *RecoveryReport) RecoveryOverhead() float64 {
 
 // RunWithRecovery executes a campaign in which every software detection
 // triggers a restart: the trial is re-run without the fault and the final
-// output must match the golden output bit for bit.
-func RunWithRecovery(t Target, mod *ir.Module, technique string, cfg Config) (*RecoveryReport, error) {
+// output must match the golden output bit for bit. Cancelling ctx stops the
+// campaign between trials and returns the context's error.
+func RunWithRecovery(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Config) (*RecoveryReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("fault: non-positive trial count")
 	}
@@ -58,7 +63,7 @@ func RunWithRecovery(t Target, mod *ir.Module, technique string, cfg Config) (*R
 		cfg.WatchdogFactor = 20
 	}
 
-	goldenMach, err := newMachine(t, mod, 0)
+	goldenMach, err := newMachine(t, mod, 0, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -81,13 +86,16 @@ func RunWithRecovery(t Target, mod *ir.Module, technique string, cfg Config) (*R
 		Workload: t.Name, Technique: technique,
 		Trials: cfg.Trials, GoldenCycles: goldenRes.Cycles,
 	}
-	mach, err := newMachine(t, mod, goldenRes.Dyn*cfg.WatchdogFactor+100_000)
+	mach, err := newMachine(t, mod, goldenRes.Dyn*cfg.WatchdogFactor+100_000, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
 
 	var totalCycles int64
 	for i := 0; i < cfg.Trials; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		plan := &vm.FaultPlan{
 			Kind:       cfg.Kind,

@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -20,7 +21,7 @@ func TestRestartRecoveryAlwaysProducesGoldenOutput(t *testing.T) {
 	}
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 200
-	rep, err := fault.RunWithRecovery(w.Target(workloads.Test), prot, "DupOnly", cfg)
+	rep, err := fault.RunWithRecovery(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
 	if err != nil {
 		t.Fatal(err) // RunWithRecovery errors if any recovery output is wrong
 	}
@@ -54,11 +55,11 @@ func TestRecoveryReducesUSDCVsDetectionOnly(t *testing.T) {
 	}
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 150
-	rep, err := fault.RunWithRecovery(w.Target(workloads.Test), prot, "DupOnly", cfg)
+	rep, err := fault.RunWithRecovery(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := fault.Run(w.Target(workloads.Test), prot, "DupOnly", cfg)
+	plain, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -143,6 +143,9 @@ func (f *Func) Renumber() {
 		}
 	}
 	f.numValues = id
+	if f.Module != nil {
+		f.Module.gen.Add(1) // invalidate any cached lowering (Module.ExecCache)
+	}
 }
 
 // Instrs calls fn for every instruction in block order; returning false

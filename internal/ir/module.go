@@ -1,6 +1,10 @@
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Module is a compiled program: globals plus functions, with "main" as the
 // execution entry point.
@@ -9,6 +13,13 @@ type Module struct {
 	Globals []*Global
 	Funcs   []*Func
 	nextUID int
+
+	// gen counts structural revisions (Renumber, AddGlobal, NewFunc); the
+	// execution-artifact cache below is valid for exactly one revision.
+	gen     atomic.Uint64
+	execMu  sync.Mutex
+	exec    any
+	execGen uint64
 }
 
 // NewModule returns an empty module.
@@ -44,6 +55,7 @@ func (m *Module) Global(name string) *Global {
 func (m *Module) AddGlobal(name string, size int) *Global {
 	g := &Global{Name: name, Size: size}
 	m.Globals = append(m.Globals, g)
+	m.gen.Add(1)
 	return g
 }
 
@@ -54,6 +66,7 @@ func (m *Module) NewFunc(name string, ret Type, params ...*Param) *Func {
 		p.Fn = f
 	}
 	m.Funcs = append(m.Funcs, f)
+	m.gen.Add(1)
 	return f
 }
 
@@ -63,6 +76,23 @@ func (m *Module) Renumber() {
 		f.Renumber()
 		f.ComputeCFG()
 	}
+}
+
+// ExecCache returns the module's cached execution artifact (package vm's
+// precompiled program), building it with build on first use. The cache is
+// keyed to the module's structural generation — Renumber, AddGlobal and
+// NewFunc invalidate it — so the thousands of machines a fault campaign
+// creates share one lowering while transform pipelines that mutate the
+// module never observe a stale one. Safe for concurrent use.
+func (m *Module) ExecCache(build func() any) any {
+	gen := m.gen.Load()
+	m.execMu.Lock()
+	defer m.execMu.Unlock()
+	if m.exec == nil || m.execGen != gen {
+		m.exec = build()
+		m.execGen = gen
+	}
+	return m.exec
 }
 
 // NumInstrs returns the static instruction count across all functions.

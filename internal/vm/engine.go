@@ -1,0 +1,904 @@
+package vm
+
+// Precompiled execution engine, part 2: dispatch.
+//
+// execLoop runs a lowered function (see lower.go) over the same frame, memory,
+// timing, trap, check, tracer, profiler and fault-injection machinery as the
+// reference tree-walking interpreter in exec.go. Each step of the reference
+// blockLoop has a counterpart here, in the same order, so the two engines are
+// observationally identical: same Result fields bit-for-bit, same trace
+// stream, same fault attribution. Per-operand work that the interpreter pays
+// on every dynamic instruction — the ir.Value interface type-switch, the
+// predecessor scan for phis, the latency classification — was paid once at
+// lowering time; frames are pooled per function so campaigns of thousands of
+// trials stop allocating.
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// stopCheckMask throttles cancellation polls: the Stop channel is consulted
+// once every 8192 dynamic instructions, in both engines at the same points,
+// so an unconsumed Stop never perturbs execution.
+const stopCheckMask = 1<<13 - 1
+
+// get resolves a pre-lowered operand slot; constants and global addresses
+// live in pre-filled extension slots, so no immediate branch is needed.
+func (fr *frame) get(o int32) uint64 {
+	return fr.regs[o].bits
+}
+
+// readyAt returns the cycle a pre-lowered operand is available; extension
+// slots keep a ready time of 0 forever (constants and global addresses are
+// always ready, as in Machine.readyOf).
+func (fr *frame) readyAt(o int32) int64 {
+	return fr.regs[o].ready
+}
+
+// getFrame returns a zeroed activation record for ef, reusing a pooled one
+// when available. Only slots on the live list can hold stale state (define
+// appends every written slot to live, and the fault injector mutates live
+// slots only), so clearing those restores the all-zero state a fresh
+// allocation would have — garbage control flow after a branch fault reads
+// undefined slots as 0 in both engines.
+func (m *Machine) getFrame(ef *engFunc) *frame {
+	pool := m.pools[ef.idx]
+	var fr *frame
+	if n := len(pool); n > 0 {
+		fr = pool[n-1]
+		m.pools[ef.idx] = pool[:n-1]
+		for _, s := range fr.live {
+			fr.regs[s] = reg{}
+			fr.defined[s] = false
+		}
+		fr.live = fr.live[:0]
+	} else {
+		n := ef.fn.NumValues()
+		total := n + len(ef.consts)
+		fr = &frame{
+			fn:      ef.fn,
+			regs:    make([]reg, total),
+			live:    make([]int32, 0, n),
+			defined: make([]bool, total),
+		}
+		// Extension slots: constants are defined nowhere, so they are never
+		// on the live list and survive pooled reuse untouched.
+		for i, c := range ef.consts {
+			fr.regs[n+i].bits = c
+		}
+	}
+	fr.entrySP = m.sp
+	return fr
+}
+
+func (m *Machine) putFrame(ef *engFunc, fr *frame) {
+	m.pools[ef.idx] = append(m.pools[ef.idx], fr)
+}
+
+// execCall is the engine counterpart of Machine.call.
+func (m *Machine) execCall(ef *engFunc, args []uint64, depth int) (uint64, *Trap) {
+	if depth > m.cfg.MaxDepth {
+		return 0, &Trap{Kind: TrapStackOverflow, Dyn: m.dyn, Fn: ef.fn.Name}
+	}
+	fr := m.getFrame(ef)
+	now := m.timing.cursor
+	for i := range args {
+		fr.define(i, args[i], now)
+	}
+	ret, trap := m.execLoop(ef, fr, depth)
+	m.sp = fr.entrySP
+	m.putFrame(ef, fr)
+	return ret, trap
+}
+
+// execLoop interprets ef's lowered code against fr.
+//
+// Dispatch is two-level: every define-tail computation (op >= lopIntrinsic)
+// runs through one straight-line path — preamble, inline arithmetic switch,
+// shared issue/define/profile/trace tail — while control flow, memory and
+// checks take the second switch. The preamble is duplicated across the two
+// paths so the hot arithmetic path never branches back.
+func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
+	code := ef.code
+	fn := ef.fn
+	pc := int(ef.entry)
+
+	// Loop-invariant state. None of these change during a run: the fault
+	// plan pointer is fixed (only its fields mutate), the tracer, profiler
+	// and stop channel are per-run options, and the latency table is baked
+	// at machine construction.
+	fault := m.opts.Fault
+	// Pending-fault flags, cleared once the plan fires so completed-fault
+	// trials run at golden speed. A register fault can retry (inject is a
+	// no-op on a frame with no live registers), so the flag follows
+	// fault.Injected rather than the first attempt.
+	pendingReg := fault != nil && fault.Kind == FaultRegister && !fault.Injected
+	pendingBr := fault != nil && fault.Kind == FaultBranchTarget && !fault.Injected
+	tracer := m.opts.Tracer
+	profiler := m.opts.Profiler
+	stop := m.stop
+	maxDyn := m.cfg.MaxDyn
+	tm := m.timing
+	lats := &m.lats
+	mem := m.mem
+	insTab := ef.ins
+
+	// Opcode accounting is region-batched: entering a block body or phi-edge
+	// segment credits one per-region counter (folded against the static
+	// histogram in foldRegionCounts), replacing a read-modify-write per
+	// dynamic instruction. Trap paths retract the pre-credited tail that
+	// never executed via uncountTail, so Result.OpCounts stays bit-identical
+	// to the interpreter's per-instruction counting.
+	rc := m.regionCounts[ef.idx]
+	regionOf := ef.regionOf
+	rc[regionOf[pc]]++
+
+	// The issue cursor stays in registers too — timing.issue is the one
+	// call every dynamic instruction makes — flushed alongside dyn at every
+	// escape point and reloaded after nested calls (see issueAt).
+	cur, slot, maxDone := tm.cursor, tm.slotUsed, tm.maxDone
+	width := tm.width
+	bpen := tm.cfg.BranchPenalty
+	pred := tm.predictor
+	predMask := tm.predMask
+
+	// The dynamic instruction counter stays in a local for the duration of
+	// the loop — it is the single hottest value in the machine — and is
+	// written back to m.dyn at every escape point: nested calls, check
+	// failures, fault redirection, and every return.
+	dyn := m.dyn
+
+	// The three per-instruction events — fault trigger, watchdog, stop poll —
+	// are folded into one compare against the earliest pending fire point
+	// (in pre-increment dyn terms). The slow path re-checks the exact
+	// original conditions, so a stale-low nextEvent costs one extra pass and
+	// nothing else; no event can move earlier without going through the slow
+	// path, which recomputes it. nextEvent = 0 forces recomputation.
+	nextEvent := int64(0)
+
+	for {
+		li := &code[pc]
+		op := li.op
+
+		if op >= lopIntrinsic {
+			// Fast path: pure computations sharing the define tail.
+			if dyn >= nextEvent {
+				if pendingReg && dyn >= fault.TriggerDyn {
+					m.inject(fr)
+					pendingReg = !fault.Injected
+				}
+				dyn++
+				if dyn > maxDyn {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.uncountTail(ef, pc, pc) // trap before the instruction counts
+					return 0, &Trap{Kind: TrapWatchdog, Dyn: dyn, Fn: fn.Name}
+				}
+				if stop != nil && dyn&stopCheckMask == 0 {
+					select {
+					case <-stop:
+						m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+						m.uncountTail(ef, pc, pc)
+						return 0, &Trap{Kind: TrapCancelled, Dyn: dyn, Fn: fn.Name}
+					default:
+					}
+				}
+				nextEvent = maxDyn
+				if stop != nil && dyn|stopCheckMask < nextEvent {
+					nextEvent = dyn | stopCheckMask
+				}
+				if pendingReg && fault.TriggerDyn < nextEvent {
+					nextEvent = fault.TriggerDyn
+				}
+			} else {
+				dyn++
+			}
+
+			var a0, a1 uint64
+			var opsReady int64
+			if op >= lopFirstBinary {
+				a0 = fr.get(li.a0)
+				opsReady = fr.readyAt(li.a0)
+				a1 = fr.get(li.a1)
+				if r := fr.readyAt(li.a1); r > opsReady {
+					opsReady = r
+				}
+			} else if op >= lopFirstUnary {
+				a0 = fr.get(li.a0)
+				opsReady = fr.readyAt(li.a0)
+			} else if li.nargs > 0 {
+				// Generic-arity zone: lopIntrinsic and lopZero.
+				a0 = fr.get(li.a0)
+				opsReady = fr.readyAt(li.a0)
+				if li.nargs > 1 {
+					a1 = fr.get(li.a1)
+					if r := fr.readyAt(li.a1); r > opsReady {
+						opsReady = r
+					}
+					if li.nargs > 2 {
+						if r := fr.readyAt(li.aux); r > opsReady {
+							opsReady = r
+						}
+					}
+				}
+			}
+
+			var bits uint64
+			switch op {
+			case lopAddI, lopPtrAdd:
+				bits = a0 + a1
+			case lopSubI:
+				bits = a0 - a1
+			case lopMulI:
+				bits = a0 * a1
+			case lopDivI:
+				x, y := int64(a0), int64(a1)
+				switch {
+				case y == 0:
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapDivZero, Dyn: dyn, Fn: fn.Name}
+				case x == math.MinInt64 && y == -1:
+					bits = a0 // hardware-style overflow wrap
+				default:
+					bits = uint64(x / y)
+				}
+			case lopRemI:
+				x, y := int64(a0), int64(a1)
+				switch {
+				case y == 0:
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapDivZero, Dyn: dyn, Fn: fn.Name}
+				case x == math.MinInt64 && y == -1:
+					bits = 0
+				default:
+					bits = uint64(x % y)
+				}
+			case lopAnd:
+				bits = a0 & a1
+			case lopOr:
+				bits = a0 | a1
+			case lopXor:
+				bits = a0 ^ a1
+			case lopShl:
+				bits = uint64(int64(a0) << uint(a1&63))
+			case lopShr:
+				bits = uint64(int64(a0) >> uint(a1&63))
+			case lopNegI:
+				bits = uint64(-int64(a0))
+			case lopFToI:
+				f := b2f(a0)
+				switch {
+				case math.IsNaN(f):
+					bits = 0
+				case f >= math.MaxInt64:
+					bits = uint64(int64(math.MaxInt64))
+				case f <= math.MinInt64:
+					v := int64(math.MinInt64)
+					bits = uint64(v)
+				default:
+					bits = uint64(int64(f))
+				}
+
+			case lopAddF:
+				bits = f2b(b2f(a0) + b2f(a1))
+			case lopSubF:
+				bits = f2b(b2f(a0) - b2f(a1))
+			case lopMulF:
+				bits = f2b(b2f(a0) * b2f(a1))
+			case lopDivF:
+				bits = f2b(b2f(a0) / b2f(a1))
+			case lopRemF:
+				bits = f2b(math.Mod(b2f(a0), b2f(a1)))
+			case lopNegF:
+				bits = f2b(-b2f(a0))
+			case lopIToF:
+				bits = f2b(float64(int64(a0)))
+
+			case lopEqI:
+				bits = cbits(a0 == a1)
+			case lopNeI:
+				bits = cbits(a0 != a1)
+			case lopLtI:
+				bits = cbits(int64(a0) < int64(a1))
+			case lopLeI:
+				bits = cbits(int64(a0) <= int64(a1))
+			case lopGtI:
+				bits = cbits(int64(a0) > int64(a1))
+			case lopGeI:
+				bits = cbits(int64(a0) >= int64(a1))
+			case lopEqF:
+				bits = cbits(b2f(a0) == b2f(a1))
+			case lopNeF:
+				bits = cbits(b2f(a0) != b2f(a1))
+			case lopLtF:
+				bits = cbits(b2f(a0) < b2f(a1))
+			case lopLeF:
+				bits = cbits(b2f(a0) <= b2f(a1))
+			case lopGtF:
+				bits = cbits(b2f(a0) > b2f(a1))
+			case lopGeF:
+				bits = cbits(b2f(a0) >= b2f(a1))
+
+			case lopClampI:
+				v, lo, hi := int64(a0), int64(a1), int64(fr.get(li.aux))
+				if r := fr.readyAt(li.aux); r > opsReady {
+					opsReady = r
+				}
+				if v < lo {
+					v = lo
+				}
+				if v > hi {
+					v = hi
+				}
+				bits = uint64(v)
+
+			case lopIntrinsic1, lopIntrinsic2:
+				var ok bool
+				bits, ok = execIntrinsic(ir.Intrinsic(li.aux), a0, a1)
+				if !ok {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapBadCall, Dyn: dyn, Fn: fn.Name}
+				}
+			case lopIntrinsic:
+				var ok bool
+				bits, ok = execIntrinsic(insTab[pc].Intrinsic, a0, a1)
+				if !ok {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapBadCall, Dyn: dyn, Fn: fn.Name}
+				}
+				// lopZero: op/type combination outside the interpreter's
+				// defined set; the reference engine defines 0.
+			}
+
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+			if done > maxDone {
+				maxDone = done
+			}
+			fr.define(int(li.dst), bits, done)
+			if li.prof && profiler != nil {
+				profiler.Record(insTab[pc], bits)
+			}
+			if tracer != nil {
+				tracer.Trace(dyn, fn.Name, insTab[pc], bits)
+			}
+			pc++
+			continue
+		}
+
+		// Pseudo-ops replicate blockLoop control outside the per-instruction
+		// path: neither phi resolution nor the two block-integrity traps pass
+		// through the fault-check/dyn/watchdog preamble in the interpreter.
+		switch op {
+		case lopPhiOne:
+			v := fr.get(li.a0)
+			dyn++
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, 0, lats[latInt])
+			if done > maxDone {
+				maxDone = done
+			}
+			fr.define(int(li.dst), v, done)
+			if tracer != nil {
+				tracer.Trace(dyn, fn.Name, insTab[pc], v)
+			}
+			pc = int(li.then)
+			rc[li.a1]++
+			continue
+		case lopPhiSeq:
+			moves := ef.phiMoves[li.aux : li.aux+li.els]
+			for i := range moves {
+				v := fr.get(moves[i].src)
+				dyn++
+				var done int64
+				cur, slot, done = issueAt(cur, slot, width, 0, lats[latInt])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(moves[i].dst), v, done)
+				if tracer != nil {
+					tracer.Trace(dyn, fn.Name, moves[i].in, v)
+				}
+			}
+			pc = int(li.then)
+			rc[li.a1]++
+			continue
+		case lopPhiBatch:
+			moves := ef.phiMoves[li.aux : li.aux+li.els]
+			scratch := m.phiScratch[:0]
+			for i := range moves {
+				scratch = append(scratch, fr.get(moves[i].src))
+			}
+			for i := range moves {
+				dyn++
+				var done int64
+				cur, slot, done = issueAt(cur, slot, width, 0, lats[latInt])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(moves[i].dst), scratch[i], done)
+				if tracer != nil {
+					tracer.Trace(dyn, fn.Name, moves[i].in, scratch[i])
+				}
+			}
+			m.phiScratch = scratch[:0]
+			pc = int(li.then)
+			rc[li.a1]++
+			continue
+		case lopBadEdge:
+			m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+			return 0, &Trap{Kind: TrapBadCall, Dyn: dyn, Fn: fn.Name}
+		case lopFellOff:
+			// A verified function never falls off a block.
+			m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+			return 0, &Trap{Kind: TrapBadCall, Dyn: dyn, Fn: fn.Name}
+		}
+
+		if dyn >= nextEvent {
+			if pendingReg && dyn >= fault.TriggerDyn {
+				m.inject(fr)
+				pendingReg = !fault.Injected
+			}
+			dyn++
+			if dyn > maxDyn {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				return 0, &Trap{Kind: TrapWatchdog, Dyn: dyn, Fn: fn.Name}
+			}
+			if stop != nil && dyn&stopCheckMask == 0 {
+				select {
+				case <-stop:
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					return 0, &Trap{Kind: TrapCancelled, Dyn: dyn, Fn: fn.Name}
+				default:
+				}
+			}
+			nextEvent = maxDyn
+			if stop != nil && dyn|stopCheckMask < nextEvent {
+				nextEvent = dyn | stopCheckMask
+			}
+			if pendingReg && fault.TriggerDyn < nextEvent {
+				nextEvent = fault.TriggerDyn
+			}
+		} else {
+			dyn++
+		}
+
+		var tbits uint64
+		switch op {
+		case lopJmp:
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, 0, 0)
+			if done > maxDone {
+				maxDone = done
+			}
+			if tracer != nil {
+				tracer.Trace(dyn, fn.Name, insTab[pc], 0)
+			}
+			if pendingBr {
+				from := insTab[pc].Blk
+				pc = int(li.then)
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.engineBranchFault(ef, fr, from, &pc); t != nil {
+					return 0, t
+				}
+				dyn, cur, slot, maxDone = m.dyn, tm.cursor, tm.slotUsed, tm.maxDone
+				pendingBr = !fault.Injected
+				rc[regionOf[pc]]++
+			} else {
+				pc = int(li.then)
+				rc[li.els]++
+			}
+			continue
+
+		case lopBr:
+			cond := fr.get(li.a0)
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), 0)
+			if done > maxDone {
+				maxDone = done
+			}
+			cur, slot = branchAt(cur, slot, pred, predMask, int(li.aux), cond != 0, bpen)
+			if tracer != nil {
+				tracer.Trace(dyn, fn.Name, insTab[pc], 0)
+			}
+			npc := int(li.els)
+			nr := li.a1
+			if cond != 0 {
+				npc = int(li.then)
+				nr = li.dst
+			}
+			if pendingBr {
+				from := insTab[pc].Blk
+				pc = npc
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.engineBranchFault(ef, fr, from, &pc); t != nil {
+					return 0, t
+				}
+				dyn, cur, slot, maxDone = m.dyn, tm.cursor, tm.slotUsed, tm.maxDone
+				pendingBr = !fault.Injected
+				rc[regionOf[pc]]++
+			} else {
+				pc = npc
+				rc[nr]++
+			}
+			continue
+
+		case lopRet:
+			var ret uint64
+			if li.nargs > 0 {
+				ret = fr.get(li.a0)
+			}
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, 0, 0)
+			if done > maxDone {
+				maxDone = done
+			}
+			if tracer != nil {
+				tracer.Trace(dyn, fn.Name, insTab[pc], 0)
+			}
+			m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+			return ret, nil
+
+		case lopCall:
+			cs := &ef.calls[li.aux]
+			n := len(cs.args)
+			if cap(m.callScratch) < n {
+				m.callScratch = make([]uint64, n)
+			}
+			// The scratch is consumed into the callee frame before the
+			// callee body runs, so nested calls can safely reuse it.
+			cargs := m.callScratch[:n]
+			var opsReady int64
+			for i, o := range cs.args {
+				cargs[i] = fr.get(o)
+				if r := fr.readyAt(o); r > opsReady {
+					opsReady = r
+				}
+			}
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, opsReady, m.cfg.Timing.CallOverhead)
+			if done > maxDone {
+				maxDone = done
+			}
+			m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+			ret, trap := m.execCall(cs.callee, cargs, depth+1)
+			if trap != nil {
+				m.uncountTail(ef, pc, pc+1)
+				return 0, trap
+			}
+			dyn, cur, slot, maxDone = m.dyn, tm.cursor, tm.slotUsed, tm.maxDone
+			// The callee may have fired the pending fault.
+			if pendingReg || pendingBr {
+				pendingReg = pendingReg && !fault.Injected
+				pendingBr = pendingBr && !fault.Injected
+			}
+			if li.dst >= 0 {
+				fr.define(int(li.dst), ret, cur)
+				tbits = ret
+			}
+
+		case lopStore:
+			addr := fr.get(li.a0)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				m.uncountTail(ef, pc, pc+1)
+				return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+			}
+			val := fr.get(li.a1)
+			opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+			tm.access(addr)
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, opsReady, lats[latStore])
+			if done > maxDone {
+				maxDone = done
+			}
+			mem[addr] = val
+
+		case lopLoad:
+			addr := fr.get(li.a0)
+			if addr == 0 || addr >= uint64(len(mem)) {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				m.uncountTail(ef, pc, pc+1)
+				return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+			}
+			lat := tm.access(addr)
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lat)
+			if done > maxDone {
+				maxDone = done
+			}
+			bits := mem[addr]
+			fr.define(int(li.dst), bits, done)
+			tbits = bits
+			if profiler != nil {
+				profiler.Record(insTab[pc], bits)
+			}
+
+		case lopAlloca:
+			size := fr.get(li.aux)
+			if m.sp+size > m.memWords {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				m.uncountTail(ef, pc, pc+1)
+				return 0, &Trap{Kind: TrapStackOverflow, Dyn: dyn, Fn: fn.Name}
+			}
+			addr := m.sp
+			m.sp += size
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, 0, lats[latInt])
+			if done > maxDone {
+				maxDone = done
+			}
+			fr.define(int(li.dst), addr, done)
+			tbits = addr
+
+		case lopCmpCheck:
+			a := fr.get(li.a0)
+			b := fr.get(li.a1)
+			opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, opsReady, lats[latCheck])
+			if done > maxDone {
+				maxDone = done
+			}
+			if a != b {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.checkFailed(insTab[pc]); t != nil {
+					m.uncountTail(ef, pc, pc+1)
+					return 0, t
+				}
+			}
+
+		case lopRangeCheckI:
+			v := int64(fr.get(li.a0))
+			lo := int64(fr.get(li.a1))
+			hi := int64(fr.get(li.aux))
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lats[latCheck])
+			if done > maxDone {
+				maxDone = done
+			}
+			if v < lo || v > hi {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.checkFailed(insTab[pc]); t != nil {
+					m.uncountTail(ef, pc, pc+1)
+					return 0, t
+				}
+			}
+
+		case lopRangeCheckF:
+			v := b2f(fr.get(li.a0))
+			lo := b2f(fr.get(li.a1))
+			hi := b2f(fr.get(li.aux))
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lats[latCheck])
+			if done > maxDone {
+				maxDone = done
+			}
+			if !(v >= lo && v <= hi) {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.checkFailed(insTab[pc]); t != nil {
+					m.uncountTail(ef, pc, pc+1)
+					return 0, t
+				}
+			}
+
+		case lopValCheckI:
+			v := fr.get(li.a0)
+			ok := v == fr.get(li.a1)
+			if !ok && li.nargs == 3 {
+				ok = v == fr.get(li.aux)
+			}
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lats[latCheck])
+			if done > maxDone {
+				maxDone = done
+			}
+			if !ok {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.checkFailed(insTab[pc]); t != nil {
+					m.uncountTail(ef, pc, pc+1)
+					return 0, t
+				}
+			}
+
+		case lopValCheckF:
+			// Numeric, not bitwise, to match the value profiler (see the
+			// OpValCheck commentary in exec.go: -0.0 must equal 0).
+			v := b2f(fr.get(li.a0))
+			ok := v == b2f(fr.get(li.a1))
+			if !ok && li.nargs == 3 {
+				ok = v == b2f(fr.get(li.aux))
+			}
+			var done int64
+			cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lats[latCheck])
+			if done > maxDone {
+				maxDone = done
+			}
+			if !ok {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				if t := m.checkFailed(insTab[pc]); t != nil {
+					m.uncountTail(ef, pc, pc+1)
+					return 0, t
+				}
+			}
+		}
+		if tracer != nil {
+			tracer.Trace(dyn, fn.Name, insTab[pc], tbits)
+		}
+		pc++
+	}
+}
+
+// issueAt is timing.issue over register-resident cursor state: execLoop keeps
+// the issue cycle, slot count and completion horizon in locals — the one call
+// every dynamic instruction makes must not go through memory — and flushes
+// them back to the timing struct at every escape point.
+func issueAt(cur int64, slot, width int, opsReady, lat int64) (int64, int, int64) {
+	at := cur
+	if opsReady > at {
+		at = opsReady
+		cur = opsReady
+		slot = 0
+	}
+	slot++
+	if slot >= width {
+		cur++
+		slot = 0
+	}
+	return cur, slot, at + lat
+}
+
+// branchAt is timing.branch over the same register-resident state.
+func branchAt(cur int64, slot int, pred []uint8, predMask, uid int, taken bool, bpen int64) (int64, int) {
+	var s int
+	if predMask >= 0 {
+		s = uid & predMask
+	} else {
+		s = uid % len(pred)
+	}
+	p := pred[s]
+	if (p >= 2) != taken {
+		cur += bpen
+		slot = 0
+	}
+	if taken && p < 3 {
+		pred[s] = p + 1
+	} else if !taken && p > 0 {
+		pred[s] = p - 1
+	}
+	return cur, slot
+}
+
+// uncountTail retracts the part of the current accounting region that a trap
+// at pc kept from executing: region entry pre-credited the whole static
+// histogram, so the instructions in [from, regionEnd) are subtracted back out
+// of opCounts. from is pc for traps the interpreter raises before counting
+// the instruction (watchdog, cancellation) and pc+1 for traps it raises
+// after (division, intrinsics, memory, checks, nested calls).
+func (m *Machine) uncountTail(ef *engFunc, pc, from int) {
+	end := int(ef.regionEnd[ef.regionOf[pc]])
+	for p := from; p < end; p++ {
+		m.opCounts[ef.code[p].origOp]--
+	}
+}
+
+// foldRegionCounts folds the per-region entry counters into opCounts at the
+// end of a run: each entry credits the region's static opcode histogram
+// (trap paths already retracted any unexecuted tail). Counters are consumed,
+// so back-to-back Runs accumulate exactly like the interpreter.
+func (m *Machine) foldRegionCounts() {
+	for fi, rc := range m.regionCounts {
+		hists := m.eng.funcs[fi].regHist
+		for r, c := range rc {
+			if c == 0 {
+				continue
+			}
+			rc[r] = 0
+			for _, h := range hists[r] {
+				m.opCounts[h.op] += c * h.n
+			}
+		}
+	}
+}
+
+// engineBranchFault is the engine counterpart of maybeBranchFault: when a
+// pending branch-target fault is due, redirect the branch just taken to a
+// random block of the executing function and resolve the landing edge
+// dynamically (the lowered code only has edge batches for real CFG edges).
+func (m *Machine) engineBranchFault(ef *engFunc, fr *frame, from *ir.Block, pc *int) *Trap {
+	f := m.opts.Fault
+	if f == nil || f.Injected || f.Kind != FaultBranchTarget || m.dyn < f.TriggerDyn {
+		return nil
+	}
+	f.Injected = true
+	f.TargetUID = -1
+	target := ef.fn.Blocks[f.PickSlot(len(ef.fn.Blocks))]
+	m.laxPhis = true
+	npc, trap := m.dynEdge(ef, fr, from, target)
+	if trap != nil {
+		return trap
+	}
+	*pc = npc
+	return nil
+}
+
+// dynEdge resolves the phi prefix of to for an edge arriving from from —
+// the interpreter's blockLoop prologue — and returns the pc of to's body.
+// Only reached on the branch-fault slow path; real edges were precompiled.
+func (m *Machine) dynEdge(ef *engFunc, fr *frame, from, to *ir.Block) (int, *Trap) {
+	phis := to.Phis()
+	if len(phis) == 0 {
+		return int(ef.bodyPC[to.Index]), nil
+	}
+	scratch := m.phiScratch[:0]
+	for _, phi := range phis {
+		v := phi.PhiIncoming(from)
+		if v == nil {
+			return 0, &Trap{Kind: TrapBadCall, Dyn: m.dyn, Fn: ef.fn.Name}
+		}
+		scratch = append(scratch, m.eval(fr, v))
+	}
+	for i, phi := range phis {
+		m.dyn++
+		m.opCounts[phi.Op]++
+		done := m.timing.issue(0, m.lats[latInt])
+		fr.define(phi.ID, scratch[i], done)
+		m.trace(ef.fn, phi, scratch[i])
+	}
+	m.phiScratch = scratch[:0]
+	return int(ef.bodyPC[to.Index]), nil
+}
+
+// execIntrinsic executes a lowered intrinsic call (clamp has its own opcode).
+// Each case corresponds to one resolved path through evalIntrinsic in exec.go;
+// ok is false for an unknown kind, which the dispatch loop turns into the
+// interpreter's bad-call trap.
+func execIntrinsic(kind ir.Intrinsic, a0, a1 uint64) (uint64, bool) {
+	switch kind {
+	case ir.IntrSqrt:
+		return f2b(math.Sqrt(b2f(a0))), true
+	case ir.IntrFAbs:
+		return f2b(math.Abs(b2f(a0))), true
+	case ir.IntrIAbs:
+		v := int64(a0)
+		if v < 0 {
+			v = -v
+		}
+		return uint64(v), true
+	case ir.IntrFMin:
+		return f2b(math.Min(b2f(a0), b2f(a1))), true
+	case ir.IntrFMax:
+		return f2b(math.Max(b2f(a0), b2f(a1))), true
+	case ir.IntrIMin:
+		if int64(a0) < int64(a1) {
+			return a0, true
+		}
+		return a1, true
+	case ir.IntrIMax:
+		if int64(a0) > int64(a1) {
+			return a0, true
+		}
+		return a1, true
+	case ir.IntrExp:
+		return f2b(math.Exp(b2f(a0))), true
+	case ir.IntrLog:
+		return f2b(math.Log(b2f(a0))), true
+	case ir.IntrFloor:
+		return f2b(math.Floor(b2f(a0))), true
+	case ir.IntrPow:
+		return f2b(math.Pow(b2f(a0), b2f(a1))), true
+	}
+	return 0, false
+}
+
+func cbits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -6,11 +6,18 @@ import (
 	"repro/internal/ir"
 )
 
+// reg is one frame slot: the value and the cycle it becomes available.
+// Keeping them adjacent means every operand read and every define touches
+// one cache line instead of two parallel arrays.
+type reg struct {
+	bits  uint64
+	ready int64
+}
+
 // frame is one activation record.
 type frame struct {
-	fn    *ir.Func
-	vals  []uint64
-	ready []int64 // timing: cycle at which each slot's value is available
+	fn   *ir.Func
+	regs []reg
 	// live lists slots that have been written, in definition order; the
 	// fault injector picks uniformly from it (register-file analog).
 	live    []int32
@@ -22,8 +29,7 @@ func (m *Machine) newFrame(fn *ir.Func) *frame {
 	n := fn.NumValues()
 	return &frame{
 		fn:      fn,
-		vals:    make([]uint64, n),
-		ready:   make([]int64, n),
+		regs:    make([]reg, n),
 		live:    make([]int32, 0, n),
 		defined: make([]bool, n),
 		entrySP: m.sp,
@@ -31,8 +37,7 @@ func (m *Machine) newFrame(fn *ir.Func) *frame {
 }
 
 func (fr *frame) define(slot int, bits uint64, ready int64) {
-	fr.vals[slot] = bits
-	fr.ready[slot] = ready
+	fr.regs[slot] = reg{bits: bits, ready: ready}
 	if !fr.defined[slot] {
 		fr.defined[slot] = true
 		fr.live = append(fr.live, int32(slot))
@@ -45,9 +50,9 @@ func (m *Machine) eval(fr *frame, v ir.Value) uint64 {
 	case *ir.Const:
 		return x.Bits
 	case *ir.Param:
-		return fr.vals[x.ID]
+		return fr.regs[x.ID].bits
 	case *ir.Instr:
-		return fr.vals[x.ID]
+		return fr.regs[x.ID].bits
 	case *ir.Global:
 		return m.globalBase[x.Name]
 	}
@@ -58,9 +63,9 @@ func (m *Machine) eval(fr *frame, v ir.Value) uint64 {
 func (m *Machine) readyOf(fr *frame, v ir.Value) int64 {
 	switch x := v.(type) {
 	case *ir.Param:
-		return fr.ready[x.ID]
+		return fr.regs[x.ID].ready
 	case *ir.Instr:
-		return fr.ready[x.ID]
+		return fr.regs[x.ID].ready
 	}
 	return 0
 }
@@ -96,9 +101,9 @@ func (m *Machine) inject(fr *frame) {
 	}
 	slot := int(fr.live[plan.PickSlot(len(fr.live))])
 	bit := plan.PickBit() & 63
-	old := fr.vals[slot]
+	old := fr.regs[slot].bits
 	newBits := old ^ (1 << uint(bit))
-	fr.vals[slot] = newBits
+	fr.regs[slot].bits = newBits
 
 	plan.Injected = true
 	plan.Bit = bit
@@ -192,6 +197,13 @@ blockLoop:
 			m.dyn++
 			if m.dyn > m.cfg.MaxDyn {
 				return 0, trapAt(TrapWatchdog)
+			}
+			if m.stop != nil && m.dyn&stopCheckMask == 0 {
+				select {
+				case <-m.stop:
+					return 0, trapAt(TrapCancelled)
+				default:
+				}
 			}
 			m.opCounts[in.Op]++
 

@@ -3,8 +3,25 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ir"
+)
+
+// EngineKind selects the execution engine.
+type EngineKind uint8
+
+// Engines. Both implement the same observable semantics — outputs, traps,
+// Dyn, Cycles, check behavior, trace stream and fault attribution are
+// bit-identical; the difftest oracle cross-checks them on every run.
+const (
+	// EngineFast (the default) precompiles each function into a flat
+	// instruction stream with pre-resolved operands (lower.go/engine.go).
+	// The lowering is cached on the module and shared across machines.
+	EngineFast EngineKind = iota
+	// EngineTree is the original tree-walking interpreter (exec.go), kept
+	// as the reference for differential testing.
+	EngineTree
 )
 
 // Config sizes the simulated machine.
@@ -13,6 +30,7 @@ type Config struct {
 	MaxDyn     int64 // watchdog: dynamic instruction budget
 	MaxDepth   int   // call depth limit
 	Timing     TimingConfig
+	Engine     EngineKind
 }
 
 // DefaultConfig returns the configuration used by all experiments.
@@ -79,6 +97,11 @@ type RunOptions struct {
 	// paper's policy of recovering once per check and ignoring a check
 	// that fails again (persistent false positive).
 	DisabledChecks map[int]bool
+	// Stop, when non-nil, is polled every few thousand dynamic
+	// instructions; once it is closed the run terminates with a
+	// TrapCancelled. Program.RunContext wires a context's Done channel
+	// here so long runs are interruptible.
+	Stop <-chan struct{}
 }
 
 // Result summarizes a completed (or trapped) run.
@@ -96,6 +119,17 @@ type Result struct {
 // funcInfo caches static per-function interpreter metadata.
 type funcInfo struct {
 	slotTypes []ir.Type // frame slot -> static type
+}
+
+// vmShared is the module-wide execution artifact held in Module.ExecCache:
+// interpreter metadata plus, when the fast engine is in use, the lowering.
+// Each part is built at most once per module revision; every machine over
+// the same revision shares both. All fields are immutable once built.
+type vmShared struct {
+	infoOnce sync.Once
+	info     map[*ir.Func]*funcInfo
+	engOnce  sync.Once
+	eng      *engModule
 }
 
 // Machine interprets one module instance. Not safe for concurrent use; the
@@ -116,9 +150,20 @@ type Machine struct {
 	info   map[*ir.Func]*funcInfo
 	main   *ir.Func
 
+	// Precompiled-engine state (nil/zero under EngineTree). The lowering is
+	// shared module-wide; frame pools and scratch buffers are per machine.
+	eng          *engModule
+	engMain      *engFunc
+	lats         [latCount]int64
+	pools        [][]*frame
+	phiScratch   []uint64
+	callScratch  []uint64
+	regionCounts [][]int64 // per engFunc: region-entry counters (see foldRegionCounts)
+
 	// Per-run state.
 	dyn           int64
 	opts          RunOptions
+	stop          <-chan struct{}
 	laxPhis       bool
 	checkFails    int64
 	perCheckFails map[int]int64
@@ -153,18 +198,38 @@ func New(mod *ir.Module, cfg Config) (*Machine, error) {
 	m.memWords = addr + uint64(cfg.StackWords)
 	m.mem = make([]uint64, m.memWords)
 
-	for _, f := range mod.Funcs {
-		fi := &funcInfo{slotTypes: make([]ir.Type, f.NumValues())}
-		for _, p := range f.Params {
-			fi.slotTypes[p.ID] = p.Ty
-		}
-		f.Instrs(func(in *ir.Instr) bool {
-			if in.ID < len(fi.slotTypes) {
-				fi.slotTypes[in.ID] = in.Ty
+	// Static per-function metadata and the fast-engine lowering are both
+	// derived from the module alone, so the thousands of machines a fault
+	// campaign creates share one copy via the module's revision-keyed cache.
+	sh := mod.ExecCache(func() any { return new(vmShared) }).(*vmShared)
+	sh.infoOnce.Do(func() {
+		info := make(map[*ir.Func]*funcInfo, len(mod.Funcs))
+		for _, f := range mod.Funcs {
+			fi := &funcInfo{slotTypes: make([]ir.Type, f.NumValues())}
+			for _, p := range f.Params {
+				fi.slotTypes[p.ID] = p.Ty
 			}
-			return true
-		})
-		m.info[f] = fi
+			f.Instrs(func(in *ir.Instr) bool {
+				if in.ID < len(fi.slotTypes) {
+					fi.slotTypes[in.ID] = in.Ty
+				}
+				return true
+			})
+			info[f] = fi
+		}
+		sh.info = info
+	})
+	m.info = sh.info
+	if cfg.Engine == EngineFast {
+		sh.engOnce.Do(func() { sh.eng = lowerModule(mod) })
+		m.eng = sh.eng
+		m.engMain = m.eng.byFn[main]
+		m.lats = latTableFrom(cfg.Timing)
+		m.pools = make([][]*frame, len(m.eng.funcs))
+		m.regionCounts = make([][]int64, len(m.eng.funcs))
+		for i, ef := range m.eng.funcs {
+			m.regionCounts[i] = make([]int64, len(ef.regionEnd))
+		}
 	}
 	m.Reset()
 	return m, nil
@@ -226,6 +291,11 @@ func (m *Machine) Reset() {
 	for i := range m.opCounts {
 		m.opCounts[i] = 0
 	}
+	for _, rc := range m.regionCounts {
+		for i := range rc {
+			rc[i] = 0
+		}
+	}
 	m.timing.reset()
 }
 
@@ -271,10 +341,18 @@ func (m *Machine) ReadGlobalFloats(name string) ([]float64, error) {
 // not Reset so callers can pre-poke memory in tests).
 func (m *Machine) Run(opts RunOptions) *Result {
 	m.opts = opts
+	m.stop = opts.Stop
 	if opts.CountChecks {
 		m.perCheckFails = make(map[int]int64)
 	}
-	ret, trap := m.call(m.main, nil, 0)
+	var ret uint64
+	var trap *Trap
+	if m.eng != nil {
+		ret, trap = m.execCall(m.engMain, nil, 0)
+		m.foldRegionCounts()
+	} else {
+		ret, trap = m.call(m.main, nil, 0)
+	}
 	res := &Result{
 		Ret:           ret,
 		Dyn:           m.dyn,

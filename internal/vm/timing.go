@@ -63,14 +63,45 @@ type timing struct {
 
 	cacheTags []uint64 // direct-mapped tag store; 0 = invalid, tag+1 stored
 	predictor []uint8  // 2-bit saturating counters
+	width     int      // cfg.IssueWidth, hoisted out of the embedded struct
+
+	// Strength-reduced index math for the common power-of-two geometry.
+	// The default config (8-word lines, 512 lines, 1024 predictor slots)
+	// would otherwise pay two hardware divides on every memory access.
+	lineShift uint   // log2(CacheLineWords); valid when pow2 is set
+	slotMask  uint64 // len(cacheTags)-1; valid when pow2 is set
+	pow2      bool   // CacheLineWords and CacheLines are powers of two
+	predMask  int    // len(predictor)-1 when a power of two, else -1
 }
 
 func newTiming(cfg TimingConfig) *timing {
-	return &timing{
+	t := &timing{
 		cfg:       cfg,
 		cacheTags: make([]uint64, cfg.CacheLines),
 		predictor: make([]uint8, cfg.PredictorSlots),
+		predMask:  -1,
+		width:     cfg.IssueWidth,
 	}
+	if isPow2(cfg.CacheLineWords) && isPow2(cfg.CacheLines) {
+		t.pow2 = true
+		t.lineShift = log2(cfg.CacheLineWords)
+		t.slotMask = uint64(cfg.CacheLines - 1)
+	}
+	if isPow2(cfg.PredictorSlots) {
+		t.predMask = cfg.PredictorSlots - 1
+	}
+	return t
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
 }
 
 func (t *timing) reset() {
@@ -101,7 +132,7 @@ func (t *timing) issue(opsReady int64, lat int64) int64 {
 		t.slotUsed = 0
 	}
 	t.slotUsed++
-	if t.slotUsed >= t.cfg.IssueWidth {
+	if t.slotUsed >= t.width {
 		t.cursor++
 		t.slotUsed = 0
 	}
@@ -115,8 +146,14 @@ func (t *timing) issue(opsReady int64, lat int64) int64 {
 // access models a data-cache access at word address addr, returning the
 // access latency (hit or miss).
 func (t *timing) access(addr uint64) int64 {
-	line := addr / uint64(t.cfg.CacheLineWords)
-	slot := line % uint64(len(t.cacheTags))
+	var line, slot uint64
+	if t.pow2 {
+		line = addr >> t.lineShift
+		slot = line & t.slotMask
+	} else {
+		line = addr / uint64(t.cfg.CacheLineWords)
+		slot = line % uint64(len(t.cacheTags))
+	}
 	if t.cacheTags[slot] == line+1 {
 		return t.cfg.LatLoad
 	}
@@ -127,7 +164,12 @@ func (t *timing) access(addr uint64) int64 {
 // branch models a branch with the 2-bit predictor; uid identifies the
 // static branch, taken is the outcome. A misprediction stalls the front end.
 func (t *timing) branch(uid int, taken bool) {
-	slot := uid % len(t.predictor)
+	var slot int
+	if t.predMask >= 0 {
+		slot = uid & t.predMask
+	} else {
+		slot = uid % len(t.predictor)
+	}
 	p := t.predictor[slot]
 	predictTaken := p >= 2
 	if predictTaken != taken {

@@ -25,6 +25,7 @@ const (
 	TrapStackOverflow          // call depth or stack space exhausted
 	TrapCheck                  // a software fault-detection check fired
 	TrapBadCall                // call to an unresolved function
+	TrapCancelled              // RunOptions.Stop closed (context cancellation)
 )
 
 func (k TrapKind) String() string {
@@ -43,6 +44,8 @@ func (k TrapKind) String() string {
 		return "check"
 	case TrapBadCall:
 		return "bad-call"
+	case TrapCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("trap(%d)", uint8(k))
 }

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -261,7 +262,7 @@ func TestJpegdecStreamFaultsCorruptManyBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := fault.Run(w.Target(Test), mod.Clone(), "Original", fault.Config{
+	rep, err := fault.Run(context.Background(), w.Target(Test), mod.Clone(), "Original", fault.Config{
 		Trials: 400, Seed: 77, SymptomWindow: 1000, WatchdogFactor: 20, LargeChange: 1,
 	})
 	if err != nil {

@@ -20,6 +20,7 @@
 package softft
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -126,12 +127,26 @@ func (r *Result) Words(global string) ([]uint64, error) {
 // counted, not fatal; traps (out-of-bounds, division by zero, runaway
 // loops) surface as errors.
 func (p *Program) Run(in *Input) (*Result, error) {
+	return p.RunContext(context.Background(), in)
+}
+
+// RunContext is Run with cancellation: the machine polls ctx's Done channel
+// every few thousand simulated instructions and aborts the run with an error
+// wrapping ctx.Err() once it is closed.
+func (p *Program) RunContext(ctx context.Context, in *Input) (*Result, error) {
 	mach, err := p.machine(in)
 	if err != nil {
 		return nil, err
 	}
-	res := mach.Run(vm.RunOptions{CountChecks: true})
+	var stop <-chan struct{}
+	if ctx != nil {
+		stop = ctx.Done()
+	}
+	res := mach.Run(vm.RunOptions{CountChecks: true, Stop: stop})
 	if res.Trap != nil {
+		if res.Trap.Kind == vm.TrapCancelled && ctx.Err() != nil {
+			return nil, fmt.Errorf("softft: %s: %w", p.name, ctx.Err())
+		}
 		return nil, fmt.Errorf("softft: %s: %w", p.name, res.Trap)
 	}
 	return &Result{Dyn: res.Dyn, Cycles: res.Cycles, CheckFailures: res.CheckFails, mach: mach}, nil
