@@ -407,9 +407,10 @@ func BenchmarkInterpreter(b *testing.B) {
 }
 
 // BenchmarkCampaign measures end-to-end fault-campaign throughput (trials
-// per second) on each execution engine — the workload the precompiled
-// engine exists to accelerate. Single-worker so the comparison measures
-// engine speed, not scheduler behavior.
+// per second) across the engine × checkpoint grid — the workload the
+// precompiled engine and the checkpoint scheduler exist to accelerate.
+// Single-worker so the comparison measures engine and scheduler speed, not
+// host parallelism.
 func BenchmarkCampaign(b *testing.B) {
 	w := workloads.ByName("jpegdec")
 	mod, err := w.Compile()
@@ -419,7 +420,12 @@ func BenchmarkCampaign(b *testing.B) {
 	for _, bc := range []struct {
 		name   string
 		engine vm.EngineKind
-	}{{"fast", vm.EngineFast}, {"tree", vm.EngineTree}} {
+		ckpt   int
+	}{
+		{"fast-ckpt", vm.EngineFast, 0},
+		{"fast-scratch", vm.EngineFast, -1},
+		{"tree", vm.EngineTree, -1},
+	} {
 		b.Run(bc.name, func(b *testing.B) {
 			var trials int
 			b.ResetTimer()
@@ -427,6 +433,7 @@ func BenchmarkCampaign(b *testing.B) {
 				cfg := benchCfg(60, int64(i))
 				cfg.Engine = bc.engine
 				cfg.Workers = 1
+				cfg.Checkpoints = bc.ckpt
 				rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod.Clone(), "Original", cfg)
 				if err != nil {
 					b.Fatal(err)

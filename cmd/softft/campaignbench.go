@@ -1,0 +1,125 @@
+package main
+
+// Campaign throughput benchmark (-bench-campaign): measures fault-injection
+// trials per second for every built-in workload across the engine ×
+// checkpoint grid and writes the BENCH_campaign.json artifact tracked in
+// the repository, so the perf trajectory of the campaign path is recorded
+// next to the code that moves it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// campaignBenchRow is one cell of the workload × engine × checkpoint grid.
+type campaignBenchRow struct {
+	Workload     string  `json:"workload"`
+	Engine       string  `json:"engine"`
+	Checkpoint   bool    `json:"checkpoint"`
+	Trials       int     `json:"trials"`
+	GoldenDyn    int64   `json:"golden_dyn"`
+	Seconds      float64 `json:"seconds"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// campaignBenchArtifact is the BENCH_campaign.json schema. Speedups are
+// per-workload ratios of the fast engine's checkpointed over from-scratch
+// throughput; SpeedupGeomean is the campaign-level headline.
+type campaignBenchArtifact struct {
+	Generated      string             `json:"generated"`
+	GoVersion      string             `json:"go_version"`
+	TrialsPerCell  int                `json:"trials_per_cell"`
+	Workers        int                `json:"workers"`
+	Seed           int64              `json:"seed"`
+	Rows           []campaignBenchRow `json:"rows"`
+	Speedup        map[string]float64 `json:"speedup_ckpt_vs_scratch"`
+	SpeedupGeomean float64            `json:"speedup_geomean"`
+}
+
+// runCampaignBench measures every cell with a single worker (so the numbers
+// compare engine and scheduler speed, not host parallelism) and writes the
+// artifact to path.
+func runCampaignBench(path string, trials int, seed int64) error {
+	if trials <= 0 {
+		trials = 100
+	}
+	grid := []struct {
+		name   string
+		engine vm.EngineKind
+		ckpt   int
+	}{
+		{"fast", vm.EngineFast, 0},  // checkpointed (auto schedule)
+		{"fast", vm.EngineFast, -1}, // from scratch
+		{"tree", vm.EngineTree, -1},
+	}
+	art := &campaignBenchArtifact{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		TrialsPerCell: trials,
+		Workers:       1,
+		Seed:          seed,
+		Speedup:       make(map[string]float64),
+	}
+	for _, w := range workloads.All() {
+		mod, err := w.Compile()
+		if err != nil {
+			return err
+		}
+		var ckptRate, scratchRate float64
+		for _, g := range grid {
+			cfg := fault.DefaultConfig()
+			cfg.Trials = trials
+			cfg.Seed = seed
+			cfg.Workers = 1
+			cfg.Engine = g.engine
+			cfg.Checkpoints = g.ckpt
+			start := time.Now()
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod, "Original", cfg)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", w.Name, g.name, err)
+			}
+			secs := time.Since(start).Seconds()
+			row := campaignBenchRow{
+				Workload:     w.Name,
+				Engine:       g.name,
+				Checkpoint:   g.ckpt >= 0,
+				Trials:       rep.Tally.N,
+				GoldenDyn:    rep.GoldenDyn,
+				Seconds:      secs,
+				TrialsPerSec: float64(rep.Tally.N) / secs,
+			}
+			art.Rows = append(art.Rows, row)
+			if g.engine == vm.EngineFast {
+				if g.ckpt >= 0 {
+					ckptRate = row.TrialsPerSec
+				} else {
+					scratchRate = row.TrialsPerSec
+				}
+			}
+			fmt.Fprintf(os.Stderr, "bench-campaign %-10s %s ckpt=%-5v %8.1f trials/s\n",
+				w.Name, g.name, g.ckpt >= 0, row.TrialsPerSec)
+		}
+		art.Speedup[w.Name] = ckptRate / scratchRate
+	}
+	logSum := 0.0
+	for _, s := range art.Speedup {
+		logSum += math.Log(s)
+	}
+	art.SpeedupGeomean = math.Exp(logSum / float64(len(art.Speedup)))
+	fmt.Fprintf(os.Stderr, "bench-campaign geomean checkpoint speedup: %.2fx\n", art.SpeedupGeomean)
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

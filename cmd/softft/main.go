@@ -8,6 +8,7 @@
 //	softft -bench jpegdec -mode dupval -inject 500
 //	softft -bench mp3dec -dump
 //	softft -src prog.sf -run
+//	softft -bench-campaign BENCH_campaign.json
 package main
 
 import (
@@ -34,8 +35,18 @@ func main() {
 		useCFC  = flag.Bool("cfc", false, "add signature-based control-flow checks")
 		trace   = flag.Int64("trace", 0, "print an execution trace of up to N instructions")
 		branch  = flag.Bool("branch-faults", false, "inject branch-target faults instead of register bit flips")
+
+		benchCampaign = flag.String("bench-campaign", "", "measure campaign throughput over all benchmarks and write the JSON artifact to this path")
+		benchTrials   = flag.Int("bench-trials", 100, "trials per grid cell for -bench-campaign")
 	)
 	flag.Parse()
+
+	if *benchCampaign != "" {
+		if err := runCampaignBench(*benchCampaign, *benchTrials, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, name := range softft.Benchmarks() {

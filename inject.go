@@ -37,6 +37,13 @@ type Campaign struct {
 	// Figure 2 split). 0 uses the default threshold of 1.0, i.e. a 100%
 	// relative change.
 	LargeChange float64
+	// Checkpoints controls golden-prefix snapshotting: trials restore the
+	// snapshot nearest below their injection point instead of re-executing
+	// the fault-free prefix. 0 (the default) sizes the snapshot schedule
+	// automatically; > 0 requests an explicit count; < 0 disables
+	// checkpointing. Results are bit-identical either way — this is purely
+	// a throughput knob.
+	Checkpoints int
 }
 
 // Outcomes aggregates a campaign: counts per outcome class plus the
@@ -114,6 +121,7 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 	if c.LargeChange > 0 {
 		cfg.LargeChange = c.LargeChange
 	}
+	cfg.Checkpoints = c.Checkpoints
 	target := fault.Target{
 		Name:       p.name,
 		Bind:       func(m *vm.Machine) error { return in.bind(m) },

@@ -18,8 +18,9 @@ const (
 	InvTrap      = "trap"        // a fault-free run trapped
 	InvOutput    = "output"      // outputs differ across pipeline/mode combos
 	InvCheck     = "check-fired" // a software check fired on the profiled input
-	InvCostOrder = "cost-order"  // timing cost not ordered across modes
-	InvEngine    = "engine-diff" // precompiled engine disagrees with the tree interpreter
+	InvCostOrder  = "cost-order"      // timing cost not ordered across modes
+	InvEngine     = "engine-diff"     // precompiled engine disagrees with the tree interpreter
+	InvCheckpoint = "checkpoint-diff" // suspend/snapshot/restore run disagrees with uninterrupted run
 )
 
 // Failure describes one violated invariant. It implements error.
@@ -144,6 +145,16 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 			// must agree with the precompiled engine on every observable.
 			if d := diffEngines(r, runModule(pm, ints, floats, cfg.MaxDyn, vm.EngineTree)); d != "" {
 				return &Failure{Invariant: InvEngine, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+			}
+			// Checkpoint cross-check (full pipeline: the invariant probes
+			// the vm's snapshot machinery, not the pass pipeline): a run
+			// suspended mid-flight and finished — by resuming in place and
+			// by restoring the snapshot elsewhere — must match the
+			// uninterrupted run.
+			if pl.Name == "full" {
+				if d := diffCheckpoint(pm, ints, floats, cfg.MaxDyn, r); d != "" {
+					return &Failure{Invariant: InvCheckpoint, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+				}
 			}
 			if ref == nil {
 				ref = r
@@ -290,6 +301,71 @@ func runModule(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, eng
 		return &runOut{trap: err}
 	}
 	return &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles, checkFails: res.CheckFails}
+}
+
+// diffCheckpoint re-runs the module with a mid-flight suspension, captures
+// a snapshot, and finishes the run twice — resuming the same machine, then
+// restoring the snapshot into a fresh one. Both must reproduce the
+// uninterrupted reference run's observables bit for bit. Programs too short
+// to pause mid-run are skipped.
+func diffCheckpoint(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, ref *runOut) string {
+	if ref.dyn < 4 {
+		return ""
+	}
+	cut := ref.dyn / 2
+	mach, err := newMachine(mod, ints, floats, maxDyn)
+	if err != nil {
+		return err.Error()
+	}
+	if res := mach.Run(vm.RunOptions{CountChecks: true, SuspendAtDyn: cut}); res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
+		return fmt.Sprintf("no suspension at dyn %d: trap=%v", cut, res.Trap)
+	}
+	snap, err := mach.Snapshot()
+	if err != nil {
+		return err.Error()
+	}
+	if d := diffFinished("resumed", mach, ref); d != "" {
+		return d
+	}
+	fresh, err := newMachine(mod, ints, floats, maxDyn)
+	if err != nil {
+		return err.Error()
+	}
+	if err := fresh.Restore(snap); err != nil {
+		return err.Error()
+	}
+	return diffFinished("restored", fresh, ref)
+}
+
+// diffFinished runs a suspended machine to completion and compares every
+// observable against the uninterrupted reference.
+func diffFinished(label string, mach *vm.Machine, ref *runOut) string {
+	res := mach.Run(vm.RunOptions{CountChecks: true})
+	if res.Trap != nil {
+		return fmt.Sprintf("%s run trapped: %v", label, res.Trap)
+	}
+	out, err := mach.ReadGlobal("out")
+	if err != nil {
+		return err.Error()
+	}
+	fout, err := mach.ReadGlobal("fout")
+	if err != nil {
+		return err.Error()
+	}
+	got := &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles, checkFails: res.CheckFails}
+	if d := diffOutputs(ref, got); d != "" {
+		return label + " " + d
+	}
+	if got.dyn != ref.dyn {
+		return fmt.Sprintf("%s dyn: %d != %d", label, got.dyn, ref.dyn)
+	}
+	if got.cycles != ref.cycles {
+		return fmt.Sprintf("%s cycles: %d != %d", label, got.cycles, ref.cycles)
+	}
+	if got.checkFails != ref.checkFails {
+		return fmt.Sprintf("%s checkFails: %d != %d", label, got.checkFails, ref.checkFails)
+	}
+	return ""
 }
 
 // diffOutputs compares raw output words and returns a description of the

@@ -1,0 +1,197 @@
+package fault
+
+// Checkpoint-aware campaign scheduling. Every SFI trial is bit-identical to
+// the golden run until its fault triggers, so re-executing the golden prefix
+// from dyn 0 on each trial wastes — on average — half of every campaign's
+// cycles. Instead, one instrumented golden run drops K immutable snapshots
+// at interval boundaries (vm.Machine.Snapshot via RunOptions.SuspendAtDyn),
+// trials are binned by the snapshot nearest below their pre-drawn trigger
+// point, and workers claim whole bins, running each trial as
+// restore-snapshot + execute-forward.
+//
+// Correctness rests on three facts:
+//
+//  1. The suspend point uses the same eligibility condition as register
+//     fault injection (first non-phi instruction whose pre-increment dyn
+//     reaches the requested index), so no fault-eligible instruction lies
+//     between a requested snapshot index and the actual suspension — a
+//     snapshot requested at S serves every trial whose effective trigger is
+//     >= S.
+//  2. The instrumented run executes with the campaign's DisabledChecks set
+//     (and nothing else), exactly like a trial's prefix: disabled checks
+//     leave no trace in any counter, so the snapshot state equals the state
+//     a from-scratch trial holds at the suspend point, bit for bit.
+//  3. Trial randomness is unaffected: triggers are pre-drawn with the same
+//     per-trial seed scheme and draw order runTrial uses, and runTrial
+//     re-seeds and re-draws them, so binning never perturbs a sequence.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+const (
+	// minSnapInterval is the smallest golden-prefix span worth a snapshot:
+	// below this, restore overhead (full memory copy) rivals re-execution.
+	minSnapInterval = 20_000
+	// maxSnapshots bounds memory held by a campaign's snapshot set.
+	maxSnapshots = 32
+)
+
+// checkpointSchedule returns the dyn indices at which the instrumented
+// golden run suspends to capture snapshots, evenly spaced over the golden
+// run, or nil when checkpointing is skipped: explicit opt-out
+// (cfg.Checkpoints < 0), a non-fast engine (snapshots are a fast-engine
+// feature), or a golden run too short to amortize the snapshot overhead.
+func checkpointSchedule(cfg Config, goldenDyn int64) []int64 {
+	if cfg.Checkpoints < 0 || cfg.Engine != vm.EngineFast {
+		return nil
+	}
+	n := cfg.Checkpoints
+	if n == 0 {
+		n = int(goldenDyn / minSnapInterval)
+		if n > maxSnapshots {
+			n = maxSnapshots
+		}
+	}
+	if n < 2 {
+		return nil
+	}
+	snapAt := make([]int64, 0, n)
+	last := int64(0)
+	for k := 0; k < n; k++ {
+		s := goldenDyn * int64(k+1) / int64(n+1)
+		if s > last {
+			snapAt = append(snapAt, s)
+			last = s
+		}
+	}
+	if len(snapAt) < 2 {
+		return nil
+	}
+	return snapAt
+}
+
+// drawTriggers pre-draws every trial's TriggerDyn for binning, using the
+// identical seed scheme and first-draw position as runTrial.
+func drawTriggers(cfg Config, goldenDyn int64) []int64 {
+	src := rand.NewSource(0)
+	rng := rand.New(src)
+	triggers := make([]int64, cfg.Trials)
+	for i := range triggers {
+		src.Seed(cfg.Seed + int64(i)*7919)
+		triggers[i] = rng.Int63n(goldenDyn)
+	}
+	return triggers
+}
+
+// effectiveTrigger is the earliest dyn index whose machine state a trial's
+// injection can observe. Register faults fire at the first fault-eligible
+// instruction with pre-increment dyn >= TriggerDyn — the suspend point
+// itself. Branch-target faults fire at the first taken branch whose
+// post-increment dyn reaches TriggerDyn, i.e. pre-increment TriggerDyn-1.
+func effectiveTrigger(kind vm.FaultKind, trigger int64) int64 {
+	if kind == vm.FaultBranchTarget {
+		return trigger - 1
+	}
+	return trigger
+}
+
+// takeSnapshots performs the instrumented golden run: one machine executes
+// the golden prefix once, suspending at each scheduled dyn index to capture
+// an immutable snapshot. Snapshots are shared read-only across workers.
+func takeSnapshots(t Target, mod *ir.Module, cfg Config, disabled map[int]bool, maxDyn int64, snapAt []int64) ([]*vm.Snapshot, error) {
+	mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	snaps := make([]*vm.Snapshot, len(snapAt))
+	for k, s := range snapAt {
+		res := mach.Run(vm.RunOptions{DisabledChecks: disabled, SuspendAtDyn: s})
+		if res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
+			return nil, fmt.Errorf("fault: snapshot run requested suspend at dyn %d, got %v", s, res.Trap)
+		}
+		if snaps[k], err = mach.Snapshot(); err != nil {
+			return nil, err
+		}
+	}
+	return snaps, nil
+}
+
+// runTrialsCheckpointed is the checkpoint-aware campaign body. Trials are
+// binned by the nearest snapshot at or before their effective trigger
+// (bin 0 = no usable snapshot, run from scratch), and workers claim whole
+// bins so each worker touches few snapshots and the expensive scratch bin
+// is started first.
+func runTrialsCheckpointed(ctx context.Context, t Target, mod *ir.Module, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, workers int, snapAt []int64, rep *Report) error {
+	if ctx.Err() != nil {
+		return nil // Run reports ctx.Err() after the pool drains
+	}
+	triggers := drawTriggers(cfg, goldenDyn)
+	snaps, err := takeSnapshots(t, mod, cfg, disabled, maxDyn, snapAt)
+	if err != nil {
+		return err
+	}
+
+	// bins[0] holds trials whose effective trigger precedes the first
+	// snapshot; bins[b] for b >= 1 restores snaps[b-1].
+	bins := make([][]int, len(snapAt)+1)
+	for i, trig := range triggers {
+		eff := effectiveTrigger(cfg.Kind, trig)
+		b := sort.Search(len(snapAt), func(k int) bool { return snapAt[k] > eff })
+		bins[b] = append(bins[b], i)
+	}
+
+	var wg sync.WaitGroup
+	binCh := make(chan int, len(bins))
+	errCh := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			src := rand.NewSource(0)
+			rng := rand.New(src)
+			for b := range binCh {
+				var snap *vm.Snapshot
+				if b > 0 {
+					snap = snaps[b-1]
+				}
+				for _, i := range bins[b] {
+					if ctx.Err() != nil {
+						return
+					}
+					tr, err := runTrial(mach, snap, t, cfg, golden, goldenDyn, disabled, i, src, rng)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					rep.Trials[i] = tr
+				}
+			}
+		}()
+	}
+	// Ascending bin order puts the scratch bin (longest per-trial runtime)
+	// at the front of the queue.
+	for b := range bins {
+		binCh <- b
+	}
+	close(binCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}

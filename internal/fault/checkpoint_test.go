@@ -1,0 +1,200 @@
+package fault_test
+
+// Checkpoint-equivalence suite: the checkpointed campaign path (snapshot
+// the golden prefix, restore per trial) must be bit-identical to the
+// from-scratch path — same Tally, same per-trial records, same golden-run
+// statistics — across every workload and protection mode, for register and
+// branch-target fault models, and with check counting both enabled and
+// squelched. This is the acceptance gate for the checkpoint scheduler.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/profile"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// protectedFor compiles workload name and applies mode (profiling on the
+// training input when the mode needs it).
+func protectedFor(t *testing.T, w *workloads.Workload, mode core.Mode) *ir.Module {
+	t.Helper()
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := mod.Clone()
+	var prof *profile.Data
+	if mode == core.ModeDupVal {
+		mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Bind(mach, workloads.Train); err != nil {
+			t.Fatal(err)
+		}
+		mach.Reset()
+		col := profile.NewCollector(profile.DefaultBins)
+		if res := mach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+			t.Fatalf("profiling trapped: %v", res.Trap)
+		}
+		prof = col.Data()
+	}
+	if _, err := core.Protect(prot, mode, prof, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	return prot
+}
+
+// diffReports fails the test unless the two campaign reports are
+// bit-identical in every field the campaign publishes.
+func diffReports(t *testing.T, label string, ckpt, scratch *fault.Report) {
+	t.Helper()
+	if ckpt.Tally != scratch.Tally {
+		t.Fatalf("%s: tallies differ:\nckpt=%+v\nscratch=%+v", label, ckpt.Tally, scratch.Tally)
+	}
+	if ckpt.GoldenDyn != scratch.GoldenDyn || ckpt.GoldenCycles != scratch.GoldenCycles {
+		t.Fatalf("%s: golden stats differ: ckpt=(%d,%d) scratch=(%d,%d)",
+			label, ckpt.GoldenDyn, ckpt.GoldenCycles, scratch.GoldenDyn, scratch.GoldenCycles)
+	}
+	if ckpt.DisabledChecks != scratch.DisabledChecks {
+		t.Fatalf("%s: DisabledChecks: ckpt=%d scratch=%d", label, ckpt.DisabledChecks, scratch.DisabledChecks)
+	}
+	for i := range ckpt.Trials {
+		if ckpt.Trials[i] != scratch.Trials[i] {
+			t.Fatalf("%s: trial %d differs:\nckpt=%+v\nscratch=%+v",
+				label, i, ckpt.Trials[i], scratch.Trials[i])
+		}
+	}
+}
+
+// checkpointVsScratch runs the same campaign twice — checkpointing forced
+// on and forced off — and requires bit-identical reports.
+func checkpointVsScratch(t *testing.T, w *workloads.Workload, mod *ir.Module, technique string, cfg fault.Config) {
+	t.Helper()
+	run := func(ckpt int) *fault.Report {
+		c := cfg
+		c.Checkpoints = ckpt
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod, technique, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	diffReports(t, w.Name+"/"+technique, run(6), run(-1))
+}
+
+// TestCampaignCheckpointEquivalence is the acceptance matrix: all workloads
+// × all protection modes, checkpointed vs from-scratch. Under the race
+// detector (which runs ~10x slower and is after the snapshot sharing, not
+// the matrix breadth) the matrix is trimmed to representative cells.
+func TestCampaignCheckpointEquivalence(t *testing.T) {
+	modes := []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+	names := make([]string, 0, 13)
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	if raceEnabled {
+		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
+		modes = []core.Mode{core.ModeOriginal, core.ModeDupVal}
+	}
+	for _, name := range names {
+		for _, mode := range modes {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				w := workloads.ByName(name)
+				prot := protectedFor(t, w, mode)
+				cfg := fault.DefaultConfig()
+				cfg.Trials = 12
+				checkpointVsScratch(t, w, prot, mode.String(), cfg)
+			})
+		}
+	}
+}
+
+// TestCampaignCheckpointEquivalenceBranch covers the branch-target fault
+// model, whose trigger fires one dyn index earlier than the register
+// model's (the scheduler's effectiveTrigger offset).
+func TestCampaignCheckpointEquivalenceBranch(t *testing.T) {
+	for _, name := range []string{"kmeans", "g721enc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.ByName(name)
+			prot := protectedFor(t, w, core.ModeDupOnly)
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 20
+			cfg.Kind = vm.FaultBranchTarget
+			checkpointVsScratch(t, w, prot, "DupOnly", cfg)
+		})
+	}
+}
+
+// TestCampaignEngineEquivalenceBranch extends the fast-vs-tree campaign
+// equivalence check to branch-target faults (the engine suite exercises
+// the campaign only under FaultRegister).
+func TestCampaignEngineEquivalenceBranch(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(engine vm.EngineKind) *fault.Report {
+		cfg := fault.DefaultConfig()
+		cfg.Trials = 60
+		cfg.Engine = engine
+		cfg.Kind = vm.FaultBranchTarget
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod.Clone(), "Original", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	diffReports(t, "branch", run(vm.EngineFast), run(vm.EngineTree))
+}
+
+// TestFalsePositivesEngineEquivalence compares the CountChecks accounting
+// path across engines on a DupVal binary whose value checks fire
+// fault-free.
+func TestFalsePositivesEngineEquivalence(t *testing.T) {
+	w := workloads.ByName("svm")
+	prot := protectedFor(t, w, core.ModeDupVal)
+	fast, err := fault.FalsePositivesEngine(w.Target(workloads.Test), prot, vm.EngineFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := fault.FalsePositivesEngine(w.Target(workloads.Test), prot, vm.EngineTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *fast != *tree {
+		t.Fatalf("false-positive reports differ:\nfast=%+v\ntree=%+v", *fast, *tree)
+	}
+}
+
+// TestRecoveryCheckpointEquivalence checks the recovery campaign — which
+// restores snapshots both for faulty runs and for restart re-runs — against
+// its from-scratch twin.
+func TestRecoveryCheckpointEquivalence(t *testing.T) {
+	w := workloads.ByName("g721dec")
+	prot := protectedFor(t, w, core.ModeDupOnly)
+	run := func(ckpt int) *fault.RecoveryReport {
+		cfg := fault.DefaultConfig()
+		cfg.Trials = 30
+		cfg.Checkpoints = ckpt
+		rep, err := fault.RunWithRecovery(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ckpt, scratch := run(6), run(-1)
+	if *ckpt != *scratch {
+		t.Fatalf("recovery reports differ:\nckpt=%+v\nscratch=%+v", *ckpt, *scratch)
+	}
+}

@@ -21,7 +21,13 @@ type FalsePositiveReport struct {
 // FalsePositives runs the protected module fault-free on the target's
 // input and counts expected-value check failures.
 func FalsePositives(t Target, mod *ir.Module) (*FalsePositiveReport, error) {
-	mach, err := newMachine(t, mod, 0, vm.EngineFast)
+	return FalsePositivesEngine(t, mod, vm.EngineFast)
+}
+
+// FalsePositivesEngine is FalsePositives on an explicit execution engine,
+// letting equivalence tests compare check-failure accounting across engines.
+func FalsePositivesEngine(t Target, mod *ir.Module, engine vm.EngineKind) (*FalsePositiveReport, error) {
+	mach, err := newMachine(t, mod, 0, engine)
 	if err != nil {
 		return nil, err
 	}

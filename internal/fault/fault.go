@@ -57,6 +57,16 @@ type Config struct {
 	// Engine selects the vm execution engine for every run in the campaign
 	// (zero value: the precompiled fast engine).
 	Engine vm.EngineKind
+	// Checkpoints controls golden-prefix snapshotting: one instrumented
+	// golden run captures machine snapshots at interval boundaries, and each
+	// trial restores the nearest snapshot at or before its trigger point
+	// instead of re-executing the prefix from dyn 0. 0 (the default) sizes
+	// the schedule automatically from the golden run's length; > 0 requests
+	// an explicit snapshot count; < 0 disables checkpointing. Checkpointing
+	// requires the fast engine and is skipped otherwise. It never changes
+	// campaign results: every Trial stays bit-identical to the from-scratch
+	// path.
+	Checkpoints int
 }
 
 // Target abstracts the program under injection: how to bind its inputs,
@@ -203,40 +213,16 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
-
-	var wg sync.WaitGroup
-	// Buffered so the feeding loop below never blocks even if every worker
-	// exits early on a setup error.
-	trialCh := make(chan int, cfg.Trials)
-	errCh := make(chan error, workers)
 	maxDyn := goldenRes.Dyn*cfg.WatchdogFactor + 100_000
 
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			for i := range trialCh {
-				if ctx.Err() != nil {
-					return
-				}
-				rep.Trials[i] = runTrial(mach, t, cfg, golden, goldenRes.Dyn, disabled, i)
-			}
-		}()
+	var runErr error
+	if snapAt := checkpointSchedule(cfg, goldenRes.Dyn); len(snapAt) > 0 {
+		runErr = runTrialsCheckpointed(ctx, t, mod, cfg, golden, goldenRes.Dyn, disabled, maxDyn, workers, snapAt, rep)
+	} else {
+		runErr = runTrialsScratch(ctx, t, mod, cfg, golden, goldenRes.Dyn, disabled, maxDyn, workers, rep)
 	}
-	for i := 0; i < cfg.Trials; i++ {
-		trialCh <- i
-	}
-	close(trialCh)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	if runErr != nil {
+		return nil, runErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -270,6 +256,52 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	return rep, nil
 }
 
+// runTrialsScratch is the classic campaign body: workers pull trial indices
+// from a shared channel and run every trial from dyn 0.
+func runTrialsScratch(ctx context.Context, t Target, mod *ir.Module, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, workers int, rep *Report) error {
+	var wg sync.WaitGroup
+	// Buffered so the feeding loop below never blocks even if every worker
+	// exits early on a setup error.
+	trialCh := make(chan int, cfg.Trials)
+	errCh := make(chan error, workers)
+
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			src := rand.NewSource(0)
+			rng := rand.New(src)
+			for i := range trialCh {
+				if ctx.Err() != nil {
+					return
+				}
+				tr, err := runTrial(mach, nil, t, cfg, golden, goldenDyn, disabled, i, src, rng)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rep.Trials[i] = tr
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		trialCh <- i
+	}
+	close(trialCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
 // newMachine builds a machine with the target's inputs bound. maxDyn of 0
 // keeps the default watchdog (golden runs must never hit it).
 func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*vm.Machine, error) {
@@ -289,16 +321,27 @@ func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*
 	return mach, nil
 }
 
-// runTrial injects one fault and classifies the outcome.
-func runTrial(mach *vm.Machine, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int) Trial {
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*7919))
+// runTrial injects one fault and classifies the outcome. The caller owns
+// the rng pair: src is re-seeded with the per-trial seed, so the draw
+// sequence matches a fresh rand.New(rand.NewSource(seed)) without the
+// allocation. With a non-nil snap the trial restores it instead of running
+// the golden prefix from dyn 0; the snapshot must precede the trial's
+// effective trigger point (the checkpoint scheduler guarantees this).
+func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand) (Trial, error) {
+	src.Seed(cfg.Seed + int64(trial)*7919)
 	plan := &vm.FaultPlan{
 		Kind:       cfg.Kind,
 		TriggerDyn: rng.Int63n(goldenDyn),
 		PickSlot:   func(n int) int { return rng.Intn(n) },
 		PickBit:    func() int { return rng.Intn(64) },
 	}
-	mach.Reset()
+	if snap != nil {
+		if err := mach.Restore(snap); err != nil {
+			return Trial{}, err
+		}
+	} else {
+		mach.Reset()
+	}
 	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled})
 
 	tr := Trial{RelChange: plan.RelChange}
@@ -315,13 +358,13 @@ func runTrial(mach *vm.Machine, t Target, cfg Config, golden []uint64, goldenDyn
 		default:
 			tr.Outcome = Failure
 		}
-		return tr
+		return tr, nil
 	}
 
 	out, err := mach.ReadGlobal(t.Output)
 	if err != nil {
 		tr.Outcome = Failure
-		return tr
+		return tr, nil
 	}
 	same := true
 	for i := range golden {
@@ -332,7 +375,7 @@ func runTrial(mach *vm.Machine, t Target, cfg Config, golden []uint64, goldenDyn
 	}
 	if same {
 		tr.Outcome = Masked
-		return tr
+		return tr, nil
 	}
 	tr.SDC = true
 	tr.Fidelity = t.Measure(golden, out)
@@ -342,5 +385,5 @@ func runTrial(mach *vm.Machine, t Target, cfg Config, golden []uint64, goldenDyn
 	} else {
 		tr.Outcome = USDC
 	}
-	return tr
+	return tr, nil
 }

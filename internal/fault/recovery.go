@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -86,31 +87,57 @@ func RunWithRecovery(ctx context.Context, t Target, mod *ir.Module, technique st
 		Workload: t.Name, Technique: technique,
 		Trials: cfg.Trials, GoldenCycles: goldenRes.Cycles,
 	}
-	mach, err := newMachine(t, mod, goldenRes.Dyn*cfg.WatchdogFactor+100_000, cfg.Engine)
+	maxDyn := goldenRes.Dyn*cfg.WatchdogFactor + 100_000
+	mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
 
+	// Golden-prefix snapshots serve double duty here: faulty runs restore
+	// the snapshot nearest below the trigger, and restart re-runs — which
+	// are bit-identical to the golden run — restore the deepest one. Cycle
+	// accounting is unaffected because snapshots carry the timing counters.
+	snapAt := checkpointSchedule(cfg, goldenRes.Dyn)
+	var snaps []*vm.Snapshot
+	if len(snapAt) > 0 {
+		if snaps, err = takeSnapshots(t, mod, cfg, disabled, maxDyn, snapAt); err != nil {
+			return nil, err
+		}
+	}
+	start := func(eff int64) error {
+		if b := sort.Search(len(snapAt), func(k int) bool { return snapAt[k] > eff }); b > 0 {
+			return mach.Restore(snaps[b-1])
+		}
+		mach.Reset()
+		return nil
+	}
+
+	src := rand.NewSource(0)
+	rng := rand.New(src)
 	var totalCycles int64
 	for i := 0; i < cfg.Trials; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		src.Seed(cfg.Seed + int64(i)*7919)
 		plan := &vm.FaultPlan{
 			Kind:       cfg.Kind,
 			TriggerDyn: rng.Int63n(goldenRes.Dyn),
 			PickSlot:   func(n int) int { return rng.Intn(n) },
 			PickBit:    func() int { return rng.Intn(64) },
 		}
-		mach.Reset()
+		if err := start(effectiveTrigger(cfg.Kind, plan.TriggerDyn)); err != nil {
+			return nil, err
+		}
 		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled})
 		totalCycles += res.Cycles
 
 		if res.Trap != nil {
 			// Restart: re-execute without the fault. Both software
 			// detections and hardware symptoms/crashes trigger recovery.
-			mach.Reset()
+			if err := start(goldenRes.Dyn); err != nil {
+				return nil, err
+			}
 			rerun := mach.Run(vm.RunOptions{DisabledChecks: disabled})
 			totalCycles += rerun.Cycles
 			if rerun.Trap != nil {

@@ -88,22 +88,35 @@ func (m *Machine) execCall(ef *engFunc, args []uint64, depth int) (uint64, *Trap
 		fr.define(i, args[i], now)
 	}
 	ret, trap := m.execLoop(ef, fr, depth)
+	if trap != nil && trap.Kind == TrapSuspended {
+		// The frame stays live in m.susp and sp keeps the suspended stack
+		// extent; both are released by the resumed run (or Reset/Restore).
+		return 0, trap
+	}
 	m.sp = fr.entrySP
 	m.putFrame(ef, fr)
 	return ret, trap
 }
 
-// execLoop interprets ef's lowered code against fr.
+// execLoop interprets ef's lowered code against fr from its entry.
+func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
+	// Credit the entry region here rather than in execLoopFrom: a resumed
+	// run re-enters mid-region, and its entry was credited before the
+	// suspension (see uncountTail for the trap-path counterpart).
+	m.regionCounts[ef.idx][ef.regionOf[ef.entry]]++
+	return m.execLoopFrom(ef, fr, depth, int(ef.entry))
+}
+
+// execLoopFrom interprets ef's lowered code against fr starting at pc.
 //
 // Dispatch is two-level: every define-tail computation (op >= lopIntrinsic)
 // runs through one straight-line path — preamble, inline arithmetic switch,
 // shared issue/define/profile/trace tail — while control flow, memory and
 // checks take the second switch. The preamble is duplicated across the two
 // paths so the hot arithmetic path never branches back.
-func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
+func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *Trap) {
 	code := ef.code
 	fn := ef.fn
-	pc := int(ef.entry)
 
 	// Loop-invariant state. None of these change during a run: the fault
 	// plan pointer is fixed (only its fields mutate), the tracer, profiler
@@ -133,7 +146,6 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 	// to the interpreter's per-instruction counting.
 	rc := m.regionCounts[ef.idx]
 	regionOf := ef.regionOf
-	rc[regionOf[pc]]++
 
 	// The issue cursor stays in registers too — timing.issue is the one
 	// call every dynamic instruction makes — flushed alongside dyn at every
@@ -158,6 +170,46 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 	// path, which recomputes it. nextEvent = 0 forces recomputation.
 	nextEvent := int64(0)
 
+	// The suspend point joins the same threshold; MaxInt64 when unset, so
+	// the common non-suspending run pays one dead compare per slow pass.
+	suspendAt := m.opts.SuspendAtDyn
+	if suspendAt <= 0 {
+		suspendAt = math.MaxInt64
+	}
+
+	// Re-entry after a suspension: every level above the innermost one is
+	// parked on the lopCall it was executing when the run suspended. The
+	// call preamble — dyn increment, argument marshalling, issue slot — ran
+	// before the snapshot was taken, so re-enter the callee directly and
+	// rejoin at the normal post-call tail. resumePos is -1 outside the
+	// drill-down, so ordinary calls never take this branch.
+	if m.resumePos >= 0 {
+		li := &code[pc]
+		ret, trap := m.execResumeNext(depth + 1)
+		if trap != nil {
+			if trap.Kind == TrapSuspended {
+				m.susp = append(m.susp, suspLevel{ef: ef, fr: fr, pc: pc})
+				return 0, trap
+			}
+			m.uncountTail(ef, pc, pc+1)
+			return 0, trap
+		}
+		dyn, cur, slot, maxDone = m.dyn, tm.cursor, tm.slotUsed, tm.maxDone
+		if pendingReg || pendingBr {
+			pendingReg = pendingReg && !fault.Injected
+			pendingBr = pendingBr && !fault.Injected
+		}
+		var tbits uint64
+		if li.dst >= 0 {
+			fr.define(int(li.dst), ret, cur)
+			tbits = ret
+		}
+		if tracer != nil {
+			tracer.Trace(dyn, fn.Name, insTab[pc], tbits)
+		}
+		pc++
+	}
+
 	for {
 		li := &code[pc]
 		op := li.op
@@ -165,6 +217,11 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 		if op >= lopIntrinsic {
 			// Fast path: pure computations sharing the define tail.
 			if dyn >= nextEvent {
+				if dyn >= suspendAt {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.susp = append(m.susp, suspLevel{ef: ef, fr: fr, pc: pc})
+					return 0, &Trap{Kind: TrapSuspended, Dyn: dyn, Fn: fn.Name}
+				}
 				if pendingReg && dyn >= fault.TriggerDyn {
 					m.inject(fr)
 					pendingReg = !fault.Injected
@@ -185,6 +242,9 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 					}
 				}
 				nextEvent = maxDyn
+				if suspendAt < nextEvent {
+					nextEvent = suspendAt
+				}
 				if stop != nil && dyn|stopCheckMask < nextEvent {
 					nextEvent = dyn | stopCheckMask
 				}
@@ -440,6 +500,11 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 		}
 
 		if dyn >= nextEvent {
+			if dyn >= suspendAt {
+				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+				m.susp = append(m.susp, suspLevel{ef: ef, fr: fr, pc: pc})
+				return 0, &Trap{Kind: TrapSuspended, Dyn: dyn, Fn: fn.Name}
+			}
 			if pendingReg && dyn >= fault.TriggerDyn {
 				m.inject(fr)
 				pendingReg = !fault.Injected
@@ -458,6 +523,9 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 				}
 			}
 			nextEvent = maxDyn
+			if suspendAt < nextEvent {
+				nextEvent = suspendAt
+			}
 			if stop != nil && dyn|stopCheckMask < nextEvent {
 				nextEvent = dyn | stopCheckMask
 			}
@@ -568,6 +636,12 @@ func (m *Machine) execLoop(ef *engFunc, fr *frame, depth int) (uint64, *Trap) {
 			m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
 			ret, trap := m.execCall(cs.callee, cargs, depth+1)
 			if trap != nil {
+				if trap.Kind == TrapSuspended {
+					// The region tail stays credited — it executes after the
+					// resume — and this level parks on the in-flight call.
+					m.susp = append(m.susp, suspLevel{ef: ef, fr: fr, pc: pc})
+					return 0, trap
+				}
 				m.uncountTail(ef, pc, pc+1)
 				return 0, trap
 			}

@@ -102,6 +102,16 @@ type RunOptions struct {
 	// TrapCancelled. Program.RunContext wires a context's Done channel
 	// here so long runs are interruptible.
 	Stop <-chan struct{}
+	// SuspendAtDyn, when positive, pauses the run at the first
+	// fault-eligible (non-phi) instruction whose dynamic index reaches the
+	// value: Run returns a TrapSuspended result, the machine keeps the
+	// in-flight call chain, and the next Run continues where it left off.
+	// A suspended machine can be captured with Snapshot and re-armed on any
+	// machine over the same module with Restore. The suspend point is folded
+	// into the engine's unified event threshold, so the dispatch loop pays
+	// nothing when it is unset. Fast engine only; the tree interpreter
+	// ignores it.
+	SuspendAtDyn int64
 }
 
 // Result summarizes a completed (or trapped) run.
@@ -168,6 +178,15 @@ type Machine struct {
 	checkFails    int64
 	perCheckFails map[int]int64
 	opCounts      [ir.NumOps]int64
+
+	// Suspension state (fast engine only). susp holds the in-flight call
+	// chain, innermost-first, after a Run returns TrapSuspended or after
+	// Restore; the next Run consumes it. resuming/resumePos drive the
+	// re-entry drill-down (see execResumeNext): resumePos is -1 except
+	// while the resumed chain is being rebuilt on the Go stack.
+	susp      []suspLevel
+	resuming  []suspLevel
+	resumePos int
 }
 
 // New builds a machine for mod: lays out globals from address 1 (address 0
@@ -272,6 +291,14 @@ func (m *Machine) BindInputFloats(name string, data []float64) error {
 // Reset restores memory to its initial state (global initializers plus bound
 // inputs) and rewinds all run counters. Call before every Run.
 func (m *Machine) Reset() {
+	// Drop any suspended execution state: the frames return to their pools
+	// and the next Run starts from main's entry.
+	for _, l := range m.susp {
+		m.putFrame(l.ef, l.fr)
+	}
+	m.susp = m.susp[:0]
+	m.resuming = nil
+	m.resumePos = -1
 	for i := range m.mem {
 		m.mem[i] = 0
 	}
@@ -338,17 +365,26 @@ func (m *Machine) ReadGlobalFloats(name string) ([]float64, error) {
 }
 
 // Run executes main under opts. The machine must be Reset first (Run does
-// not Reset so callers can pre-poke memory in tests).
+// not Reset so callers can pre-poke memory in tests). On a suspended or
+// restored machine, Run instead continues the captured execution from its
+// suspend point; counters accumulate across the suspension, so the final
+// Result of a suspend/resume chain is bit-identical to one uninterrupted
+// run. A suspended Result's OpCounts are interim (the current accounting
+// region is pre-credited in full); every other field is exact.
 func (m *Machine) Run(opts RunOptions) *Result {
 	m.opts = opts
 	m.stop = opts.Stop
-	if opts.CountChecks {
+	if opts.CountChecks && m.perCheckFails == nil {
 		m.perCheckFails = make(map[int]int64)
 	}
 	var ret uint64
 	var trap *Trap
 	if m.eng != nil {
-		ret, trap = m.execCall(m.engMain, nil, 0)
+		if len(m.susp) > 0 {
+			ret, trap = m.resumeExec()
+		} else {
+			ret, trap = m.execCall(m.engMain, nil, 0)
+		}
 		m.foldRegionCounts()
 	} else {
 		ret, trap = m.call(m.main, nil, 0)

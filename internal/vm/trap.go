@@ -26,6 +26,7 @@ const (
 	TrapCheck                  // a software fault-detection check fired
 	TrapBadCall                // call to an unresolved function
 	TrapCancelled              // RunOptions.Stop closed (context cancellation)
+	TrapSuspended              // RunOptions.SuspendAtDyn reached; resumable via Run
 )
 
 func (k TrapKind) String() string {
@@ -46,6 +47,8 @@ func (k TrapKind) String() string {
 		return "bad-call"
 	case TrapCancelled:
 		return "cancelled"
+	case TrapSuspended:
+		return "suspended"
 	}
 	return fmt.Sprintf("trap(%d)", uint8(k))
 }
