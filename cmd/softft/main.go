@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -35,6 +37,11 @@ func main() {
 		useCFC  = flag.Bool("cfc", false, "add signature-based control-flow checks")
 		trace   = flag.Int64("trace", 0, "print an execution trace of up to N instructions")
 		branch  = flag.Bool("branch-faults", false, "inject branch-target faults instead of register bit flips")
+
+		journal      = flag.String("journal", "", "append completed trials to this durable journal file")
+		resume       = flag.Bool("resume", false, "replay the -journal file and run only the remaining trials")
+		trialTimeout = flag.Duration("trial-timeout", 0, "wall-clock bound per trial (e.g. 5s); hung trials are quarantined")
+		targetCI     = flag.Float64("target-ci", 0, "stop early once coverage and USDC 95% CIs are this tight (e.g. 0.05)")
 
 		benchCampaign = flag.String("bench-campaign", "", "measure campaign throughput over all benchmarks and write the JSON artifact to this path")
 		benchTrials   = flag.Int("bench-trials", 100, "trials per grid cell for -bench-campaign")
@@ -180,12 +187,41 @@ func main() {
 		if bm == nil {
 			fatal(fmt.Errorf("-inject needs a built-in benchmark (fidelity judgment)"))
 		}
+		if *resume && *journal == "" {
+			fatal(fmt.Errorf("-resume needs -journal"))
+		}
 		c := bm.NewCampaign(*inject)
 		c.Seed = *seed
 		c.BranchTargets = *branch
-		out, err := prog.InjectFaults(bm.TestInput(), c)
+		c.Journal = *journal
+		c.Resume = *resume
+		c.TrialTimeout = *trialTimeout
+		c.TargetCI = *targetCI
+
+		// SIGINT degrades gracefully: the campaign stops between trials and
+		// the completed work is still reported (and journaled).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		out, err := prog.InjectFaultsContext(ctx, bm.TestInput(), c)
+		stop()
 		if err != nil {
 			fatal(err)
+		}
+		// Resume/quarantine/partial details go to stderr so stdout stays
+		// byte-comparable across interrupted-and-resumed runs.
+		if out.Replayed > 0 {
+			fmt.Fprintf(os.Stderr, "softft: resumed %d trials from %s\n", out.Replayed, *journal)
+		}
+		for _, a := range out.Anomalies {
+			fmt.Fprintf(os.Stderr, "softft: trial %d quarantined (%s, seed %d)\n", a.Trial, a.Reason, a.Seed)
+		}
+		if out.Partial {
+			fmt.Fprintf(os.Stderr, "softft: campaign interrupted after %d trials; rerun with -journal/-resume to continue\n", out.Trials)
+			fmt.Fprintf(os.Stderr, "softft: partial outcomes: %s\n", out)
+			return
+		}
+		if out.EarlyStopped {
+			fmt.Fprintf(os.Stderr, "softft: early stop at %d trials (target CI %.3f reached, %d trials saved)\n",
+				out.Trials, *targetCI, out.TrialsSaved)
 		}
 		fmt.Printf("%s under %s: %s\n", bm.Name(), m, out)
 		fmt.Printf("  SDCs=%d (acceptable %d, unacceptable %d)  USDC rate %.2f%%\n",

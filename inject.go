@@ -3,6 +3,7 @@ package softft
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/vm"
@@ -44,6 +45,36 @@ type Campaign struct {
 	// checkpointing. Results are bit-identical either way — this is purely
 	// a throughput knob.
 	Checkpoints int
+	// Journal, when nonempty, names a file to which every decided trial is
+	// durably appended (checksummed, batched), so a killed campaign can be
+	// resumed without losing completed work.
+	Journal string
+	// Resume replays an existing Journal before running: decided trials are
+	// restored and only the remainder executes. A resumed campaign's
+	// Outcomes are bit-identical to an uninterrupted run; a journal written
+	// under different result-affecting settings is rejected.
+	Resume bool
+	// TrialTimeout, when positive, bounds each trial in wall-clock time on
+	// top of the watchdog. A trial that misses the deadline twice is
+	// quarantined as an Anomaly rather than classified.
+	TrialTimeout time.Duration
+	// TargetCI, when positive, stops the campaign early once the 95%
+	// confidence intervals for Coverage and USDCRate are both no wider than
+	// this value (e.g. 0.05 for ±2.5%).
+	TargetCI float64
+	// OnTrial, when non-nil, is invoked at the start of each trial attempt
+	// with the trial index. It runs under the trial's panic isolation.
+	OnTrial func(trial int)
+}
+
+// Anomaly describes a quarantined trial: one that panicked or repeatedly
+// exceeded TrialTimeout and was excluded from the outcome counts. Seed is
+// the trial's rng seed, sufficient to replay the offending fault plan.
+type Anomaly struct {
+	Trial  int
+	Seed   int64
+	Reason string // "panic" or "timeout"
+	Stack  string // panic stack trace, when Reason is "panic"
 }
 
 // Outcomes aggregates a campaign: counts per outcome class plus the
@@ -62,6 +93,19 @@ type Outcomes struct {
 	SWDetectedDup, SWDetectedValue, SWDetectedCFC int
 	// GoldenDyn/GoldenCycles describe the fault-free run.
 	GoldenDyn, GoldenCycles int64
+	// Anomalies lists quarantined trials (panics, hangs); they are not
+	// counted in Trials or any outcome class.
+	Anomalies []Anomaly
+	// Partial is set when the campaign was cancelled before completing all
+	// trials; the counts cover only the trials that finished.
+	Partial bool
+	// EarlyStopped is set when TargetCI halted the campaign with the
+	// requested precision already reached; TrialsSaved counts the trials it
+	// never ran.
+	EarlyStopped bool
+	TrialsSaved  int
+	// Replayed counts trials restored from the journal by Resume.
+	Replayed int
 }
 
 // Coverage returns the fraction of faults that were masked or detected.
@@ -81,8 +125,25 @@ func (o *Outcomes) USDCRate() float64 {
 }
 
 func (o *Outcomes) String() string {
-	return fmt.Sprintf("trials=%d masked=%d hw=%d sw=%d fail=%d usdc=%d (coverage %.1f%%)",
-		o.Trials, o.Masked, o.HWDetected, o.SWDetected, o.Failures, o.USDCs, 100*o.Coverage())
+	var s string
+	if o.Trials == 0 {
+		// Reachable: every trial quarantined, or cancellation before the
+		// first trial completed. Coverage is undefined, not 0%.
+		s = "no completed trials"
+	} else {
+		s = fmt.Sprintf("trials=%d masked=%d hw=%d sw=%d fail=%d usdc=%d (coverage %.1f%%)",
+			o.Trials, o.Masked, o.HWDetected, o.SWDetected, o.Failures, o.USDCs, 100*o.Coverage())
+	}
+	if n := len(o.Anomalies); n > 0 {
+		s += fmt.Sprintf(" [%d quarantined]", n)
+	}
+	if o.Partial {
+		s += " [partial]"
+	}
+	if o.EarlyStopped {
+		s += fmt.Sprintf(" [early stop, %d trials saved]", o.TrialsSaved)
+	}
+	return s
 }
 
 // campaignSetup validates a Campaign, applies its defaults, and builds the
@@ -92,7 +153,13 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 	if c.Output == "" {
 		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: campaign needs an Output global")
 	}
-	if c.Trials <= 0 {
+	if c.Trials < 0 {
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: negative trial count %d", c.Trials)
+	}
+	if c.Workers < 0 {
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: negative worker count %d", c.Workers)
+	}
+	if c.Trials == 0 {
 		c.Trials = 100
 	}
 	measure := c.Measure
@@ -122,6 +189,11 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 		cfg.LargeChange = c.LargeChange
 	}
 	cfg.Checkpoints = c.Checkpoints
+	cfg.JournalPath = c.Journal
+	cfg.Resume = c.Resume
+	cfg.TrialTimeout = c.TrialTimeout
+	cfg.TargetCI = c.TargetCI
+	cfg.OnTrial = c.OnTrial
 	target := fault.Target{
 		Name:       p.name,
 		Bind:       func(m *vm.Machine) error { return in.bind(m) },
@@ -140,8 +212,9 @@ func (p *Program) InjectFaults(in *Input, c Campaign) (*Outcomes, error) {
 }
 
 // InjectFaultsContext is InjectFaults with cancellation: when ctx is
-// cancelled the campaign's workers stop between trials and the context's
-// error is returned.
+// cancelled the campaign's workers stop between trials and the completed
+// trials are returned as valid partial Outcomes (Partial set) rather than
+// discarded — only setup and infrastructure failures return errors.
 func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign) (*Outcomes, error) {
 	target, cfg, err := p.campaignSetup(in, c)
 	if err != nil {
@@ -152,7 +225,7 @@ func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign
 		return nil, err
 	}
 	ta := rep.Tally
-	return &Outcomes{
+	out := &Outcomes{
 		Trials:          ta.N,
 		Masked:          ta.Count[fault.Masked],
 		HWDetected:      ta.Count[fault.HWDetect],
@@ -166,7 +239,15 @@ func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign
 		SWDetectedCFC:   ta.SWDetectCFC,
 		GoldenDyn:       rep.GoldenDyn,
 		GoldenCycles:    rep.GoldenCycles,
-	}, nil
+		Partial:         rep.Partial,
+		EarlyStopped:    rep.EarlyStopped,
+		TrialsSaved:     rep.TrialsSaved,
+		Replayed:        rep.Replayed,
+	}
+	for _, a := range rep.Anomalies {
+		out.Anomalies = append(out.Anomalies, Anomaly(a))
+	}
+	return out, nil
 }
 
 // RecoveryOutcome summarizes a campaign run under restart recovery

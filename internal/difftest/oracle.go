@@ -21,6 +21,7 @@ const (
 	InvCostOrder  = "cost-order"      // timing cost not ordered across modes
 	InvEngine     = "engine-diff"     // precompiled engine disagrees with the tree interpreter
 	InvCheckpoint = "checkpoint-diff" // suspend/snapshot/restore run disagrees with uninterrupted run
+	InvResume     = "resume-diff"     // resumed journaled campaign disagrees with uninterrupted one
 )
 
 // Failure describes one violated invariant. It implements error.
@@ -154,6 +155,16 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 			if pl.Name == "full" {
 				if d := diffCheckpoint(pm, ints, floats, cfg.MaxDyn, r); d != "" {
 					return &Failure{Invariant: InvCheckpoint, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+				}
+				// Resume cross-check (Original only — the invariant probes
+				// the campaign journal machinery, which is mode-agnostic):
+				// an interrupted-and-resumed journaled campaign must match
+				// an uninterrupted one. Programs too short for injection
+				// triggers to spread are skipped.
+				if mode == core.ModeOriginal && r.dyn >= 4 {
+					if d := diffResume(name, pm, ints, floats); d != "" {
+						return &Failure{Invariant: InvResume, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+					}
 				}
 			}
 			if ref == nil {

@@ -26,11 +26,8 @@ package fault
 //     re-seeds and re-draws them, so binning never perturbs a sequence.
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
-	"sort"
-	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -85,7 +82,7 @@ func drawTriggers(cfg Config, goldenDyn int64) []int64 {
 	rng := rand.New(src)
 	triggers := make([]int64, cfg.Trials)
 	for i := range triggers {
-		src.Seed(cfg.Seed + int64(i)*7919)
+		src.Seed(seedFor(cfg, i))
 		triggers[i] = rng.Int63n(goldenDyn)
 	}
 	return triggers
@@ -124,74 +121,7 @@ func takeSnapshots(t Target, mod *ir.Module, cfg Config, disabled map[int]bool, 
 	return snaps, nil
 }
 
-// runTrialsCheckpointed is the checkpoint-aware campaign body. Trials are
-// binned by the nearest snapshot at or before their effective trigger
-// (bin 0 = no usable snapshot, run from scratch), and workers claim whole
-// bins so each worker touches few snapshots and the expensive scratch bin
-// is started first.
-func runTrialsCheckpointed(ctx context.Context, t Target, mod *ir.Module, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, workers int, snapAt []int64, rep *Report) error {
-	if ctx.Err() != nil {
-		return nil // Run reports ctx.Err() after the pool drains
-	}
-	triggers := drawTriggers(cfg, goldenDyn)
-	snaps, err := takeSnapshots(t, mod, cfg, disabled, maxDyn, snapAt)
-	if err != nil {
-		return err
-	}
-
-	// bins[0] holds trials whose effective trigger precedes the first
-	// snapshot; bins[b] for b >= 1 restores snaps[b-1].
-	bins := make([][]int, len(snapAt)+1)
-	for i, trig := range triggers {
-		eff := effectiveTrigger(cfg.Kind, trig)
-		b := sort.Search(len(snapAt), func(k int) bool { return snapAt[k] > eff })
-		bins[b] = append(bins[b], i)
-	}
-
-	var wg sync.WaitGroup
-	binCh := make(chan int, len(bins))
-	errCh := make(chan error, workers)
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			src := rand.NewSource(0)
-			rng := rand.New(src)
-			for b := range binCh {
-				var snap *vm.Snapshot
-				if b > 0 {
-					snap = snaps[b-1]
-				}
-				for _, i := range bins[b] {
-					if ctx.Err() != nil {
-						return
-					}
-					tr, err := runTrial(mach, snap, t, cfg, golden, goldenDyn, disabled, i, src, rng)
-					if err != nil {
-						errCh <- err
-						return
-					}
-					rep.Trials[i] = tr
-				}
-			}
-		}()
-	}
-	// Ascending bin order puts the scratch bin (longest per-trial runtime)
-	// at the front of the queue.
-	for b := range bins {
-		binCh <- b
-	}
-	close(binCh)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-	}
-	return nil
-}
+// The checkpoint-aware campaign body lives in resilience.go
+// (campaign.runCheckpointed): it bins pending trials by the snapshot
+// nearest below their effective trigger and drives each through the same
+// supervised runOne path as the from-scratch pool.

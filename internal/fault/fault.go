@@ -12,7 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -67,6 +67,30 @@ type Config struct {
 	// campaign results: every Trial stays bit-identical to the from-scratch
 	// path.
 	Checkpoints int
+	// JournalPath, when nonempty, makes the campaign durable: every decided
+	// trial is appended to a checksummed journal at this path, so a crashed
+	// or killed campaign can be resumed without re-running completed trials.
+	JournalPath string
+	// Resume replays an existing journal at JournalPath before running:
+	// decided trials are restored verbatim and only the remainder executes.
+	// Trials are self-contained (per-trial seeding), so a resumed campaign's
+	// Report is bit-identical to an uninterrupted one. A missing or
+	// headerless journal resumes as a fresh start; a journal recorded under
+	// a different result-affecting configuration is an error.
+	Resume bool
+	// TrialTimeout, when positive, bounds each trial attempt in wall-clock
+	// time, layered over the dyn-count watchdog. A timed-out trial is
+	// retried once, then quarantined as an Anomaly.
+	TrialTimeout time.Duration
+	// TargetCI, when positive, enables statistical early stopping: the
+	// campaign stops drawing trials once the 95% Wilson intervals for both
+	// coverage and USDC rate are no wider than TargetCI. Which trials
+	// complete before the stop lands is scheduling-dependent.
+	TargetCI float64
+	// OnTrial, when non-nil, is called at the start of every trial attempt
+	// with the trial index. It runs inside the trial's panic isolation —
+	// test hooks may panic or stall to exercise quarantine paths.
+	OnTrial func(trial int)
 }
 
 // Target abstracts the program under injection: how to bind its inputs,
@@ -160,12 +184,28 @@ type Report struct {
 	// DisabledChecks is the number of checks squelched because they fired
 	// on the fault-free run (persistent false positives).
 	DisabledChecks int
+	// Anomalies lists quarantined trials (panics, repeated timeouts), in
+	// trial order. Quarantined trials are excluded from the Tally.
+	Anomalies []Anomaly
+	// Partial is set when the campaign was cancelled with trials still
+	// pending; the Tally covers only the trials that completed.
+	Partial bool
+	// EarlyStopped is set when Config.TargetCI halted the campaign once the
+	// confidence intervals were tight enough; TrialsSaved counts the trials
+	// it never had to run.
+	EarlyStopped bool
+	TrialsSaved  int
+	// Replayed counts trials restored from the journal on resume rather
+	// than executed in this process.
+	Replayed int
 }
 
 // Run executes a fault-injection campaign for one target on one (possibly
 // protected) module. The module is not mutated. Cancelling ctx stops the
 // campaign between trials — in-flight trials finish (each is bounded by the
-// watchdog) and Run returns the context's error.
+// watchdog) and Run returns a valid partial Report (Partial set, Tally over
+// the completed trials) with a nil error; only setup and infrastructure
+// failures (golden run, snapshotting, journal I/O) return errors.
 func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Config) (*Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -215,91 +255,37 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	}
 	maxDyn := goldenRes.Dyn*cfg.WatchdogFactor + 100_000
 
+	c := newCampaign(t, mod, cfg, golden, goldenRes.Dyn, disabled, maxDyn, rep)
+	if cfg.JournalPath != "" {
+		hdr := headerFor(t, technique, cfg, goldenRes.Dyn, goldenRes.Cycles)
+		jw, st, err := openJournal(cfg.JournalPath, cfg.Resume, hdr)
+		if err != nil {
+			return nil, err
+		}
+		c.jw = jw
+		if st != nil {
+			c.restoreFromJournal(st)
+		}
+	}
+
+	pending := c.pendingTrials()
 	var runErr error
-	if snapAt := checkpointSchedule(cfg, goldenRes.Dyn); len(snapAt) > 0 {
-		runErr = runTrialsCheckpointed(ctx, t, mod, cfg, golden, goldenRes.Dyn, disabled, maxDyn, workers, snapAt, rep)
-	} else {
-		runErr = runTrialsScratch(ctx, t, mod, cfg, golden, goldenRes.Dyn, disabled, maxDyn, workers, rep)
+	if len(pending) > 0 && !c.stopRequested() {
+		if snapAt := checkpointSchedule(cfg, goldenRes.Dyn); len(snapAt) > 0 {
+			runErr = c.runCheckpointed(ctx, pending, workers, snapAt)
+		} else {
+			runErr = c.runScratch(ctx, pending, workers)
+		}
 	}
 	if runErr != nil {
+		c.closeJournal() // best effort; the run error wins
 		return nil, runErr
 	}
-	if err := ctx.Err(); err != nil {
+	if err := c.closeJournal(); err != nil {
 		return nil, err
 	}
-
-	for _, tr := range rep.Trials {
-		ta := &rep.Tally
-		ta.N++
-		ta.Count[tr.Outcome]++
-		if tr.Outcome == SWDetect {
-			switch tr.CheckKind {
-			case ir.CheckDup:
-				ta.SWDetectDup++
-			case ir.CheckCFC:
-				ta.SWDetectCFC++
-			default:
-				ta.SWDetectValue++
-			}
-		}
-		if tr.SDC {
-			ta.SDC++
-			if tr.Acceptable {
-				ta.ASDC++
-			} else if tr.RelChange >= cfg.LargeChange {
-				ta.USDCLarge++
-			} else {
-				ta.USDCSmall++
-			}
-		}
-	}
+	c.finalize(ctx.Err())
 	return rep, nil
-}
-
-// runTrialsScratch is the classic campaign body: workers pull trial indices
-// from a shared channel and run every trial from dyn 0.
-func runTrialsScratch(ctx context.Context, t Target, mod *ir.Module, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, workers int, rep *Report) error {
-	var wg sync.WaitGroup
-	// Buffered so the feeding loop below never blocks even if every worker
-	// exits early on a setup error.
-	trialCh := make(chan int, cfg.Trials)
-	errCh := make(chan error, workers)
-
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mach, err := newMachine(t, mod, maxDyn, cfg.Engine)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			src := rand.NewSource(0)
-			rng := rand.New(src)
-			for i := range trialCh {
-				if ctx.Err() != nil {
-					return
-				}
-				tr, err := runTrial(mach, nil, t, cfg, golden, goldenDyn, disabled, i, src, rng)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				rep.Trials[i] = tr
-			}
-		}()
-	}
-	for i := 0; i < cfg.Trials; i++ {
-		trialCh <- i
-	}
-	close(trialCh)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-	}
-	return nil
 }
 
 // newMachine builds a machine with the target's inputs bound. maxDyn of 0
@@ -326,9 +312,12 @@ func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*
 // sequence matches a fresh rand.New(rand.NewSource(seed)) without the
 // allocation. With a non-nil snap the trial restores it instead of running
 // the golden prefix from dyn 0; the snapshot must precede the trial's
-// effective trigger point (the checkpoint scheduler guarantees this).
-func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand) (Trial, error) {
-	src.Seed(cfg.Seed + int64(trial)*7919)
+// effective trigger point (the checkpoint scheduler guarantees this). A
+// nonzero deadline bounds the run in wall-clock time; a deadline hit is
+// reported as timedOut, never as an outcome — the caller decides between
+// retry and quarantine.
+func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand, deadline time.Time) (tr Trial, timedOut bool, err error) {
+	src.Seed(seedFor(cfg, trial))
 	plan := &vm.FaultPlan{
 		Kind:       cfg.Kind,
 		TriggerDyn: rng.Int63n(goldenDyn),
@@ -337,17 +326,19 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	}
 	if snap != nil {
 		if err := mach.Restore(snap); err != nil {
-			return Trial{}, err
+			return Trial{}, false, err
 		}
 	} else {
 		mach.Reset()
 	}
-	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled})
+	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline})
 
-	tr := Trial{RelChange: plan.RelChange}
+	tr = Trial{RelChange: plan.RelChange}
 	if res.Trap != nil {
 		tr.TrapKind = res.Trap.Kind
 		switch {
+		case res.Trap.Kind == vm.TrapDeadline:
+			return Trial{}, true, nil
 		case res.Trap.Kind == vm.TrapCheck:
 			tr.Outcome = SWDetect
 			tr.CheckKind = res.Trap.CheckKind
@@ -358,13 +349,13 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 		default:
 			tr.Outcome = Failure
 		}
-		return tr, nil
+		return tr, false, nil
 	}
 
 	out, err := mach.ReadGlobal(t.Output)
 	if err != nil {
 		tr.Outcome = Failure
-		return tr, nil
+		return tr, false, nil
 	}
 	same := true
 	for i := range golden {
@@ -375,7 +366,7 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	}
 	if same {
 		tr.Outcome = Masked
-		return tr, nil
+		return tr, false, nil
 	}
 	tr.SDC = true
 	tr.Fidelity = t.Measure(golden, out)
@@ -385,5 +376,5 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	} else {
 		tr.Outcome = USDC
 	}
-	return tr, nil
+	return tr, false, nil
 }

@@ -163,7 +163,8 @@ func TestCampaignEngineEquivalence(t *testing.T) {
 }
 
 // TestCampaignCancellation checks a cancelled context stops the campaign
-// between trials and surfaces the context error.
+// between trials: Run degrades gracefully to a valid partial Report, while
+// RunWithRecovery keeps its error-on-cancel contract.
 func TestCampaignCancellation(t *testing.T) {
 	w := workloads.ByName("kmeans")
 	mod, err := w.Compile()
@@ -174,8 +175,15 @@ func TestCampaignCancellation(t *testing.T) {
 	cancel()
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 50
-	if _, err := fault.Run(ctx, w.Target(workloads.Test), mod.Clone(), "Original", cfg); err != context.Canceled {
-		t.Fatalf("Run: expected context.Canceled, got %v", err)
+	rep, err := fault.Run(ctx, w.Target(workloads.Test), mod.Clone(), "Original", cfg)
+	if err != nil {
+		t.Fatalf("Run: expected partial report on cancel, got error %v", err)
+	}
+	if !rep.Partial {
+		t.Fatalf("Run: cancelled campaign not marked Partial: %+v", rep.Tally)
+	}
+	if rep.Tally.N >= cfg.Trials {
+		t.Fatalf("Run: pre-cancelled campaign completed all %d trials", rep.Tally.N)
 	}
 	if _, err := fault.RunWithRecovery(ctx, w.Target(workloads.Test), mod.Clone(), "Original", cfg); err != context.Canceled {
 		t.Fatalf("RunWithRecovery: expected context.Canceled, got %v", err)

@@ -1,0 +1,436 @@
+package fault
+
+// Campaign resilience: the supervision layer between the campaign entry
+// point (Run) and the raw trial execution (runTrial). A campaign here is a
+// long-lived service operation, not a benchmark script, so the failure of
+// any one trial must never forfeit the rest:
+//
+//   - every trial attempt runs under recover(); a panic — in the vm, in a
+//     user-supplied Measure/Acceptable callback, in the OnTrial hook — is
+//     quarantined as an Anomaly carrying the panic stack and the exact
+//     per-trial reproducer seed, and the worker rebuilds its machine and
+//     moves on;
+//   - a wall-clock deadline (Config.TrialTimeout, layered over the
+//     dyn-count watchdog via vm.RunOptions.Deadline) reaps trials the
+//     watchdog cannot bound; a timed-out trial gets one bounded retry —
+//     transient host stalls are common under contention — before it too is
+//     quarantined;
+//   - context cancellation stops workers between trials and the campaign
+//     returns a valid partial Report (Partial: true) instead of an error,
+//     so every completed Outcome survives a Ctrl-C;
+//   - with Config.TargetCI set, the campaign stops early once the Wilson
+//     intervals for coverage and USDC rate are tight enough, recording how
+//     many trials the stop saved.
+//
+// All shared state lives in the campaign struct; per-trial slots
+// (rep.Trials[i], state[i]) are written only by the worker that owns trial
+// i and read only after the worker pool joins, so the only locked state is
+// the anomaly map and the early-stop tallies.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Anomaly reasons.
+const (
+	AnomalyPanic   = "panic"
+	AnomalyTimeout = "timeout"
+)
+
+// Anomaly records a quarantined trial: one that panicked or exceeded the
+// trial deadline (after a retry) and was excluded from the tally instead of
+// killing the campaign. Seed is the per-trial rng seed — feeding it to a
+// single-trial campaign replays the exact fault plan that misbehaved.
+type Anomaly struct {
+	Trial  int
+	Seed   int64
+	Reason string // AnomalyPanic or AnomalyTimeout
+	Stack  string // panic stack trace (AnomalyPanic only)
+}
+
+// Per-trial dispositions in campaign.state.
+const (
+	trialPending uint8 = iota
+	trialDone
+	trialQuarantined
+)
+
+// campaign is the shared state of one in-flight fault-injection campaign,
+// used by both the from-scratch and the checkpointed worker pools.
+type campaign struct {
+	cfg       Config
+	target    Target
+	mod       *ir.Module
+	golden    []uint64
+	goldenDyn int64
+	disabled  map[int]bool
+	maxDyn    int64
+	rep       *Report
+	state     []uint8 // trialPending/trialDone/trialQuarantined, one per trial
+
+	jw *journalWriter // nil when the campaign is not journaled
+
+	mu        sync.Mutex
+	anomalies map[int]Anomaly
+	nDone     int // completed trials (early-stop tallies, incl. replayed)
+	nCovered  int // Masked + HWDetect + SWDetect among them
+	nUSDC     int
+
+	stopEarly chan struct{}
+	stopOnce  sync.Once
+}
+
+func newCampaign(t Target, mod *ir.Module, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, rep *Report) *campaign {
+	return &campaign{
+		cfg:       cfg,
+		target:    t,
+		mod:       mod,
+		golden:    golden,
+		goldenDyn: goldenDyn,
+		disabled:  disabled,
+		maxDyn:    maxDyn,
+		rep:       rep,
+		state:     make([]uint8, cfg.Trials),
+		anomalies: make(map[int]Anomaly),
+		stopEarly: make(chan struct{}),
+	}
+}
+
+// seedFor is the campaign's per-trial rng seed scheme — the single source
+// of truth shared by runTrial, drawTriggers and anomaly reproducers.
+func seedFor(cfg Config, trial int) int64 { return cfg.Seed + int64(trial)*7919 }
+
+// stopRequested reports whether the early-stop criterion has fired.
+func (c *campaign) stopRequested() bool {
+	select {
+	case <-c.stopEarly:
+		return true
+	default:
+		return false
+	}
+}
+
+// noteDone folds one completed trial into the early-stop tallies and fires
+// the stop signal once both Wilson intervals are tight enough.
+func (c *campaign) noteDone(tr Trial) {
+	c.mu.Lock()
+	c.nDone++
+	switch tr.Outcome {
+	case Masked, HWDetect, SWDetect:
+		c.nCovered++
+	case USDC:
+		c.nUSDC++
+	}
+	stop := c.cfg.TargetCI > 0 &&
+		ciTight(c.nCovered, c.nDone, c.cfg.TargetCI) &&
+		ciTight(c.nUSDC, c.nDone, c.cfg.TargetCI)
+	c.mu.Unlock()
+	if stop {
+		c.stopOnce.Do(func() { close(c.stopEarly) })
+	}
+}
+
+// recordTrial publishes trial i's outcome: the per-trial slot, the journal,
+// and the early-stop tallies.
+func (c *campaign) recordTrial(i int, tr Trial) error {
+	c.rep.Trials[i] = tr
+	c.state[i] = trialDone
+	if c.jw != nil {
+		if err := c.jw.append(&journalRecord{T: encodeTrial(i, tr)}); err != nil {
+			return err
+		}
+	}
+	c.noteDone(tr)
+	return nil
+}
+
+// quarantine retires trial i as an anomaly instead of an outcome.
+func (c *campaign) quarantine(i int, reason, stack string) error {
+	a := Anomaly{Trial: i, Seed: seedFor(c.cfg, i), Reason: reason, Stack: stack}
+	c.state[i] = trialQuarantined
+	c.mu.Lock()
+	c.anomalies[i] = a
+	c.mu.Unlock()
+	if c.jw != nil {
+		return c.jw.append(&journalRecord{A: &journalAnomaly{
+			Index: i, Seed: a.Seed, Reason: a.Reason, Stack: a.Stack,
+		}})
+	}
+	return nil
+}
+
+// restoreFromJournal splices a replayed journal state into the campaign so
+// already-decided trials are never re-run.
+func (c *campaign) restoreFromJournal(st *journalState) {
+	for i, tr := range st.trials {
+		c.rep.Trials[i] = tr
+		c.state[i] = trialDone
+		c.noteDone(tr)
+	}
+	for i, a := range st.anomalies {
+		c.state[i] = trialQuarantined
+		c.anomalies[i] = a
+	}
+	c.rep.Replayed = len(st.trials) + len(st.anomalies)
+}
+
+// pendingTrials lists the trial indices still without a disposition.
+func (c *campaign) pendingTrials() []int {
+	pending := make([]int, 0, len(c.state))
+	for i, s := range c.state {
+		if s == trialPending {
+			pending = append(pending, i)
+		}
+	}
+	return pending
+}
+
+// closeJournal flushes and closes the journal once; safe on every exit path.
+func (c *campaign) closeJournal() error {
+	if c.jw == nil {
+		return nil
+	}
+	jw := c.jw
+	c.jw = nil
+	return jw.close()
+}
+
+// finalize computes the Tally over completed trials and the partial /
+// early-stop / anomaly bookkeeping. ctxErr is the campaign context's error,
+// nil when it was never cancelled.
+func (c *campaign) finalize(ctxErr error) {
+	rep := c.rep
+	pendingLeft := 0
+	for i, s := range c.state {
+		switch s {
+		case trialPending:
+			pendingLeft++
+		case trialDone:
+			tr := rep.Trials[i]
+			ta := &rep.Tally
+			ta.N++
+			ta.Count[tr.Outcome]++
+			if tr.Outcome == SWDetect {
+				switch tr.CheckKind {
+				case ir.CheckDup:
+					ta.SWDetectDup++
+				case ir.CheckCFC:
+					ta.SWDetectCFC++
+				default:
+					ta.SWDetectValue++
+				}
+			}
+			if tr.SDC {
+				ta.SDC++
+				if tr.Acceptable {
+					ta.ASDC++
+				} else if tr.RelChange >= c.cfg.LargeChange {
+					ta.USDCLarge++
+				} else {
+					ta.USDCSmall++
+				}
+			}
+		}
+	}
+	if len(c.anomalies) > 0 {
+		rep.Anomalies = make([]Anomaly, 0, len(c.anomalies))
+		for _, a := range c.anomalies {
+			rep.Anomalies = append(rep.Anomalies, a)
+		}
+		sort.Slice(rep.Anomalies, func(i, j int) bool { return rep.Anomalies[i].Trial < rep.Anomalies[j].Trial })
+	}
+	if pendingLeft > 0 {
+		if c.stopRequested() && ctxErr == nil {
+			rep.EarlyStopped = true
+			rep.TrialsSaved = pendingLeft
+		} else {
+			rep.Partial = true
+		}
+	}
+}
+
+// workerState is one campaign worker's private execution context. The rng
+// pair is re-seeded per trial, so workers are interchangeable; the machine
+// is rebuilt lazily after a panic left it in an unknown state.
+type workerState struct {
+	c    *campaign
+	mach *vm.Machine
+	src  rand.Source
+	rng  *rand.Rand
+}
+
+func (c *campaign) newWorker() *workerState {
+	src := rand.NewSource(0)
+	return &workerState{c: c, src: src, rng: rand.New(src)}
+}
+
+func (ws *workerState) ensureMachine() error {
+	if ws.mach != nil {
+		return nil
+	}
+	mach, err := newMachine(ws.c.target, ws.c.mod, ws.c.maxDyn, ws.c.cfg.Engine)
+	if err != nil {
+		return err
+	}
+	ws.mach = mach
+	return nil
+}
+
+// runOne drives trial i to a terminal disposition — a recorded outcome or a
+// quarantined anomaly. Only infrastructure failures (machine construction,
+// journal I/O) surface as errors and abort the campaign.
+func (c *campaign) runOne(ws *workerState, i int, snap *vm.Snapshot) error {
+	for attempt := 0; ; attempt++ {
+		tr, timedOut, panicked, stack, err := c.attempt(ws, i, snap)
+		if err != nil {
+			return err
+		}
+		if panicked {
+			return c.quarantine(i, AnomalyPanic, stack)
+		}
+		if timedOut {
+			// One bounded retry: a deadline miss can be a transient host
+			// stall (GC pause, noisy neighbor) rather than a stuck trial.
+			if attempt == 0 {
+				continue
+			}
+			return c.quarantine(i, AnomalyTimeout, "")
+		}
+		return c.recordTrial(i, tr)
+	}
+}
+
+// attempt executes one guarded trial attempt. A recovered panic discards
+// the worker's machine — its state is unknown mid-unwind — and reports the
+// stack for the quarantine record.
+func (c *campaign) attempt(ws *workerState, i int, snap *vm.Snapshot) (tr Trial, timedOut, panicked bool, stack string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			stack = fmt.Sprintf("panic: %v\n\n%s", r, debug.Stack())
+			ws.mach = nil
+		}
+	}()
+	if c.cfg.OnTrial != nil {
+		c.cfg.OnTrial(i)
+	}
+	if err = ws.ensureMachine(); err != nil {
+		return
+	}
+	var deadline time.Time
+	if c.cfg.TrialTimeout > 0 {
+		deadline = time.Now().Add(c.cfg.TrialTimeout)
+	}
+	tr, timedOut, err = runTrial(ws.mach, snap, c.target, c.cfg, c.golden, c.goldenDyn, c.disabled, i, ws.src, ws.rng, deadline)
+	return
+}
+
+// runScratch is the classic campaign body: workers pull pending trial
+// indices from a shared channel and run each from dyn 0.
+func (c *campaign) runScratch(ctx context.Context, pending []int, workers int) error {
+	var wg sync.WaitGroup
+	// Buffered so the feeding loop never blocks even if every worker exits
+	// early (cancellation, early stop, setup error).
+	trialCh := make(chan int, len(pending))
+	errCh := make(chan error, workers)
+
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := c.newWorker()
+			for i := range trialCh {
+				if ctx.Err() != nil || c.stopRequested() {
+					return
+				}
+				if err := c.runOne(ws, i, nil); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for _, i := range pending {
+		trialCh <- i
+	}
+	close(trialCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
+// runCheckpointed is the checkpoint-aware campaign body: pending trials are
+// binned by the snapshot nearest below their effective trigger (bin 0 = no
+// usable snapshot, run from scratch) and workers claim whole bins so each
+// worker touches few snapshots and the expensive scratch bin starts first.
+func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers int, snapAt []int64) error {
+	if ctx.Err() != nil {
+		return nil // finalize marks the report partial
+	}
+	triggers := drawTriggers(c.cfg, c.goldenDyn)
+	snaps, err := takeSnapshots(c.target, c.mod, c.cfg, c.disabled, c.maxDyn, snapAt)
+	if err != nil {
+		return err
+	}
+
+	// bins[0] holds trials whose effective trigger precedes the first
+	// snapshot; bins[b] for b >= 1 restores snaps[b-1].
+	bins := make([][]int, len(snapAt)+1)
+	for _, i := range pending {
+		eff := effectiveTrigger(c.cfg.Kind, triggers[i])
+		b := sort.Search(len(snapAt), func(k int) bool { return snapAt[k] > eff })
+		bins[b] = append(bins[b], i)
+	}
+
+	var wg sync.WaitGroup
+	binCh := make(chan int, len(bins))
+	errCh := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := c.newWorker()
+			for b := range binCh {
+				var snap *vm.Snapshot
+				if b > 0 {
+					snap = snaps[b-1]
+				}
+				for _, i := range bins[b] {
+					if ctx.Err() != nil || c.stopRequested() {
+						return
+					}
+					if err := c.runOne(ws, i, snap); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Ascending bin order puts the scratch bin (longest per-trial runtime)
+	// at the front of the queue.
+	for b := range bins {
+		binCh <- b
+	}
+	close(binCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}

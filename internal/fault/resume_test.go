@@ -1,0 +1,208 @@
+package fault_test
+
+// Resume-equivalence suite: a journaled campaign interrupted at an
+// arbitrary byte offset and resumed must produce a Report bit-identical to
+// an uninterrupted run — across every workload and protection mode. The
+// truncation point is derived deterministically per cell so the matrix
+// collectively covers header cuts (resume restarts from scratch), mid- and
+// between-record cuts (resume replays a prefix), and no cut at all (resume
+// replays everything). This is the acceptance gate for the journal.
+
+import (
+	"context"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workloads"
+)
+
+func TestCampaignResumeEquivalence(t *testing.T) {
+	modes := []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+	names := make([]string, 0, 13)
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	if raceEnabled {
+		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
+		modes = []core.Mode{core.ModeOriginal, core.ModeDupVal}
+	}
+	for _, name := range names {
+		for _, mode := range modes {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				w := workloads.ByName(name)
+				prot := protectedFor(t, w, mode)
+				path := filepath.Join(t.TempDir(), "campaign.journal")
+
+				run := func(resume bool) *fault.Report {
+					cfg := fault.DefaultConfig()
+					cfg.Trials = 12
+					cfg.JournalPath = path
+					cfg.Resume = resume
+					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode.String(), cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
+				}
+
+				full := run(false)
+
+				// Deterministic per-cell cut in [0, size]: the matrix as a
+				// whole exercises header cuts, record cuts, and the no-cut
+				// (journal already complete) resume.
+				info, err := os.Stat(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h := fnv.New64a()
+				h.Write([]byte(name + "/" + mode.String()))
+				cut := int64(h.Sum64() % uint64(info.Size()+1))
+				if err := os.Truncate(path, cut); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("journal %d bytes, resuming from %d", info.Size(), cut)
+
+				resumed := run(true)
+				diffReports(t, "resumed-vs-full", resumed, full)
+				if resumed.Partial || full.Partial {
+					t.Fatal("complete campaigns marked partial")
+				}
+				if len(resumed.Anomalies)+len(full.Anomalies) != 0 {
+					t.Fatalf("unexpected anomalies: %+v / %+v", resumed.Anomalies, full.Anomalies)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeCompletedCampaignRunsNothing resumes an intact journal of a
+// finished campaign: every trial must replay from the journal and zero
+// trials may execute.
+func TestResumeCompletedCampaignRunsNothing(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 10
+	cfg.JournalPath = path
+	full, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var executed atomic.Int64
+	cfg.Resume = true
+	cfg.OnTrial = func(int) { executed.Add(1) }
+	resumed, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Fatalf("resume of a complete journal executed %d trials", n)
+	}
+	if resumed.Replayed != cfg.Trials {
+		t.Fatalf("Replayed = %d, want %d", resumed.Replayed, cfg.Trials)
+	}
+	diffReports(t, "replayed-vs-full", resumed, full)
+}
+
+// TestResumeReplaysQuarantinedTrials checks anomalies are durable: a
+// journaled panic quarantine survives resume without re-running the
+// poisoned trial.
+func TestResumeReplaysQuarantinedTrials(t *testing.T) {
+	const poisoned = 2
+	w := workloads.ByName("tiff2bw")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 6
+	cfg.JournalPath = path
+	cfg.OnTrial = func(trial int) {
+		if trial == poisoned {
+			panic("poisoned trial")
+		}
+	}
+	first, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Anomalies) != 1 {
+		t.Fatalf("anomalies = %+v", first.Anomalies)
+	}
+
+	cfg.Resume = true
+	cfg.OnTrial = func(trial int) {
+		if trial == poisoned {
+			t.Errorf("quarantined trial %d re-executed on resume", trial)
+		}
+	}
+	resumed, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Anomalies) != 1 {
+		t.Fatalf("anomaly lost on resume: %+v", resumed.Anomalies)
+	}
+	a, b := first.Anomalies[0], resumed.Anomalies[0]
+	if a.Trial != b.Trial || a.Seed != b.Seed || a.Reason != b.Reason || a.Stack != b.Stack {
+		t.Fatalf("anomaly not durable:\nfirst=%+v\nresumed=%+v", a, b)
+	}
+	if resumed.Tally != first.Tally {
+		t.Fatalf("tallies differ: %+v != %+v", resumed.Tally, first.Tally)
+	}
+}
+
+// TestResumeRejectsForeignJournal: resuming under a different
+// result-affecting configuration must fail loudly, not silently blend two
+// campaigns.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 4
+	cfg.JournalPath = path
+	if _, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Resume = true
+	cfg.Seed++
+	if _, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg); err == nil {
+		t.Fatal("foreign journal (different seed) accepted on resume")
+	}
+}
+
+// TestResumeMissingJournalStartsFresh: -resume against a journal that does
+// not exist yet is a fresh start, not an error (first run of a durable
+// campaign script).
+func TestResumeMissingJournalStartsFresh(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 5
+	cfg.JournalPath = path
+	cfg.Resume = true
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != 0 || rep.Tally.N != cfg.Trials {
+		t.Fatalf("fresh resume: Replayed=%d N=%d", rep.Replayed, rep.Tally.N)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal not created: %v", err)
+	}
+}

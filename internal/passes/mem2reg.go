@@ -19,12 +19,17 @@ func Mem2Reg(f *ir.Func) {
 	f.ComputeCFG()
 	dt := ir.BuildDomTree(f)
 
-	// 1. Find promotable allocas.
+	// 1. Find promotable allocas. order keeps them in program order: phi
+	// insertion below must not depend on map iteration, or the header phi
+	// order (and with it value numbering, fault-injection live lists, and
+	// every downstream artifact) varies from process to process.
 	promotable := make(map[*ir.Instr]*allocaInfo)
+	var order []*ir.Instr
 	f.Instrs(func(in *ir.Instr) bool {
 		if in.Op == ir.OpAlloca {
 			if c, ok := in.Args[0].(*ir.Const); ok && c.Int() == 1 {
 				promotable[in] = &allocaInfo{ty: ir.Void}
+				order = append(order, in)
 			}
 		}
 		return true
@@ -72,10 +77,16 @@ func Mem2Reg(f *ir.Func) {
 		return
 	}
 
-	// 2. Phi insertion at iterated dominance frontiers.
+	// 2. Phi insertion at iterated dominance frontiers, in program order of
+	// the allocas (each phi lands at slot 0, so later allocas end up earlier
+	// in the header; what matters is that the order is deterministic).
 	df := dt.Frontiers()
 	phiFor := make(map[*ir.Block]map[*ir.Instr]*ir.Instr) // block -> alloca -> phi
-	for al, info := range promotable {
+	for _, al := range order {
+		info := promotable[al]
+		if info == nil {
+			continue
+		}
 		inserted := make(map[*ir.Block]bool)
 		work := append([]*ir.Block(nil), info.defBlocks...)
 		for len(work) > 0 {

@@ -15,6 +15,7 @@ package vm
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/ir"
 )
@@ -132,6 +133,12 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 	tracer := m.opts.Tracer
 	profiler := m.opts.Profiler
 	stop := m.stop
+	// The wall-clock deadline shares the Stop poll cadence and, like Stop,
+	// costs nothing when unset; polled is the "any periodic poll armed" flag
+	// folded into the event threshold.
+	deadline := m.opts.Deadline
+	hasDeadline := !deadline.IsZero()
+	polled := stop != nil || hasDeadline
 	maxDyn := m.cfg.MaxDyn
 	tm := m.timing
 	lats := &m.lats
@@ -232,20 +239,27 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 					m.uncountTail(ef, pc, pc) // trap before the instruction counts
 					return 0, &Trap{Kind: TrapWatchdog, Dyn: dyn, Fn: fn.Name}
 				}
-				if stop != nil && dyn&stopCheckMask == 0 {
-					select {
-					case <-stop:
+				if polled && dyn&stopCheckMask == 0 {
+					if stop != nil {
+						select {
+						case <-stop:
+							m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+							m.uncountTail(ef, pc, pc)
+							return 0, &Trap{Kind: TrapCancelled, Dyn: dyn, Fn: fn.Name}
+						default:
+						}
+					}
+					if hasDeadline && time.Now().After(deadline) {
 						m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
 						m.uncountTail(ef, pc, pc)
-						return 0, &Trap{Kind: TrapCancelled, Dyn: dyn, Fn: fn.Name}
-					default:
+						return 0, &Trap{Kind: TrapDeadline, Dyn: dyn, Fn: fn.Name}
 					}
 				}
 				nextEvent = maxDyn
 				if suspendAt < nextEvent {
 					nextEvent = suspendAt
 				}
-				if stop != nil && dyn|stopCheckMask < nextEvent {
+				if polled && dyn|stopCheckMask < nextEvent {
 					nextEvent = dyn | stopCheckMask
 				}
 				if pendingReg && fault.TriggerDyn < nextEvent {
@@ -514,19 +528,25 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 				m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
 				return 0, &Trap{Kind: TrapWatchdog, Dyn: dyn, Fn: fn.Name}
 			}
-			if stop != nil && dyn&stopCheckMask == 0 {
-				select {
-				case <-stop:
+			if polled && dyn&stopCheckMask == 0 {
+				if stop != nil {
+					select {
+					case <-stop:
+						m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+						return 0, &Trap{Kind: TrapCancelled, Dyn: dyn, Fn: fn.Name}
+					default:
+					}
+				}
+				if hasDeadline && time.Now().After(deadline) {
 					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
-					return 0, &Trap{Kind: TrapCancelled, Dyn: dyn, Fn: fn.Name}
-				default:
+					return 0, &Trap{Kind: TrapDeadline, Dyn: dyn, Fn: fn.Name}
 				}
 			}
 			nextEvent = maxDyn
 			if suspendAt < nextEvent {
 				nextEvent = suspendAt
 			}
-			if stop != nil && dyn|stopCheckMask < nextEvent {
+			if polled && dyn|stopCheckMask < nextEvent {
 				nextEvent = dyn | stopCheckMask
 			}
 			if pendingReg && fault.TriggerDyn < nextEvent {

@@ -12,6 +12,7 @@ package vm_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -279,6 +280,55 @@ func TestEngineCancellation(t *testing.T) {
 		}
 		if res.Trap.IsSymptom() {
 			t.Fatal("cancellation must not classify as a hardware symptom")
+		}
+	}
+}
+
+// TestEngineDeadline checks both engines honor an already-expired wall-clock
+// deadline (the trial-reaping hook layered over the watchdog) and that an
+// unreachable deadline never perturbs a run.
+func TestEngineDeadline(t *testing.T) {
+	w := workloads.ByName("jpegdec")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []vm.EngineKind{vm.EngineFast, vm.EngineTree} {
+		cfg := vm.DefaultConfig()
+		cfg.Engine = engine
+		mach, err := vm.New(mod, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Bind(mach, workloads.Test); err != nil {
+			t.Fatal(err)
+		}
+		mach.Reset()
+		ref := mach.Run(vm.RunOptions{})
+		if ref.Trap != nil {
+			t.Fatalf("engine %d: reference run trapped: %v", engine, ref.Trap)
+		}
+
+		mach.Reset()
+		res := mach.Run(vm.RunOptions{Deadline: time.Now().Add(-time.Second)})
+		if res.Trap == nil || res.Trap.Kind != vm.TrapDeadline {
+			t.Fatalf("engine %d: expected deadline trap, got %v", engine, res.Trap)
+		}
+		if res.Trap.IsSymptom() {
+			t.Fatal("deadline must not classify as a hardware symptom")
+		}
+
+		// A generous deadline must leave the run bit-identical to one with
+		// no deadline at all: the poll shares the Stop cadence and touches
+		// no machine state.
+		mach.Reset()
+		far := mach.Run(vm.RunOptions{Deadline: time.Now().Add(time.Hour)})
+		if far.Trap != nil {
+			t.Fatalf("engine %d: far-deadline run trapped: %v", engine, far.Trap)
+		}
+		if far.Ret != ref.Ret || far.Dyn != ref.Dyn || far.Cycles != ref.Cycles {
+			t.Fatalf("engine %d: far-deadline run differs: (%d,%d,%d) != (%d,%d,%d)",
+				engine, far.Ret, far.Dyn, far.Cycles, ref.Ret, ref.Dyn, ref.Cycles)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/ir"
 )
@@ -198,11 +199,16 @@ blockLoop:
 			if m.dyn > m.cfg.MaxDyn {
 				return 0, trapAt(TrapWatchdog)
 			}
-			if m.stop != nil && m.dyn&stopCheckMask == 0 {
-				select {
-				case <-m.stop:
-					return 0, trapAt(TrapCancelled)
-				default:
+			if m.dyn&stopCheckMask == 0 {
+				if m.stop != nil {
+					select {
+					case <-m.stop:
+						return 0, trapAt(TrapCancelled)
+					default:
+					}
+				}
+				if d := m.opts.Deadline; !d.IsZero() && time.Now().After(d) {
+					return 0, trapAt(TrapDeadline)
 				}
 			}
 			m.opCounts[in.Op]++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/ir"
 )
@@ -112,6 +113,14 @@ type RunOptions struct {
 	// nothing when it is unset. Fast engine only; the tree interpreter
 	// ignores it.
 	SuspendAtDyn int64
+	// Deadline, when nonzero, bounds the run in wall clock: it is polled at
+	// the same cadence as Stop and the run terminates with a TrapDeadline
+	// once the clock passes it. Layered over MaxDyn, it reaps runs the
+	// dynamic-instruction watchdog cannot bound — a stuck host, a
+	// pathologically slow trial — at the price of wall-clock nondeterminism,
+	// so campaign code must treat TrapDeadline as "unknown", never as an
+	// outcome. Zero (the default) disables the poll entirely.
+	Deadline time.Time
 }
 
 // Result summarizes a completed (or trapped) run.

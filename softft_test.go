@@ -2,6 +2,9 @@ package softft
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -260,5 +263,80 @@ func TestOutcomesHelpers(t *testing.T) {
 	empty := &Outcomes{}
 	if empty.Coverage() != 0 || empty.USDCRate() != 0 {
 		t.Error("empty outcomes should report zero rates")
+	}
+}
+
+func TestOutcomesStringZeroTrials(t *testing.T) {
+	// Trials == 0 is reachable (all trials quarantined, or cancellation
+	// before the first trial lands); String must say so instead of printing
+	// a meaningless 0% coverage line.
+	empty := &Outcomes{}
+	if got := empty.String(); got != "no completed trials" {
+		t.Errorf("empty String() = %q", got)
+	}
+	quarantined := &Outcomes{Anomalies: []Anomaly{{Trial: 0, Reason: "panic"}, {Trial: 1, Reason: "timeout"}}}
+	if got := quarantined.String(); got != "no completed trials [2 quarantined]" {
+		t.Errorf("quarantined String() = %q", got)
+	}
+	partial := &Outcomes{Trials: 10, Masked: 10, Partial: true}
+	if got := partial.String(); !strings.Contains(got, "[partial]") || !strings.Contains(got, "trials=10") {
+		t.Errorf("partial String() = %q", got)
+	}
+	early := &Outcomes{Trials: 40, Masked: 40, EarlyStopped: true, TrialsSaved: 60}
+	if got := early.String(); !strings.Contains(got, "early stop") || !strings.Contains(got, "60 trials saved") {
+		t.Errorf("early-stop String() = %q", got)
+	}
+}
+
+func TestCampaignRejectsNegativeCounts(t *testing.T) {
+	prog, err := Compile("kernel", testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.InjectFaults(testInput(), Campaign{Trials: -1, Output: "out"}); err == nil {
+		t.Error("negative Trials accepted")
+	}
+	if _, err := prog.InjectFaults(testInput(), Campaign{Trials: 10, Workers: -2, Output: "out"}); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	// The recovery path shares campaignSetup and must reject identically.
+	if _, err := prog.InjectFaultsWithRecovery(testInput(), Campaign{Trials: -1, Output: "out"}); err == nil {
+		t.Error("recovery: negative Trials accepted")
+	}
+}
+
+func TestCampaignJournalResumeThroughPublicAPI(t *testing.T) {
+	prog, err := Compile("kernel", testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	c := Campaign{Trials: 30, Seed: 7, Output: "out", Journal: path}
+	full, err := prog.InjectFaults(testInput(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the journal mid-file and resume: the outcomes must be identical
+	// and some trials must have been replayed rather than re-run.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	c.Resume = true
+	resumed, err := prog.InjectFaults(testInput(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Replayed == 0 {
+		t.Error("resume replayed nothing from a half-complete journal")
+	}
+	a, b := *full, *resumed
+	a.Replayed, b.Replayed = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("resumed outcomes differ:\nfull=%+v\nresumed=%+v", full, resumed)
 	}
 }
