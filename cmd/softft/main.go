@@ -38,6 +38,8 @@ func main() {
 		trace   = flag.Int64("trace", 0, "print an execution trace of up to N instructions")
 		branch  = flag.Bool("branch-faults", false, "inject branch-target faults instead of register bit flips")
 
+		lockstep = flag.Int("lockstep", 0, "lockstep batching: 0 auto, N>0 batch bins of >= N trials, -1 off (bit-identical results; throughput only)")
+
 		journal      = flag.String("journal", "", "append completed trials to this durable journal file")
 		resume       = flag.Bool("resume", false, "replay the -journal file and run only the remaining trials")
 		trialTimeout = flag.Duration("trial-timeout", 0, "wall-clock bound per trial (e.g. 5s); hung trials are quarantined")
@@ -193,6 +195,7 @@ func main() {
 		c := bm.NewCampaign(*inject)
 		c.Seed = *seed
 		c.BranchTargets = *branch
+		c.Lockstep = *lockstep
 		c.Journal = *journal
 		c.Resume = *resume
 		c.TrialTimeout = *trialTimeout

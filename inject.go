@@ -45,6 +45,13 @@ type Campaign struct {
 	// checkpointing. Results are bit-identical either way — this is purely
 	// a throughput knob.
 	Checkpoints int
+	// Lockstep controls batched trial execution inside checkpoint bins: one
+	// carrier machine advances the shared golden prefix once and every trial
+	// peels off at its own divergence point. 0 (the default) batches
+	// automatically where profitable; > 0 forces batching for every bin of
+	// at least that many trials; < 0 disables it. Results are bit-identical
+	// either way — like Checkpoints, this is purely a throughput knob.
+	Lockstep int
 	// Journal, when nonempty, names a file to which every decided trial is
 	// durably appended (checksummed, batched), so a killed campaign can be
 	// resumed without losing completed work.
@@ -189,6 +196,7 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 		cfg.LargeChange = c.LargeChange
 	}
 	cfg.Checkpoints = c.Checkpoints
+	cfg.Lockstep = c.Lockstep
 	cfg.JournalPath = c.Journal
 	cfg.Resume = c.Resume
 	cfg.TrialTimeout = c.TrialTimeout

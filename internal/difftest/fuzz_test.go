@@ -97,3 +97,63 @@ func FuzzCompileAndRun(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLockstepDivergence hammers the lockstep peel protocol with arbitrary
+// programs: a carrier peels lanes at every edge point — origin (trigger at
+// dyn 0), dyn 1, the midpoint, and the last suspendable instruction of the
+// run (a divergence on the final instruction of a bin) — and each peeled
+// machine must finish bit-identically to a solo run. Trapping programs are
+// first-class inputs: a lane peeled before the trapping instruction must
+// re-trap with the identical Trap record, which exercises the carrier's
+// suspend-before-execute ordering against division traps, watchdog
+// exhaustion, and stack-depth traps.
+func FuzzLockstepDivergence(f *testing.F) {
+	// Peel at dyn 0 with a minimal body: the last suspendable point is the
+	// final ret, so origin and last-instruction peels collapse onto a
+	// two-instruction run.
+	f.Add("global int out[2];\nvoid main() { out[0] = 1; }")
+	// Divergence inside a trapping region: the reference run dies on the
+	// divide, and every peel point before it must reproduce that trap.
+	f.Add("global int in[4]; global int out[4];\nvoid main() { int d = in[0] - in[0]; out[0] = 7 / d; }")
+	// Divergence on the last instruction of a long straight-line bin.
+	f.Add("global int in[8]; global int out[8];\nvoid main() { int s = 0; for (int i = 0; i < 40; i += 1) { s += in[i & 7] + i; } out[0] = s; }")
+	// Call-heavy shape: peeling must rebuild a multi-frame suspension chain.
+	f.Add("global int in[4]; global int out[4];\nint add(int a, int b) { return a + b; }\nvoid main() { int s = 0; for (int i = 0; i < 12; i += 1) { s = add(s, in[i & 3]); } out[0] = s; }")
+	f.Add(Generate(2, DefaultGenConfig()).Source())
+	f.Add(Generate(5, DefaultGenConfig()).Source())
+	f.Add(Generate(11, DefaultGenConfig()).Source())
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, g := range prog.Globals {
+			if g.Size < 0 || g.Size > 1<<12 {
+				return
+			}
+			total += g.Size
+		}
+		if total > 1<<14 {
+			return
+		}
+		mod, err := lang.Codegen("fuzz", prog)
+		if err != nil {
+			return
+		}
+		mod.Renumber()
+		if err := mod.Verify(); err != nil {
+			return // FuzzCompileAndRun owns the verifier invariant
+		}
+		if err := passes.Normalize(mod); err != nil {
+			return
+		}
+		ints, floats := InputsForSeed(7)
+		if d := diffLockstepPeel(mod, ints, floats, 200_000); d != "" {
+			t.Fatalf("lockstep divergence: %s\n%s", d, src)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package difftest
+
+// Lockstep-equivalence invariant. The lockstep batch executor promises that
+// a trial peeled from a carrier at divergence point D is bit-identical to a
+// run that reached D on its own. The oracle probes this per generated
+// program at two levels:
+//
+//   - vm level (diffLockstepPeel): a carrier peels lanes at edge points —
+//     origin, dyn 1, midpoint, and the last suspendable instruction — and
+//     each peeled machine must finish (or re-trap) exactly like the
+//     uninterrupted reference, on every observable including OpCounts and
+//     all globals. Trapping programs are probed too: the suspension check
+//     precedes execution, so every point up to Trap.Dyn-1 must suspend and
+//     the peeled suffix must reproduce the identical trap.
+//   - campaign level (diffLockstepCampaign): a small fault campaign with
+//     lockstep forced on versus off must produce identical Reports, the
+//     same property the fault package's equivalence matrix pins on real
+//     workloads, here exercised on adversarial generated programs.
+//
+// Combined with the engine-diff invariant (fast vs tree interpreter), this
+// transitively checks lockstep against the scalar reference engine.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// lockstepTrials sizes the campaign-level probe: enough trials to populate
+// more than one checkpoint bin, few enough to keep the oracle fast.
+const lockstepTrials = 6
+
+// diffLockstep runs both lockstep probes for one module. Returns "" when
+// the invariant holds, a description otherwise.
+func diffLockstep(name string, mod *ir.Module, ints []int64, floats []float64, maxDyn int64, ref *runOut) string {
+	if d := diffLockstepPeel(mod, ints, floats, maxDyn); d != "" {
+		return d
+	}
+	// Programs too short for injection triggers to spread skip the campaign
+	// probe, mirroring resume-diff's gate.
+	if ref.dyn >= 4 {
+		if d := diffLockstepCampaign(name, mod, ints, floats); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// lockstepMachine builds a fast-engine machine, binding the generator's
+// "in"/"fin" globals only when the module declares them (fuzzed sources may
+// not).
+func lockstepMachine(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) (*vm.Machine, error) {
+	vcfg := vm.DefaultConfig()
+	if maxDyn > 0 {
+		vcfg.MaxDyn = maxDyn
+	}
+	mach, err := vm.New(mod, vcfg)
+	if err != nil {
+		return nil, err
+	}
+	if mod.Global("in") != nil {
+		if err := mach.BindInputInts("in", ints); err != nil {
+			return nil, err
+		}
+	}
+	if mod.Global("fin") != nil {
+		if err := mach.BindInputFloats("fin", floats); err != nil {
+			return nil, err
+		}
+	}
+	mach.Reset()
+	return mach, nil
+}
+
+// diffLockstepPeel is the vm-level probe: every peel-point edge case on one
+// carrier, each peeled run compared field-for-field (and global-for-global)
+// against an uninterrupted reference run of the same module.
+func diffLockstepPeel(mod *ir.Module, ints []int64, floats []float64, maxDyn int64) string {
+	refMach, err := lockstepMachine(mod, ints, floats, maxDyn)
+	if err != nil {
+		return "" // e.g. no main — nothing to probe
+	}
+	ref := refMach.Run(vm.RunOptions{})
+
+	// The last guaranteed-suspendable point: instructions carry pre-increment
+	// indices 0..Dyn-1 on a completing run, and a trapping instruction's
+	// suspension check runs before it executes, so Trap.Dyn-1 is always
+	// reachable as a suspend point.
+	maxPeel := ref.Dyn - 1
+	if ref.Trap != nil {
+		maxPeel = ref.Trap.Dyn - 1
+	}
+	if maxPeel < 0 {
+		return ""
+	}
+
+	carrier, err := lockstepMachine(mod, ints, floats, maxDyn)
+	if err != nil {
+		return err.Error()
+	}
+	batch, err := vm.NewBatch(carrier, vm.BatchOptions{})
+	if err != nil {
+		return err.Error()
+	}
+	batch.Reset(nil)
+	mach, err := lockstepMachine(mod, ints, floats, maxDyn)
+	if err != nil {
+		return err.Error()
+	}
+
+	peels := []int64{0, 1, maxPeel / 2, maxPeel}
+	last := int64(-1)
+	for _, d := range peels {
+		if d > maxPeel || d == last {
+			continue
+		}
+		last = d
+		lane := batch.AddLane(d)
+		if err := batch.Peel(lane, mach); err != nil {
+			return fmt.Sprintf("peel at dyn %d: %v", d, err)
+		}
+		res := mach.Run(vm.RunOptions{})
+		if d := diffLockstepRun(fmt.Sprintf("peel@%d", d), mod, mach, res, refMach, ref); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// diffLockstepRun compares a peeled run against the reference on every
+// observable the solo engine publishes.
+func diffLockstepRun(label string, mod *ir.Module, mach *vm.Machine, res *vm.Result, refMach *vm.Machine, ref *vm.Result) string {
+	if (res.Trap == nil) != (ref.Trap == nil) {
+		return fmt.Sprintf("%s: trap mismatch: %v vs %v", label, res.Trap, ref.Trap)
+	}
+	if res.Trap != nil && *res.Trap != *ref.Trap {
+		return fmt.Sprintf("%s: traps differ: %+v vs %+v", label, *res.Trap, *ref.Trap)
+	}
+	if res.Ret != ref.Ret || res.Dyn != ref.Dyn || res.Cycles != ref.Cycles {
+		return fmt.Sprintf("%s: result differs: (ret=%#x dyn=%d cyc=%d) vs (ret=%#x dyn=%d cyc=%d)",
+			label, res.Ret, res.Dyn, res.Cycles, ref.Ret, ref.Dyn, ref.Cycles)
+	}
+	if res.OpCounts != ref.OpCounts {
+		return fmt.Sprintf("%s: OpCounts differ", label)
+	}
+	for _, g := range mod.Globals {
+		a, err1 := mach.ReadGlobal(g.Name)
+		b, err2 := refMach.ReadGlobal(g.Name)
+		if err1 != nil || err2 != nil {
+			return fmt.Sprintf("%s: reading %s: %v / %v", label, g.Name, err1, err2)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return fmt.Sprintf("%s: %s[%d]: %#x vs %#x", label, g.Name, i, a[i], b[i])
+			}
+		}
+	}
+	return ""
+}
+
+// diffLockstepCampaign runs the same small campaign with lockstep forced on
+// for every bin and forced off, and diffs the Reports.
+func diffLockstepCampaign(name string, mod *ir.Module, ints []int64, floats []float64) string {
+	target := fault.Target{
+		Name: name,
+		Bind: func(m *vm.Machine) error {
+			if err := m.BindInputInts("in", ints); err != nil {
+				return err
+			}
+			return m.BindInputFloats("fin", floats)
+		},
+		Output:     "out",
+		Measure:    func(golden, test []uint64) float64 { return 0 },
+		Acceptable: func(float64) bool { return false },
+	}
+	cfg := fault.DefaultConfig()
+	cfg.Trials = lockstepTrials
+	cfg.Workers = 1
+	cfg.Checkpoints = 2
+	cfg.WatchdogFactor = 20
+
+	run := func(lockstep int) (*fault.Report, string) {
+		c := cfg
+		c.Lockstep = lockstep
+		rep, err := fault.Run(nil, target, mod, "Original", c)
+		if err != nil {
+			return nil, err.Error()
+		}
+		return rep, ""
+	}
+	lock, d := run(1)
+	if d != "" {
+		return "lockstep campaign: " + d
+	}
+	solo, d := run(-1)
+	if d != "" {
+		return "solo campaign: " + d
+	}
+	if lock.Tally != solo.Tally {
+		return fmt.Sprintf("tally: lockstep %+v != solo %+v", lock.Tally, solo.Tally)
+	}
+	for i := range solo.Trials {
+		if lock.Trials[i] != solo.Trials[i] {
+			return fmt.Sprintf("trial %d: lockstep %+v != solo %+v", i, lock.Trials[i], solo.Trials[i])
+		}
+	}
+	if len(lock.Anomalies) != 0 || len(solo.Anomalies) != 0 || lock.Partial || solo.Partial {
+		return fmt.Sprintf("unexpected anomalies/partial state: lockstep=%+v solo=%+v", lock, solo)
+	}
+	return ""
+}

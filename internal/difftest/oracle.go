@@ -22,6 +22,7 @@ const (
 	InvEngine     = "engine-diff"     // precompiled engine disagrees with the tree interpreter
 	InvCheckpoint = "checkpoint-diff" // suspend/snapshot/restore run disagrees with uninterrupted run
 	InvResume     = "resume-diff"     // resumed journaled campaign disagrees with uninterrupted one
+	InvLockstep   = "lockstep-diff"   // lockstep batch executor disagrees with the solo engine
 )
 
 // Failure describes one violated invariant. It implements error.
@@ -164,6 +165,16 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 				if mode == core.ModeOriginal && r.dyn >= 4 {
 					if d := diffResume(name, pm, ints, floats); d != "" {
 						return &Failure{Invariant: InvResume, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+					}
+				}
+				// Lockstep cross-check (Original only — the batch executor is
+				// mode-agnostic at the vm level, and protected modes are
+				// covered by the fault package's equivalence matrix): trials
+				// peeled from a lockstep carrier must be bit-identical to
+				// solo runs, at both the vm and the campaign level.
+				if mode == core.ModeOriginal {
+					if d := diffLockstep(name, pm, ints, floats, cfg.MaxDyn, r); d != "" {
+						return &Failure{Invariant: InvLockstep, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
 					}
 				}
 			}

@@ -1,0 +1,50 @@
+package fault_test
+
+// Campaign throughput benchmarks: the lockstep carrier path against its
+// checkpointed-solo twin on a protected workload (high software detection
+// keeps post-trigger suffixes short, which is the regime lockstep targets).
+// CI runs these as a smoke check; cmd/softft -bench-campaign produces the
+// tracked BENCH_campaign.json artifact.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+func benchCampaign(b *testing.B, name string, lockstep int) {
+	w := workloads.ByName(name)
+	prot := protectedForB(b, w, core.ModeFullDup)
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 240
+	cfg.Workers = 1
+	cfg.Lockstep = lockstep
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "FullDup", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// protectedForB mirrors checkpoint_test.go's protectedFor for benchmarks
+// (modes that need no profile).
+func protectedForB(b *testing.B, w *workloads.Workload, mode core.Mode) *ir.Module {
+	b.Helper()
+	mod, err := w.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prot := mod.Clone()
+	if _, err := core.Protect(prot, mode, nil, core.DefaultParams()); err != nil {
+		b.Fatal(err)
+	}
+	return prot
+}
+
+func BenchmarkCampaignSolo(b *testing.B)     { benchCampaign(b, "svm", -1) }
+func BenchmarkCampaignLockstep(b *testing.B) { benchCampaign(b, "svm", 1) }

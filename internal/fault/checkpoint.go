@@ -39,7 +39,30 @@ const (
 	minSnapInterval = 20_000
 	// maxSnapshots bounds memory held by a campaign's snapshot set.
 	maxSnapshots = 32
+	// lockstepMaxSnapshots bounds the *automatic* schedule when lockstep
+	// batching is on. Solo trials want dense snapshots (each trial re-runs
+	// its bin prefix alone), but a lockstep carrier serves every lane a
+	// state clone at its exact divergence point, so intra-bin prefix length
+	// stops mattering; fewer, larger bins mean more lanes amortizing each
+	// carrier advance and less snapshot memory held.
+	lockstepMaxSnapshots = 8
+	// lockstepAutoMinLanes is the default smallest bin worth a carrier:
+	// below it, the carrier's own restore roughly cancels the sharing win.
+	lockstepAutoMinLanes = 3
 )
+
+// lockstepMinLanes resolves Config.Lockstep to the smallest bin size run in
+// lockstep, or 0 when batching is disabled (explicitly, or because the
+// campaign lacks the fast engine that carriers require).
+func lockstepMinLanes(cfg Config) int {
+	if cfg.Lockstep < 0 || cfg.Engine != vm.EngineFast {
+		return 0
+	}
+	if cfg.Lockstep > 0 {
+		return cfg.Lockstep
+	}
+	return lockstepAutoMinLanes
+}
 
 // checkpointSchedule returns the dyn indices at which the instrumented
 // golden run suspends to capture snapshots, evenly spaced over the golden
@@ -53,8 +76,12 @@ func checkpointSchedule(cfg Config, goldenDyn int64) []int64 {
 	n := cfg.Checkpoints
 	if n == 0 {
 		n = int(goldenDyn / minSnapInterval)
-		if n > maxSnapshots {
-			n = maxSnapshots
+		lim := maxSnapshots
+		if lockstepMinLanes(cfg) > 0 {
+			lim = lockstepMaxSnapshots
+		}
+		if n > lim {
+			n = lim
 		}
 	}
 	if n < 2 {

@@ -70,6 +70,22 @@ func diffReports(t *testing.T, label string, ckpt, scratch *fault.Report) {
 				label, i, ckpt.Trials[i], scratch.Trials[i])
 		}
 	}
+	// Anomalies must agree in identity (trial, reproducer seed, reason);
+	// panic stacks are path-specific by nature and are not compared.
+	if len(ckpt.Anomalies) != len(scratch.Anomalies) {
+		t.Fatalf("%s: anomaly count: %d vs %d\na=%+v\nb=%+v",
+			label, len(ckpt.Anomalies), len(scratch.Anomalies), ckpt.Anomalies, scratch.Anomalies)
+	}
+	for i := range ckpt.Anomalies {
+		a, b := ckpt.Anomalies[i], scratch.Anomalies[i]
+		if a.Trial != b.Trial || a.Seed != b.Seed || a.Reason != b.Reason {
+			t.Fatalf("%s: anomaly %d differs:\na=%+v\nb=%+v", label, i, a, b)
+		}
+	}
+	if ckpt.Partial != scratch.Partial || ckpt.EarlyStopped != scratch.EarlyStopped {
+		t.Fatalf("%s: partial/early-stop flags differ: (%v,%v) vs (%v,%v)",
+			label, ckpt.Partial, ckpt.EarlyStopped, scratch.Partial, scratch.EarlyStopped)
+	}
 }
 
 // checkpointVsScratch runs the same campaign twice — checkpointing forced

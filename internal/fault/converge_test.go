@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+// convergeSrc is a loop-heavy workload for the convergence fast-forward
+// tests: most register corruptions land in short-lived loop temporaries, so
+// under FullDup the bulk of trials are masked and re-converge to the golden
+// state within an iteration or two of the injection.
+const convergeSrc = `
+global int out[4];
+void main() {
+	int acc = 0;
+	for (int i = 0; i < 400; i += 1) {
+		acc = acc + ((i * 7) & 255);
+	}
+	out[0] = acc;
+}
+`
+
+// TestConvergenceShortCircuit drives finishTrialConverging against
+// finishTrial across many trials of the same fault stream: every trial's
+// record must be bit-identical, and at least some masked trials must have
+// actually short-circuited — observable as the machine still being suspended
+// (Snapshot succeeds) at a dyn short of the run's end — or the fast-forward
+// is dead code.
+func TestConvergenceShortCircuit(t *testing.T) {
+	mod, err := lang.Compile("converge", convergeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Protect(mod, core.ModeFullDup, nil, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	target := Target{
+		Name:       "converge",
+		Output:     "out",
+		Bind:       func(m *vm.Machine) error { return nil },
+		Measure:    func(golden, test []uint64) float64 { return 0 },
+		Acceptable: func(float64) bool { return false },
+	}
+	cfg := DefaultConfig()
+
+	gm, err := newMachine(target, mod, 0, cfg.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := gm.Run(vm.RunOptions{})
+	if res.Trap != nil {
+		t.Fatalf("golden run trapped: %v", res.Trap)
+	}
+	golden, err := gm.ReadGlobal(target.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenDyn := res.Dyn
+	maxDyn := goldenDyn * cfg.WatchdogFactor
+
+	snapAt := []int64{goldenDyn / 4, goldenDyn / 2, 3 * goldenDyn / 4}
+	snaps, err := takeSnapshots(target, mod, cfg, nil, maxDyn, snapAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solo, err := newMachine(target, mod, maxDyn, cfg.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := newMachine(target, mod, maxDyn, cfg.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := (&campaign{cfg: cfg}).newWorker()
+	shortCircuits, masked := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		p1 := drawPlan(cfg, goldenDyn, trial, ws.src, ws.rng)
+		solo.Reset()
+		tr1, to1 := finishTrial(solo, p1, target, cfg, golden, nil, time.Time{})
+
+		p2 := drawPlan(cfg, goldenDyn, trial, ws.src, ws.rng)
+		conv.Reset()
+		tr2, to2 := finishTrialConverging(conv, p2, target, cfg, golden, nil, time.Time{}, snaps)
+
+		if tr1 != tr2 || to1 != to2 {
+			t.Fatalf("trial %d: solo %+v (timeout %v) vs converging %+v (timeout %v)",
+				trial, tr1, to1, tr2, to2)
+		}
+		if tr1.Outcome == Masked {
+			masked++
+		}
+		// A machine that short-circuited is still suspended mid-run; only a
+		// suspended fast-engine machine can be snapshotted.
+		if _, err := conv.Snapshot(); err == nil {
+			if tr2.Outcome != Masked {
+				t.Fatalf("trial %d: short-circuited with outcome %v", trial, tr2.Outcome)
+			}
+			shortCircuits++
+		}
+	}
+	if masked == 0 {
+		t.Fatal("workload produced no masked trials; the test exercises nothing")
+	}
+	if shortCircuits == 0 {
+		t.Fatal("no trial short-circuited through a snapshot crossing")
+	}
+	t.Logf("%d/60 trials masked, %d short-circuited", masked, shortCircuits)
+}

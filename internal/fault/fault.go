@@ -67,6 +67,17 @@ type Config struct {
 	// campaign results: every Trial stays bit-identical to the from-scratch
 	// path.
 	Checkpoints int
+	// Lockstep controls batched execution of checkpoint bins: the trials of
+	// one bin share a single carrier machine that advances their common
+	// golden prefix once, each trial peeling off into a solo machine at its
+	// own divergence point (vm.BatchMachine). 0 (the default) batches
+	// automatically for bins large enough to amortize the carrier; > 0 sets
+	// that minimum bin size explicitly (1 batches every bin); < 0 disables
+	// batching. Lockstep requires checkpointing's machinery (fast engine)
+	// and, like Checkpoints and Workers, is a pure throughput knob: every
+	// Trial, Anomaly, and journal record stays bit-identical to the solo
+	// path.
+	Lockstep int
 	// JournalPath, when nonempty, makes the campaign durable: every decided
 	// trial is appended to a checksummed journal at this path, so a crashed
 	// or killed campaign can be resumed without re-running completed trials.
@@ -271,7 +282,11 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	pending := c.pendingTrials()
 	var runErr error
 	if len(pending) > 0 && !c.stopRequested() {
-		if snapAt := checkpointSchedule(cfg, goldenRes.Dyn); len(snapAt) > 0 {
+		// Lockstep batches even without a snapshot schedule: an unscheduled
+		// campaign is one whole-run scratch bin, the widest prefix a carrier
+		// can share (runCheckpointed splits it across workers).
+		snapAt := checkpointSchedule(cfg, goldenRes.Dyn)
+		if len(snapAt) > 0 || lockstepMinLanes(cfg) > 0 {
 			runErr = c.runCheckpointed(ctx, pending, workers, snapAt)
 		} else {
 			runErr = c.runScratch(ctx, pending, workers)
@@ -317,13 +332,7 @@ func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*
 // reported as timedOut, never as an outcome — the caller decides between
 // retry and quarantine.
 func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand, deadline time.Time) (tr Trial, timedOut bool, err error) {
-	src.Seed(seedFor(cfg, trial))
-	plan := &vm.FaultPlan{
-		Kind:       cfg.Kind,
-		TriggerDyn: rng.Int63n(goldenDyn),
-		PickSlot:   func(n int) int { return rng.Intn(n) },
-		PickBit:    func() int { return rng.Intn(64) },
-	}
+	plan := drawPlan(cfg, goldenDyn, trial, src, rng)
 	if snap != nil {
 		if err := mach.Restore(snap); err != nil {
 			return Trial{}, false, err
@@ -331,14 +340,71 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	} else {
 		mach.Reset()
 	}
-	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline})
+	tr, timedOut = finishTrial(mach, plan, t, cfg, golden, disabled, deadline)
+	return tr, timedOut, nil
+}
 
+// drawPlan re-seeds src with the trial's seed and draws its fault plan. The
+// trigger is the first draw after seeding — the position drawTriggers and
+// the anomaly reproducer scheme rely on — and the slot/bit closures consume
+// rng lazily during the run, exactly as a fresh rand.New(seed) would.
+func drawPlan(cfg Config, goldenDyn int64, trial int, src rand.Source, rng *rand.Rand) *vm.FaultPlan {
+	src.Seed(seedFor(cfg, trial))
+	return &vm.FaultPlan{
+		Kind:       cfg.Kind,
+		TriggerDyn: rng.Int63n(goldenDyn),
+		PickSlot:   func(n int) int { return rng.Intn(n) },
+		PickBit:    func() int { return rng.Intn(64) },
+	}
+}
+
+// finishTrial runs an already-positioned machine — reset, restored to a
+// snapshot, or peeled from a lockstep carrier — under the trial's fault
+// plan and classifies the outcome. Shared by the solo and lockstep paths so
+// classification cannot drift between them.
+func finishTrial(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64, disabled map[int]bool, deadline time.Time) (tr Trial, timedOut bool) {
+	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline})
+	return classifyTrial(mach, res, plan, t, cfg, golden)
+}
+
+// finishTrialConverging is finishTrial with convergence fast-forwarding, used
+// by the lockstep path. snaps is the campaign's golden snapshot ladder in
+// ascending dyn order: the suffix run suspends at each snapshot index above
+// the trial's position, and a trial whose fault has already fired
+// (plan.Injected) and whose full machine state is bit-identical to the golden
+// reference state at that index has a deterministically golden future — most
+// masked trials re-converge shortly after the corrupted value dies, so their
+// remaining suffix never needs to execute. The short-circuit constructs
+// exactly the Trial the full run would: trap-free, bit-equal output, Masked.
+// Comparing before the fault fires would be unsound (the pre-fire state
+// trivially equals golden while a pending fault still changes the future),
+// hence the Injected gate.
+func finishTrialConverging(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64, disabled map[int]bool, deadline time.Time, snaps []*vm.Snapshot) (tr Trial, timedOut bool) {
+	for _, s := range snaps {
+		if s.Dyn() <= mach.Dyn() {
+			continue
+		}
+		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, SuspendAtDyn: s.Dyn()})
+		if res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
+			return classifyTrial(mach, res, plan, t, cfg, golden)
+		}
+		if plan.Injected && mach.MatchesSnapshot(s) {
+			return Trial{Outcome: Masked, RelChange: plan.RelChange}, false
+		}
+	}
+	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline})
+	return classifyTrial(mach, res, plan, t, cfg, golden)
+}
+
+// classifyTrial maps a terminal Result onto the §IV-C taxonomy. Shared by
+// every suffix path so classification cannot drift.
+func classifyTrial(mach *vm.Machine, res *vm.Result, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64) (tr Trial, timedOut bool) {
 	tr = Trial{RelChange: plan.RelChange}
 	if res.Trap != nil {
 		tr.TrapKind = res.Trap.Kind
 		switch {
 		case res.Trap.Kind == vm.TrapDeadline:
-			return Trial{}, true, nil
+			return Trial{}, true
 		case res.Trap.Kind == vm.TrapCheck:
 			tr.Outcome = SWDetect
 			tr.CheckKind = res.Trap.CheckKind
@@ -349,13 +415,13 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 		default:
 			tr.Outcome = Failure
 		}
-		return tr, false, nil
+		return tr, false
 	}
 
 	out, err := mach.ReadGlobal(t.Output)
 	if err != nil {
 		tr.Outcome = Failure
-		return tr, false, nil
+		return tr, false
 	}
 	same := true
 	for i := range golden {
@@ -366,7 +432,7 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	}
 	if same {
 		tr.Outcome = Masked
-		return tr, false, nil
+		return tr, false
 	}
 	tr.SDC = true
 	tr.Fidelity = t.Measure(golden, out)
@@ -376,5 +442,5 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	} else {
 		tr.Outcome = USDC
 	}
-	return tr, false, nil
+	return tr, false
 }

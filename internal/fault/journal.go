@@ -42,9 +42,10 @@ const journalFlushBatch = 32
 
 // journalHeader is the first record of every journal. Every field that can
 // change campaign results is part of the identity check on resume; knobs
-// that only move throughput (Workers, Checkpoints, Engine — the engines are
-// bit-identical by contract) are deliberately absent, so a campaign may be
-// resumed with different parallelism or snapshotting and still complete
+// that only move throughput (Workers, Checkpoints, Lockstep, Engine — the
+// engines and the lockstep carrier are bit-identical by contract) are
+// deliberately absent, so a campaign may be resumed with different
+// parallelism, snapshotting, or batching and still complete
 // bit-identically. GoldenDyn/GoldenCycles double as a drift detector: if
 // the module or inputs changed since the journal was written, the re-run
 // golden run disagrees and resume refuses.

@@ -1,0 +1,399 @@
+package fault_test
+
+// Lockstep-equivalence suite: the batched campaign path (one carrier per
+// checkpoint bin, trials peeled at their divergence points) must be
+// bit-identical to the solo path — same Tally, same per-trial records, same
+// Anomalies, same journal-replayed Report — across every workload and
+// protection mode, for both fault models, and under the full supervision
+// stack: panics, stuck trials, cancellation mid-batch, early stopping.
+// This is the acceptance gate for the lockstep batch executor.
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestCampaignLockstepEquivalence is the acceptance matrix: all workloads ×
+// all protection modes, every bin batched (Lockstep=1, so even single-lane
+// bins ride the carrier) vs the solo path. Under the race detector the
+// matrix is trimmed to representative cells, matching the checkpoint
+// suite's convention.
+func TestCampaignLockstepEquivalence(t *testing.T) {
+	modes := []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+	names := make([]string, 0, 13)
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	if raceEnabled {
+		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
+		modes = []core.Mode{core.ModeOriginal, core.ModeDupVal}
+	}
+	for _, name := range names {
+		for _, mode := range modes {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				w := workloads.ByName(name)
+				prot := protectedFor(t, w, mode)
+				cfg := fault.DefaultConfig()
+				cfg.Trials = 12
+				cfg.Checkpoints = 6
+				run := func(lockstep int) *fault.Report {
+					c := cfg
+					c.Lockstep = lockstep
+					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode.String(), c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
+				}
+				diffReports(t, name+"/"+mode.String(), run(1), run(-1))
+			})
+		}
+	}
+}
+
+// TestCampaignLockstepEquivalenceDense packs many trials into few bins so
+// carriers serve long lane chains (including equal-trigger duplicates),
+// which the 12-trial matrix cannot produce.
+func TestCampaignLockstepEquivalenceDense(t *testing.T) {
+	w := workloads.ByName("g721dec")
+	prot := protectedFor(t, w, core.ModeDupOnly)
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 90
+	cfg.Checkpoints = 3
+	run := func(lockstep int) *fault.Report {
+		c := cfg
+		c.Lockstep = lockstep
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	diffReports(t, "dense", run(1), run(-1))
+}
+
+// TestCampaignLockstepEquivalenceBranch covers the branch-target model,
+// whose effective divergence point sits one dyn index before the trigger —
+// including trigger 0, whose lane peels at origin.
+func TestCampaignLockstepEquivalenceBranch(t *testing.T) {
+	for _, name := range []string{"kmeans", "g721enc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.ByName(name)
+			prot := protectedFor(t, w, core.ModeDupOnly)
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 20
+			cfg.Kind = vm.FaultBranchTarget
+			cfg.Checkpoints = 6
+			run := func(lockstep int) *fault.Report {
+				c := cfg
+				c.Lockstep = lockstep
+				rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			diffReports(t, name+"/branch", run(1), run(-1))
+		})
+	}
+}
+
+// TestLockstepJournalReplayEquivalence journals a lockstep campaign, then
+// replays the journal into a fresh campaign and cross-checks against a
+// solo journaled run: the records a carrier-executed campaign writes must
+// reconstruct the identical Report the solo path produces.
+func TestLockstepJournalReplayEquivalence(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	prot := protectedFor(t, w, core.ModeDupVal)
+	dir := t.TempDir()
+
+	base := fault.DefaultConfig()
+	base.Trials = 24
+	base.Checkpoints = 4
+
+	run := func(lockstep int, journal string, resume bool) *fault.Report {
+		c := base
+		c.Lockstep = lockstep
+		c.JournalPath = journal
+		c.Resume = resume
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupVal", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	lockPath := filepath.Join(dir, "lockstep.journal")
+	soloPath := filepath.Join(dir, "solo.journal")
+	lock := run(1, lockPath, false)
+	solo := run(-1, soloPath, false)
+	diffReports(t, "journaled", lock, solo)
+
+	// Replaying the lockstep journal must reconstruct the identical report
+	// without executing anything (all trials are decided).
+	replayed := run(-1, lockPath, true)
+	if replayed.Replayed != base.Trials {
+		t.Fatalf("replayed %d of %d trials", replayed.Replayed, base.Trials)
+	}
+	diffReports(t, "replayed", replayed, solo)
+
+	// And a solo journal resumes under lockstep just as well: the journal
+	// header deliberately excludes throughput knobs.
+	crossed := run(1, soloPath, true)
+	if crossed.Replayed != base.Trials {
+		t.Fatalf("cross-replayed %d of %d trials", crossed.Replayed, base.Trials)
+	}
+	diffReports(t, "cross-replayed", crossed, lock)
+
+	if _, err := os.Stat(lockPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockstepSmallBinsDegradeToSolo sets the lane threshold above every
+// bin's population: the campaign must take the solo path throughout and
+// still match a lockstep-disabled run bit for bit.
+func TestLockstepSmallBinsDegradeToSolo(t *testing.T) {
+	w := workloads.ByName("svm")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 10
+	cfg.Checkpoints = 6
+	run := func(lockstep int) *fault.Report {
+		c := cfg
+		c.Lockstep = lockstep
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// Threshold 100 can never be met by 10 trials; -1 disables outright.
+	diffReports(t, "degrade", run(100), run(-1))
+}
+
+// TestLockstepAllTrialsDivergeImmediately hunts a seed whose every trigger
+// precedes the first snapshot: the whole campaign lands in the scratch bin
+// and every lane peels at (or near) the origin. The carrier must cope with
+// a bin that never advances far and stay bit-identical to solo.
+func TestLockstepAllTrialsDivergeImmediately(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	prot := protectedFor(t, w, core.ModeOriginal)
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 4
+	cfg.Checkpoints = 2
+
+	// Find the golden dyn once to hunt seeds against the schedule.
+	probe, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSnap := probe.GoldenDyn * 1 / 3 // Checkpoints=2 → snapAt[0] = dyn/3
+	seed := int64(-1)
+	for s := int64(0); s < 4000; s++ {
+		all := true
+		for i := 0; i < cfg.Trials; i++ {
+			trig := rand.New(rand.NewSource(s + int64(i)*7919)).Int63n(probe.GoldenDyn)
+			if trig >= firstSnap {
+				all = false
+				break
+			}
+		}
+		if all {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Skip("no seed with all triggers before the first snapshot")
+	}
+	cfg.Seed = seed
+	run := func(lockstep int) *fault.Report {
+		c := cfg
+		c.Lockstep = lockstep
+		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	diffReports(t, "scratch-bin", run(1), run(-1))
+}
+
+// TestLockstepPanicQuarantine poisons one trial inside a batched bin: the
+// panic must quarantine exactly that trial, the worker must rebuild its
+// carrier, and every other trial must stay bit-identical to a clean
+// lockstep campaign.
+func TestLockstepPanicQuarantine(t *testing.T) {
+	const poisoned = 3
+	w := workloads.ByName("kmeans")
+	prot := protectedFor(t, w, core.ModeOriginal)
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 10
+	cfg.Checkpoints = 4
+	cfg.Lockstep = 1
+	clean, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.OnTrial = func(trial int) {
+		if trial == poisoned {
+			panic("injected lockstep panic")
+		}
+	}
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Anomalies) != 1 {
+		t.Fatalf("anomalies = %+v, want exactly one", rep.Anomalies)
+	}
+	a := rep.Anomalies[0]
+	if a.Trial != poisoned || a.Reason != fault.AnomalyPanic {
+		t.Fatalf("anomaly %+v, want trial %d panic", a, poisoned)
+	}
+	if rep.Partial {
+		t.Fatal("quarantine must not mark the campaign partial")
+	}
+	for i := range rep.Trials {
+		if i == poisoned {
+			continue
+		}
+		if rep.Trials[i] != clean.Trials[i] {
+			t.Fatalf("trial %d perturbed by carrier rebuild: %+v != %+v", i, rep.Trials[i], clean.Trials[i])
+		}
+	}
+}
+
+// TestLockstepStuckTrialsQuarantined is the stuck-trial table for the
+// batched path: a 1ns deadline reaps peeled suffixes; each gets exactly one
+// re-peel retry before quarantine, and the accounting must match the solo
+// supervision contract (attempts = completed + 2×timeouts).
+func TestLockstepStuckTrialsQuarantined(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 6
+	cfg.Workers = 1
+	cfg.Checkpoints = 3
+	cfg.Lockstep = 1
+	cfg.TrialTimeout = time.Nanosecond
+	var attempts atomic.Int64
+	cfg.OnTrial = func(int) { attempts.Add(1) }
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoldenDyn < 1<<14 {
+		t.Skipf("golden run too short (%d dyn) for the deadline poll cadence", rep.GoldenDyn)
+	}
+	timeouts := 0
+	for _, a := range rep.Anomalies {
+		if a.Reason != fault.AnomalyTimeout {
+			t.Fatalf("unexpected anomaly reason: %+v", a)
+		}
+		timeouts++
+	}
+	if rep.Tally.N+timeouts != cfg.Trials {
+		t.Fatalf("N=%d + timeouts=%d != Trials=%d", rep.Tally.N, timeouts, cfg.Trials)
+	}
+	want := int64(rep.Tally.N + 2*timeouts)
+	if got := attempts.Load(); got != want {
+		t.Fatalf("attempts = %d, want %d (%d done, %d timeouts)", got, want, rep.Tally.N, timeouts)
+	}
+}
+
+// TestLockstepCancellationMidBatch cancels while carriers are mid-bin: the
+// campaign must come back Partial with an internally consistent tally and
+// no leaked workers — the carrier's Stop wiring turns a long shared-prefix
+// advance into a clean ErrBatchStopped exit.
+func TestLockstepCancellationMidBatch(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 200
+	cfg.Workers = 4
+	cfg.Checkpoints = 4
+	cfg.Lockstep = 1
+	var started atomic.Int64
+	cfg.OnTrial = func(int) {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+	}
+	rep, err := fault.Run(ctx, w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled campaign not marked Partial")
+	}
+	if rep.EarlyStopped {
+		t.Fatal("cancellation misreported as early stop")
+	}
+	if rep.Tally.N == 0 || rep.Tally.N >= cfg.Trials {
+		t.Fatalf("partial Tally.N = %d, want in (0, %d)", rep.Tally.N, cfg.Trials)
+	}
+	sum := 0
+	for _, c := range rep.Tally.Count {
+		sum += c
+	}
+	if sum != rep.Tally.N {
+		t.Fatalf("partial outcome counts sum to %d != N=%d", sum, rep.Tally.N)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before campaign, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLockstepEarlyStopping checks that Wilson-interval early stopping
+// composes with batched bins: the campaign stops with trials saved and the
+// tallies stay internally consistent.
+func TestLockstepEarlyStopping(t *testing.T) {
+	w := workloads.ByName("kmeans")
+	prot := protectedFor(t, w, core.ModeOriginal)
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 4000
+	cfg.Checkpoints = 4
+	cfg.Lockstep = 1
+	cfg.TargetCI = 0.25 // loose: stops after a few dozen trials
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.EarlyStopped || rep.TrialsSaved == 0 {
+		t.Fatalf("expected early stop with savings, got stopped=%v saved=%d", rep.EarlyStopped, rep.TrialsSaved)
+	}
+	if rep.Tally.N+rep.TrialsSaved != cfg.Trials {
+		t.Fatalf("N=%d + saved=%d != Trials=%d", rep.Tally.N, rep.TrialsSaved, cfg.Trials)
+	}
+}

@@ -29,6 +29,7 @@ package fault
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -260,12 +261,15 @@ func (c *campaign) finalize(ctxErr error) {
 
 // workerState is one campaign worker's private execution context. The rng
 // pair is re-seeded per trial, so workers are interchangeable; the machine
-// is rebuilt lazily after a panic left it in an unknown state.
+// (and the lockstep batch's carrier) is rebuilt lazily after a panic left
+// it in an unknown state.
 type workerState struct {
-	c    *campaign
-	mach *vm.Machine
-	src  rand.Source
-	rng  *rand.Rand
+	c     *campaign
+	mach  *vm.Machine
+	batch *vm.BatchMachine // lockstep carrier, built on first use
+	stop  <-chan struct{}  // campaign context's Done, wired into the carrier
+	src   rand.Source
+	rng   *rand.Rand
 }
 
 func (c *campaign) newWorker() *workerState {
@@ -283,6 +287,26 @@ func (ws *workerState) ensureMachine() error {
 	}
 	ws.mach = mach
 	return nil
+}
+
+// ensureBatch builds the worker's lockstep batch on first use. The carrier
+// is a full campaign machine of its own (inputs bound, watchdog sized), so
+// a panic that poisons it is handled like a poisoned trial machine: drop it
+// and rebuild here on the next bin.
+func (ws *workerState) ensureBatch() (*vm.BatchMachine, error) {
+	if ws.batch != nil {
+		return ws.batch, nil
+	}
+	carrier, err := newMachine(ws.c.target, ws.c.mod, ws.c.maxDyn, ws.c.cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	b, err := vm.NewBatch(carrier, vm.BatchOptions{DisabledChecks: ws.c.disabled, Stop: ws.stop})
+	if err != nil {
+		return nil, err
+	}
+	ws.batch = b
+	return b, nil
 }
 
 // runOne drives trial i to a terminal disposition — a recorded outcome or a
@@ -376,43 +400,83 @@ func (c *campaign) runScratch(ctx context.Context, pending []int, workers int) e
 // binned by the snapshot nearest below their effective trigger (bin 0 = no
 // usable snapshot, run from scratch) and workers claim whole bins so each
 // worker touches few snapshots and the expensive scratch bin starts first.
+// Bins at or above the lockstep threshold run through a shared carrier
+// (runBinLockstep); smaller bins degrade to the solo restore-per-trial path.
 func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers int, snapAt []int64) error {
 	if ctx.Err() != nil {
 		return nil // finalize marks the report partial
 	}
 	triggers := drawTriggers(c.cfg, c.goldenDyn)
-	snaps, err := takeSnapshots(c.target, c.mod, c.cfg, c.disabled, c.maxDyn, snapAt)
-	if err != nil {
-		return err
+	var snaps []*vm.Snapshot
+	if len(snapAt) > 0 {
+		var err error
+		snaps, err = takeSnapshots(c.target, c.mod, c.cfg, c.disabled, c.maxDyn, snapAt)
+		if err != nil {
+			return err
+		}
 	}
 
 	// bins[0] holds trials whose effective trigger precedes the first
-	// snapshot; bins[b] for b >= 1 restores snaps[b-1].
+	// snapshot (the whole campaign, when there is no schedule); bins[b] for
+	// b >= 1 restores snaps[b-1].
 	bins := make([][]int, len(snapAt)+1)
 	for _, i := range pending {
 		eff := effectiveTrigger(c.cfg.Kind, triggers[i])
 		b := sort.Search(len(snapAt), func(k int) bool { return snapAt[k] > eff })
 		bins[b] = append(bins[b], i)
 	}
+	minLanes := lockstepMinLanes(c.cfg)
+
+	// Work units are (trials, snapshot) pairs. When lockstep will batch the
+	// scratch bin, it is split into per-worker chunks — each chunk gets its
+	// own carrier, so one bin holding most of the campaign (always, without
+	// a schedule) cannot serialize the pool. Chunking is outcome-neutral:
+	// trials are independent and every chunk is a valid scratch bin.
+	type binWork struct {
+		trials []int
+		snap   *vm.Snapshot
+	}
+	work := make([]binWork, 0, len(bins)+workers)
+	scratch := bins[0]
+	chunks := 1
+	if minLanes > 0 && workers > 1 && len(scratch) >= 2*minLanes {
+		chunks = workers
+		if m := len(scratch) / minLanes; chunks > m {
+			chunks = m
+		}
+	}
+	for k := 0; k < chunks; k++ {
+		if lo, hi := len(scratch)*k/chunks, len(scratch)*(k+1)/chunks; lo < hi {
+			work = append(work, binWork{scratch[lo:hi], nil})
+		}
+	}
+	for b := 1; b < len(bins); b++ {
+		work = append(work, binWork{bins[b], snaps[b-1]})
+	}
 
 	var wg sync.WaitGroup
-	binCh := make(chan int, len(bins))
+	binCh := make(chan int, len(work))
 	errCh := make(chan error, workers)
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ws := c.newWorker()
+			ws.stop = ctx.Done()
 			for b := range binCh {
-				var snap *vm.Snapshot
-				if b > 0 {
-					snap = snaps[b-1]
+				bw := work[b]
+				if minLanes > 0 && len(bw.trials) >= minLanes {
+					if err := c.runBinLockstep(ctx, ws, bw.trials, bw.snap, triggers, snaps); err != nil {
+						errCh <- err
+						return
+					}
+					continue
 				}
-				for _, i := range bins[b] {
+				for _, i := range bw.trials {
 					if ctx.Err() != nil || c.stopRequested() {
 						return
 					}
-					if err := c.runOne(ws, i, snap); err != nil {
+					if err := c.runOne(ws, i, bw.snap); err != nil {
 						errCh <- err
 						return
 					}
@@ -420,9 +484,9 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 			}
 		}()
 	}
-	// Ascending bin order puts the scratch bin (longest per-trial runtime)
+	// Ascending order puts the scratch chunks (longest per-trial runtime)
 	// at the front of the queue.
-	for b := range bins {
+	for b := range work {
 		binCh <- b
 	}
 	close(binCh)
@@ -433,4 +497,126 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 	default:
 	}
 	return nil
+}
+
+// runBinLockstep drives one checkpoint bin through a lockstep carrier:
+// trials peel off in ascending effective-trigger order (ties broken by
+// trial index, so the carrier advances monotonically) and each runs its
+// divergent suffix through the same supervised disposition path as the solo
+// pool — recordTrial, timeout retry, panic quarantine, early stop. A panic
+// anywhere in a trial discards the carrier (its state is unknown
+// mid-unwind); the batch is re-armed for the remaining lanes, which costs
+// one re-advance from the bin snapshot and nothing in outcomes, since
+// peeling never consumes carrier state. snaps is the campaign's full golden
+// snapshot ladder — every bin gets it, because a trial's suffix can converge
+// at any snapshot above its own trigger, not just its bin's base.
+func (c *campaign) runBinLockstep(ctx context.Context, ws *workerState, bin []int, base *vm.Snapshot, triggers []int64, snaps []*vm.Snapshot) error {
+	order := append([]int(nil), bin...)
+	sort.SliceStable(order, func(a, b int) bool {
+		return effectiveTrigger(c.cfg.Kind, triggers[order[a]]) < effectiveTrigger(c.cfg.Kind, triggers[order[b]])
+	})
+	lanes := make([]int, len(order))
+	arm := func(from int) error {
+		b, err := ws.ensureBatch()
+		if err != nil {
+			return err
+		}
+		b.Reset(base)
+		for k := from; k < len(order); k++ {
+			d := effectiveTrigger(c.cfg.Kind, triggers[order[k]])
+			// Binning compares against the *requested* snapshot indices, but
+			// the snapshot itself parks at the first fault-eligible
+			// instruction at or after its index — possibly past a trigger
+			// binned here. Fact 1 (checkpoint.go) guarantees nothing eligible
+			// lies in between, so the snapshot state IS such a lane's
+			// divergence state: clamp rather than advance-to-the-past.
+			if base != nil && d < base.Dyn() {
+				d = base.Dyn()
+			}
+			lanes[k] = b.AddLane(d)
+		}
+		return nil
+	}
+	if err := arm(0); err != nil {
+		return err
+	}
+	for k, i := range order {
+		if ctx.Err() != nil || c.stopRequested() {
+			return nil
+		}
+		err := c.runOneLockstep(ws, i, lanes[k], snaps)
+		if ws.batch == nil && k+1 < len(order) {
+			// A panic poisoned the carrier; rebuild it for the rest of the
+			// bin before deciding what the error means.
+			if err2 := arm(k + 1); err2 != nil {
+				return err2
+			}
+		}
+		if err != nil {
+			if errors.Is(err, vm.ErrBatchStopped) {
+				return nil // cancellation landed mid-advance; finalize marks partial
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// runOneLockstep is runOne's lockstep twin: it drives trial i — occupying
+// the given carrier lane — to a terminal disposition. The timeout retry
+// re-peels the same lane: the carrier still holds the divergence point, so
+// the retry costs one state clone, not a prefix re-run.
+func (c *campaign) runOneLockstep(ws *workerState, i, lane int, snaps []*vm.Snapshot) error {
+	for attempt := 0; ; attempt++ {
+		tr, timedOut, panicked, stack, err := c.attemptLockstep(ws, i, lane, snaps)
+		if err != nil {
+			return err
+		}
+		if panicked {
+			return c.quarantine(i, AnomalyPanic, stack)
+		}
+		if timedOut {
+			if attempt == 0 {
+				continue
+			}
+			return c.quarantine(i, AnomalyTimeout, "")
+		}
+		return c.recordTrial(i, tr)
+	}
+}
+
+// attemptLockstep executes one guarded lockstep trial attempt: draw the
+// plan, peel the lane into the worker's solo machine, run the suffix. The
+// draw precedes the peel so the rng stream matches runTrial draw for draw;
+// the peeled machine is positioned exactly where a solo Restore+run-to-
+// trigger would put it, so the suffix classifies identical Results. The
+// suffix runs through finishTrialConverging: crossings of the golden
+// snapshot ladder let a re-converged trial short-circuit to its (provably
+// golden) outcome. A recovered panic discards both the solo machine and the
+// carrier.
+func (c *campaign) attemptLockstep(ws *workerState, i, lane int, snaps []*vm.Snapshot) (tr Trial, timedOut, panicked bool, stack string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			stack = fmt.Sprintf("panic: %v\n\n%s", r, debug.Stack())
+			ws.mach = nil
+			ws.batch = nil
+		}
+	}()
+	if c.cfg.OnTrial != nil {
+		c.cfg.OnTrial(i)
+	}
+	if err = ws.ensureMachine(); err != nil {
+		return
+	}
+	plan := drawPlan(c.cfg, c.goldenDyn, i, ws.src, ws.rng)
+	if err = ws.batch.Peel(lane, ws.mach); err != nil {
+		return
+	}
+	var deadline time.Time
+	if c.cfg.TrialTimeout > 0 {
+		deadline = time.Now().Add(c.cfg.TrialTimeout)
+	}
+	tr, timedOut = finishTrialConverging(ws.mach, plan, c.target, c.cfg, c.golden, c.disabled, deadline, snaps)
+	return
 }

@@ -1,0 +1,341 @@
+package vm_test
+
+// Lockstep batch executor tests: a lane peeled from a carrier at dyn D must
+// be bit-identical — on every observable the solo engine publishes — to a
+// machine that reached D on its own (from scratch or from a snapshot). The
+// suite pins the peel protocol's edges: origin peel (divergence at or
+// before dyn 0), divergence on the last instruction, equal-dyn lane
+// sharing, re-peel (the campaign's timeout retry), monotonicity errors, and
+// cancellation mid-advance.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// diffPeeled fails the test unless two completed runs agree on every Result
+// field and the workload output.
+func diffPeeled(t *testing.T, label string, a, b *vm.Result, aout, bout []uint64) {
+	t.Helper()
+	if (a.Trap == nil) != (b.Trap == nil) {
+		t.Fatalf("%s: trap mismatch: %v vs %v", label, a.Trap, b.Trap)
+	}
+	if a.Trap != nil && *a.Trap != *b.Trap {
+		t.Fatalf("%s: traps differ: %+v vs %+v", label, *a.Trap, *b.Trap)
+	}
+	if a.Ret != b.Ret || a.Dyn != b.Dyn || a.Cycles != b.Cycles || a.CheckFails != b.CheckFails {
+		t.Fatalf("%s: results differ:\n%+v\n%+v", label, a, b)
+	}
+	if a.OpCounts != b.OpCounts {
+		t.Fatalf("%s: OpCounts differ", label)
+	}
+	for i := range aout {
+		if aout[i] != bout[i] {
+			t.Fatalf("%s: out[%d]: %#x vs %#x", label, i, aout[i], bout[i])
+		}
+	}
+}
+
+// TestBatchPeelEquivalence peels fault-free lanes at edge divergence points
+// — origin, first instruction, midpoint, a shared duplicate, and the last
+// instruction — and requires each peeled run to finish bit-identically to
+// the uninterrupted baseline.
+func TestBatchPeelEquivalence(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runEngine(t, w, mod, vm.EngineFast, workloads.Test, vm.RunOptions{})
+	if base.res.Trap != nil {
+		t.Fatalf("baseline trapped: %v", base.res.Trap)
+	}
+	dyn := base.res.Dyn
+
+	carrier, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(carrier, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := vm.NewBatch(carrier, vm.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.Reset(nil)
+
+	mach, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(mach, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ascending peel points; dyn/2 appears twice to exercise lane sharing.
+	peels := []int64{-1, 0, 1, dyn / 2, dyn / 2, dyn - 1}
+	lanes := make([]int, len(peels))
+	for i, d := range peels {
+		lanes[i] = batch.AddLane(d)
+	}
+	if batch.Lanes() != len(peels) || batch.Remaining() != len(peels) {
+		t.Fatalf("lane accounting: Lanes=%d Remaining=%d", batch.Lanes(), batch.Remaining())
+	}
+	for i, lane := range lanes {
+		if err := batch.Peel(lane, mach); err != nil {
+			t.Fatalf("peel lane %d (dyn %d): %v", lane, peels[i], err)
+		}
+		res := mach.Run(vm.RunOptions{})
+		out, err := mach.ReadGlobal(w.Output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffPeeled(t, w.Name+"/peel", res, base.res, out, base.out)
+	}
+	if batch.Remaining() != 0 {
+		t.Fatalf("Remaining after all peels: %d", batch.Remaining())
+	}
+}
+
+// TestBatchFaultTrialEquivalence mirrors the campaign's lockstep bin shape:
+// trials with randomized triggers are sorted by effective divergence point,
+// peeled in order from one carrier — scratch bin and snapshot bin both —
+// and each faulted suffix must match the same trial run solo, for register
+// and branch-target fault models alike. This is the vm-level half of the
+// TestCampaignLockstepEquivalence acceptance gate.
+func TestBatchFaultTrialEquivalence(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := runEngine(t, w, mod, vm.EngineFast, workloads.Test, vm.RunOptions{})
+	goldenDyn := golden.res.Dyn
+
+	// One mid-run snapshot for the snapshot-bin variant.
+	producer, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(producer, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+	producer.Reset()
+	snapDyn := goldenDyn / 3
+	if res := producer.Run(vm.RunOptions{SuspendAtDyn: snapDyn}); res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
+		t.Fatalf("expected suspension, got %v", res.Trap)
+	}
+	snap, err := producer.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	carrier, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(carrier, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := vm.NewBatch(carrier, vm.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(mach, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := int64(30)
+	if raceEnabled {
+		seeds = 8
+	}
+	for _, kind := range []vm.FaultKind{vm.FaultRegister, vm.FaultBranchTarget} {
+		for _, useSnap := range []bool{false, true} {
+			type lane struct {
+				seed    int64
+				trigger int64
+				eff     int64
+				id      int
+			}
+			var lns []lane
+			for seed := int64(0); seed < seeds; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				trigger := rng.Int63n(goldenDyn)
+				eff := trigger
+				if kind == vm.FaultBranchTarget {
+					eff--
+				}
+				if useSnap && eff < snapDyn {
+					continue // the campaign bins these elsewhere
+				}
+				lns = append(lns, lane{seed: seed, trigger: trigger, eff: eff})
+			}
+			sort.SliceStable(lns, func(i, j int) bool { return lns[i].eff < lns[j].eff })
+
+			var base *vm.Snapshot
+			if useSnap {
+				base = snap
+			}
+			batch.Reset(base)
+			for i := range lns {
+				lns[i].id = batch.AddLane(lns[i].eff)
+			}
+			for _, ln := range lns {
+				plan := func(r *rand.Rand) *vm.FaultPlan {
+					return &vm.FaultPlan{
+						Kind:       kind,
+						TriggerDyn: ln.trigger,
+						PickSlot:   func(n int) int { return r.Intn(n) },
+						PickBit:    func() int { return r.Intn(64) },
+					}
+				}
+				rng := rand.New(rand.NewSource(ln.seed))
+				rng.Int63n(goldenDyn) // consume the trigger draw
+				solo := runEngine(t, w, mod, vm.EngineFast, workloads.Test, vm.RunOptions{Fault: plan(rng)})
+
+				if err := batch.Peel(ln.id, mach); err != nil {
+					t.Fatalf("peel seed %d (eff %d): %v", ln.seed, ln.eff, err)
+				}
+				rng2 := rand.New(rand.NewSource(ln.seed))
+				rng2.Int63n(goldenDyn)
+				res := mach.Run(vm.RunOptions{Fault: plan(rng2)})
+				out, err := mach.ReadGlobal(w.Output)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffPeeled(t, w.Name+"/lockstep-trial", res, solo.res, out, solo.out)
+			}
+		}
+	}
+}
+
+// TestBatchMisuseAndCancel covers the protocol's error surface and
+// cancellation: out-of-order peels, lanes below the bin snapshot, unknown
+// lanes, peeling into the carrier, tree-engine carriers, RestoreFrom
+// misuse, a Stop channel closing mid-advance, and Reset re-arming an
+// aborted batch.
+func TestBatchMisuseAndCancel(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newMach := func(engine vm.EngineKind) *vm.Machine {
+		cfg := vm.DefaultConfig()
+		cfg.Engine = engine
+		m, err := vm.New(mod, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Bind(m, workloads.Test); err != nil {
+			t.Fatal(err)
+		}
+		m.Reset()
+		return m
+	}
+	base := newMach(vm.EngineFast)
+	res := base.Run(vm.RunOptions{})
+	if res.Trap != nil {
+		t.Fatalf("baseline trapped: %v", res.Trap)
+	}
+	dyn := res.Dyn
+
+	if _, err := vm.NewBatch(newMach(vm.EngineTree), vm.BatchOptions{}); err == nil {
+		t.Fatal("NewBatch on the tree engine must error")
+	}
+
+	carrier := newMach(vm.EngineFast)
+	batch, err := vm.NewBatch(carrier, vm.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.Reset(nil)
+	mach := newMach(vm.EngineFast)
+
+	if err := batch.Peel(0, mach); err == nil {
+		t.Fatal("peeling an unregistered lane must error")
+	}
+	late := batch.AddLane(dyn / 2)
+	early := batch.AddLane(dyn / 4)
+	if err := batch.Peel(late, mach); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Peel(early, mach); err == nil {
+		t.Fatal("peeling behind the carrier must error")
+	}
+	// Re-peel at the carrier's position stays legal (timeout retry).
+	if err := batch.Peel(late, mach); err != nil {
+		t.Fatalf("re-peel at carrier position: %v", err)
+	}
+	if err := batch.Peel(late, carrier); err == nil {
+		t.Fatal("peeling into the carrier must error")
+	}
+
+	// RestoreFrom misuse: unsuspended source, self-restore, foreign module.
+	if err := mach.RestoreFrom(mach); err == nil {
+		t.Fatal("RestoreFrom self must error")
+	}
+	idle := newMach(vm.EngineFast)
+	if err := mach.RestoreFrom(idle); err == nil {
+		t.Fatal("RestoreFrom an unsuspended machine must error")
+	}
+	foreign, err := vm.New(mod.Clone(), vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(foreign, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+	foreign.Reset()
+	if err := foreign.RestoreFrom(carrier); err == nil {
+		t.Fatal("RestoreFrom across module revisions must error")
+	}
+	if err := newMach(vm.EngineTree).RestoreFrom(carrier); err == nil {
+		t.Fatal("RestoreFrom on the tree engine must error")
+	}
+
+	// A lane diverging before the bin snapshot is a scheduling bug.
+	producer := newMach(vm.EngineFast)
+	if res := producer.Run(vm.RunOptions{SuspendAtDyn: dyn / 2}); res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
+		t.Fatalf("expected suspension, got %v", res.Trap)
+	}
+	snap, err := producer.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.Reset(snap)
+	if err := batch.Peel(batch.AddLane(dyn/4), mach); err == nil {
+		t.Fatal("lane below the bin snapshot must error")
+	}
+
+	// Cancellation mid-advance surfaces as ErrBatchStopped; Reset re-arms.
+	stop := make(chan struct{})
+	close(stop)
+	cbatch, err := vm.NewBatch(newMach(vm.EngineFast), vm.BatchOptions{Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbatch.Reset(nil)
+	if err := cbatch.Peel(cbatch.AddLane(dyn/2), mach); err != vm.ErrBatchStopped {
+		t.Fatalf("expected ErrBatchStopped, got %v", err)
+	}
+	cbatch.Reset(nil)
+	// The Stop channel is still closed, but an origin peel never runs the
+	// carrier, so it must still succeed.
+	if err := cbatch.Peel(cbatch.AddLane(0), mach); err != nil {
+		t.Fatalf("origin peel after cancel: %v", err)
+	}
+	fin := mach.Run(vm.RunOptions{})
+	if fin.Trap != nil || fin.Dyn != dyn {
+		t.Fatalf("origin-peeled run diverged: %+v", fin)
+	}
+}

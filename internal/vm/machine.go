@@ -335,6 +335,10 @@ func (m *Machine) Reset() {
 	m.timing.reset()
 }
 
+// Dyn returns the machine's dynamic-instruction counter — on a suspended
+// machine, the index of the next instruction to execute.
+func (m *Machine) Dyn() int64 { return m.dyn }
+
 // ReadGlobal copies the current contents of the named global out of memory.
 func (m *Machine) ReadGlobal(name string) ([]uint64, error) {
 	g := m.mod.Global(name)

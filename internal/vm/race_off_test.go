@@ -1,0 +1,8 @@
+//go:build !race
+
+package vm_test
+
+// raceEnabled trims the heaviest equivalence loops when the race detector
+// (≈10x slowdown) is active; see race_on_test.go. Same convention as
+// internal/fault's pair.
+const raceEnabled = false

@@ -192,6 +192,84 @@ func (m *Machine) Restore(s *Snapshot) error {
 	return nil
 }
 
+// MatchesSnapshot reports whether the machine's suspended execution state is
+// bit-identical to the snapshot's, over the exact field set Snapshot
+// captures — memory, stack pointer, dynamic counter, suspended call chain
+// with register images, timing-model state, and every accounting counter.
+// When it returns true for a machine whose fault plan has already fired
+// (FaultPlan.Injected), the machine's future execution is deterministically
+// identical to that of the run the snapshot was taken from; the fault
+// campaign uses this to short-circuit trials that have re-converged to the
+// golden state. The comparison is conservative: a live set listed in a
+// different definition order reports false even when the register files
+// agree, because a false negative only costs the caller the shortcut, never
+// correctness.
+func (m *Machine) MatchesSnapshot(s *Snapshot) bool {
+	if m.eng == nil || s.eng != m.eng || len(m.susp) == 0 {
+		return false
+	}
+	if m.dyn != s.dyn || m.sp != s.sp || m.laxPhis != s.laxPhis ||
+		m.checkFails != s.checkFails || m.opCounts != s.opCounts {
+		return false
+	}
+	tm := m.timing
+	if tm.cursor != s.cursor || tm.slotUsed != s.slotUsed || tm.maxDone != s.maxDone {
+		return false
+	}
+	if len(m.susp) != len(s.levels) {
+		return false
+	}
+	for i, sf := range s.levels {
+		l := m.susp[i]
+		if l.ef != sf.ef || l.pc != sf.pc || l.fr.entrySP != sf.entrySP ||
+			len(l.fr.live) != len(sf.live) {
+			return false
+		}
+		for j, slot := range sf.live {
+			if l.fr.live[j] != slot || l.fr.regs[slot] != sf.regs[j] {
+				return false
+			}
+		}
+	}
+	if len(m.perCheckFails) != len(s.perCheckFails) {
+		return false
+	}
+	for id, n := range s.perCheckFails {
+		if m.perCheckFails[id] != n {
+			return false
+		}
+	}
+	for i, rc := range s.regionCounts {
+		for j, n := range rc {
+			if m.regionCounts[i][j] != n {
+				return false
+			}
+		}
+	}
+	// Geometry always matches when the engines match; the cheap length
+	// guards keep the loops in-bounds regardless.
+	if len(s.cacheTags) != len(tm.cacheTags) || len(s.predictor) != len(tm.predictor) ||
+		len(s.mem) != len(m.mem) {
+		return false
+	}
+	for i, tag := range s.cacheTags {
+		if tm.cacheTags[i] != tag {
+			return false
+		}
+	}
+	for i, p := range s.predictor {
+		if tm.predictor[i] != p {
+			return false
+		}
+	}
+	for i, w := range s.mem {
+		if m.mem[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
 // resumeExec continues a suspended (or freshly restored) run: the captured
 // call chain is rebuilt on the Go stack, outermost level first, and
 // execution rejoins the dispatch loop at the suspend point. Called by Run

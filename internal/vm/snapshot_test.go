@@ -217,6 +217,77 @@ func TestSnapshotFaultTrialEquivalence(t *testing.T) {
 	}
 }
 
+// TestMatchesSnapshot pins the state-equality predicate the campaign's
+// convergence fast-forward stands on: two machines suspended at the same
+// point of the same computation match, a snapshot restore round-trips to a
+// match, and any observable difference — dyn index, input data, or not being
+// suspended at all — reports false.
+func TestMatchesSnapshot(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	mod, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runEngine(t, w, mod, vm.EngineFast, workloads.Test, vm.RunOptions{})
+	cut := base.res.Dyn / 2
+
+	susp := func(kind workloads.InputKind, at int64) *vm.Machine {
+		t.Helper()
+		m, err := vm.New(mod, vm.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Bind(m, kind); err != nil {
+			t.Fatal(err)
+		}
+		m.Reset()
+		if res := m.Run(vm.RunOptions{SuspendAtDyn: at}); res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
+			t.Fatalf("expected suspension at %d, got %v", at, res.Trap)
+		}
+		return m
+	}
+
+	a := susp(workloads.Test, cut)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MatchesSnapshot(snap) {
+		t.Fatal("the machine a snapshot was just taken from must match it")
+	}
+	if b := susp(workloads.Test, cut); !b.MatchesSnapshot(snap) {
+		t.Fatal("an independent machine suspended at the same point must match")
+	}
+
+	c, err := vm.New(mod, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Bind(c, workloads.Test); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if err := c.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !c.MatchesSnapshot(snap) {
+		t.Fatal("a restore must round-trip to a match")
+	}
+
+	if d := susp(workloads.Test, cut+64); d.MatchesSnapshot(snap) {
+		t.Fatal("a different suspend point must not match")
+	}
+	if e := susp(workloads.Train, cut); e.MatchesSnapshot(snap) {
+		t.Fatal("a different input set must not match")
+	}
+	if res := c.Run(vm.RunOptions{}); res.Trap != nil {
+		t.Fatalf("resumed run trapped: %v", res.Trap)
+	}
+	if c.MatchesSnapshot(snap) {
+		t.Fatal("a completed (non-suspended) machine must not match")
+	}
+}
+
 // TestSnapshotErrors covers the misuse surface: snapshots require a
 // suspended fast-engine machine, restores require the same module revision,
 // the tree engine ignores the suspend point, and Reset discards suspended
