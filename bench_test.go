@@ -95,9 +95,9 @@ func BenchmarkFig11(b *testing.B) {
 		var o, v []float64
 		for _, r := range rows {
 			switch r.Mode {
-			case core.ModeOriginal:
+			case core.SchemeOriginal:
 				o = append(o, r.Tally.Frac(fault.USDC))
-			case core.ModeDupVal:
+			case core.SchemeDupVal:
 				v = append(v, r.Tally.Frac(fault.USDC))
 			}
 		}
@@ -137,9 +137,9 @@ func BenchmarkFig13(b *testing.B) {
 		var o, v []float64
 		for _, r := range rows {
 			switch r.Mode {
-			case core.ModeOriginal:
+			case core.SchemeOriginal:
 				o = append(o, r.SDC)
-			case core.ModeDupVal:
+			case core.SchemeDupVal:
 				v = append(v, r.SDC)
 			}
 		}
@@ -227,7 +227,7 @@ func BenchmarkMultiInputProfiling(b *testing.B) {
 
 // protectAll protects every benchmark with the given params and returns
 // aggregate stats.
-func protectAll(b *testing.B, mode core.Mode, params core.Params) core.Stats {
+func protectAll(b *testing.B, mode string, params core.Params) core.Stats {
 	b.Helper()
 	var agg core.Stats
 	for _, w := range workloads.All() {
@@ -236,7 +236,7 @@ func protectAll(b *testing.B, mode core.Mode, params core.Params) core.Stats {
 			b.Fatal(err)
 		}
 		var prof *profile.Data
-		if mode == core.ModeDupVal {
+		if mode == core.SchemeDupVal {
 			mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
 			if err != nil {
 				b.Fatal(err)
@@ -271,9 +271,9 @@ func BenchmarkAblationOpt1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := core.DefaultParams()
 		p.Opt1 = true
-		with = protectAll(b, core.ModeDupVal, p).ValueChecks
+		with = protectAll(b, core.SchemeDupVal, p).ValueChecks
 		p.Opt1 = false
-		without = protectAll(b, core.ModeDupVal, p).ValueChecks
+		without = protectAll(b, core.SchemeDupVal, p).ValueChecks
 	}
 	if with > without {
 		b.Fatalf("Opt1 increased checks: %d > %d", with, without)
@@ -289,9 +289,9 @@ func BenchmarkAblationOpt2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := core.DefaultParams()
 		p.Opt2 = true
-		with = protectAll(b, core.ModeDupVal, p).DupInstrs
+		with = protectAll(b, core.SchemeDupVal, p).DupInstrs
 		p.Opt2 = false
-		without = protectAll(b, core.ModeDupVal, p).DupInstrs
+		without = protectAll(b, core.SchemeDupVal, p).DupInstrs
 	}
 	if with > without {
 		b.Fatalf("Opt2 increased duplication: %d > %d", with, without)
@@ -306,9 +306,9 @@ func BenchmarkAblationDupLoads(b *testing.B) {
 	var stop, through int
 	for i := 0; i < b.N; i++ {
 		p := core.DefaultParams()
-		stop = protectAll(b, core.ModeDupOnly, p).DupInstrs
+		stop = protectAll(b, core.SchemeDup, p).DupInstrs
 		p.DupThroughLoads = true
-		through = protectAll(b, core.ModeDupOnly, p).DupInstrs
+		through = protectAll(b, core.SchemeDup, p).DupInstrs
 	}
 	if through < stop {
 		b.Fatalf("duplicating through loads cloned less: %d < %d", through, stop)
@@ -340,7 +340,7 @@ func BenchmarkAblationBins(b *testing.B) {
 				b.Fatal(res.Trap)
 			}
 			m := mod.Clone()
-			st, err := core.Protect(m, core.ModeDupVal, col.Data(), core.DefaultParams())
+			st, err := core.Protect(m, core.SchemeDupVal, col.Data(), core.DefaultParams())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -359,7 +359,7 @@ func BenchmarkAblationRangeThreshold(b *testing.B) {
 		for _, thr := range []float64{64, 4096, 1 << 20} {
 			p := core.DefaultParams()
 			p.RangeThreshold = thr
-			counts[thr] = protectAll(b, core.ModeDupVal, p).ValueChecks
+			counts[thr] = protectAll(b, core.SchemeDupVal, p).ValueChecks
 		}
 	}
 	b.ReportMetric(float64(counts[64]), "checks_rthr_64")

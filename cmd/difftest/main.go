@@ -28,22 +28,25 @@ import (
 func main() {
 	n := flag.Int("n", 100, "number of seeds to test")
 	seed := flag.Int64("seed", 1, "first seed")
-	mode := flag.String("mode", "all", "protection modes to exercise: all, dup, dupval, fulldup")
+	mode := flag.String("mode", "all", "protection scheme to exercise: all, list, or any registered scheme / '+'-composition")
 	outDir := flag.String("out", "testdata/difftest", "directory for minimized reproducers")
 	flag.Parse()
 
 	ocfg := difftest.DefaultOracleConfig()
 	switch *mode {
 	case "all":
-	case "dup":
-		ocfg.Only = []core.Mode{core.ModeDupOnly}
-	case "dupval":
-		ocfg.Only = []core.Mode{core.ModeDupVal}
-	case "fulldup":
-		ocfg.Only = []core.Mode{core.ModeFullDup}
+	case "list":
+		for _, name := range core.SchemeNames() {
+			fmt.Printf("%-10s %s\n", name, core.Title(name))
+		}
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "difftest: unknown -mode %q\n", *mode)
-		os.Exit(2)
+		sch, err := core.ParseScheme(*mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(2)
+		}
+		ocfg.Only = []string{sch.Name()}
 	}
 
 	gcfg := difftest.DefaultGenConfig()

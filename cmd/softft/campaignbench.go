@@ -102,7 +102,7 @@ func runCampaignBench(path string, trials int, seed int64) error {
 		}
 		mods := map[string]*ir.Module{"Original": mod}
 		fdup := mod.Clone()
-		if _, err := core.Protect(fdup, core.ModeFullDup, nil, core.DefaultParams()); err != nil {
+		if _, err := core.Protect(fdup, core.SchemeFullDup, nil, core.DefaultParams()); err != nil {
 			return fmt.Errorf("%s: FullDup protect: %w", w.Name, err)
 		}
 		mods["FullDup"] = fdup

@@ -26,7 +26,7 @@ func main() {
 		list    = flag.Bool("list", false, "list built-in benchmarks")
 		bench   = flag.String("bench", "", "built-in benchmark name")
 		src     = flag.String("src", "", "compile a source file instead of a benchmark")
-		mode    = flag.String("mode", "original", "protection: original | dup | dupval | fulldup")
+		mode    = flag.String("mode", "original", "protection scheme, a '+'-composition of registered schemes (e.g. dupval, abft+dupval), or 'list'")
 		dump    = flag.Bool("dump", false, "print the (protected) IR")
 		run     = flag.Bool("run", false, "run fault-free and print statistics")
 		stats   = flag.Bool("stats", false, "print protection statistics")
@@ -65,6 +65,17 @@ func main() {
 		return
 	}
 
+	if *mode == "list" {
+		for _, m := range softft.Modes() {
+			needs := ""
+			if m.NeedsProfile() {
+				needs = " (needs a value profile)"
+			}
+			fmt.Printf("%-10s %s%s\n", m, m.Title(), needs)
+		}
+		return
+	}
+
 	if *bench == "" && *src == "" {
 		fmt.Fprintln(os.Stderr, "softft: need -bench, -src or -list; see -help")
 		os.Exit(2)
@@ -91,23 +102,14 @@ func main() {
 		fatal(err)
 	}
 
-	var m softft.Mode
-	switch *mode {
-	case "original":
-		m = softft.Original
-	case "dup":
-		m = softft.DuplicationOnly
-	case "dupval":
-		m = softft.DuplicationWithValueChecks
-	case "fulldup":
-		m = softft.FullDuplication
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+	m, err := softft.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 
 	if m != softft.Original {
 		var prof *softft.Profile
-		if m == softft.DuplicationWithValueChecks {
+		if m.NeedsProfile() {
 			if *profIn != "" {
 				f, err := os.Open(*profIn)
 				if err != nil {
@@ -120,7 +122,7 @@ func main() {
 				}
 			} else {
 				if bm == nil {
-					fatal(fmt.Errorf("-mode dupval needs a built-in benchmark or -profile-in"))
+					fatal(fmt.Errorf("-mode %s needs a built-in benchmark or -profile-in", m))
 				}
 				prof, err = prog.ProfileValues(bm.TrainInput())
 				if err != nil {
@@ -146,6 +148,9 @@ func main() {
 		if *stats {
 			fmt.Printf("protection %s: %d static instrs, %d state vars, %d duplicated, %d dup checks, %d value checks\n",
 				m, st.TotalInstrs, st.StateVars, st.DuplicatedInstrs, st.DupChecks, st.ValueChecks)
+			if st.ABFTKernels > 0 {
+				fmt.Printf("  abft: %d kernels checksummed, %d exit checks\n", st.ABFTKernels, st.ABFTChecks)
+			}
 		}
 	} else if *stats {
 		fmt.Printf("original: %d static instrs\n", prog.NumInstrs())
@@ -230,8 +235,8 @@ func main() {
 		fmt.Printf("  SDCs=%d (acceptable %d, unacceptable %d)  USDC rate %.2f%%\n",
 			out.SDCs, out.ASDCs, out.USDCs, 100*out.USDCRate())
 		if out.SWDetected > 0 {
-			fmt.Printf("  SWDetect breakdown: %d duplication, %d value, %d control-flow\n",
-				out.SWDetectedDup, out.SWDetectedValue, out.SWDetectedCFC)
+			fmt.Printf("  SWDetect breakdown: %d duplication, %d value, %d control-flow, %d abft\n",
+				out.SWDetectedDup, out.SWDetectedValue, out.SWDetectedCFC, out.SWDetectedABFT)
 		}
 	}
 }

@@ -95,9 +95,9 @@ type Outcomes struct {
 	USDCs      int // unacceptable silent data corruptions
 	SDCs       int // any numerically different completed output
 	ASDCs      int // acceptable SDCs
-	// Detected by duplication comparisons, expected-value checks, and
-	// control-flow signature checks respectively.
-	SWDetectedDup, SWDetectedValue, SWDetectedCFC int
+	// Detected by duplication comparisons, expected-value checks,
+	// control-flow signature checks, and ABFT kernel checksums respectively.
+	SWDetectedDup, SWDetectedValue, SWDetectedCFC, SWDetectedABFT int
 	// GoldenDyn/GoldenCycles describe the fault-free run.
 	GoldenDyn, GoldenCycles int64
 	// Anomalies lists quarantined trials (panics, hangs); they are not
@@ -158,13 +158,13 @@ func (o *Outcomes) String() string {
 // the plain and recovery campaign paths cannot drift.
 func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Config, error) {
 	if c.Output == "" {
-		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: campaign needs an Output global")
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.Output: required (name the global holding the program's result)")
 	}
 	if c.Trials < 0 {
-		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: negative trial count %d", c.Trials)
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.Trials: negative count %d", c.Trials)
 	}
 	if c.Workers < 0 {
-		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: negative worker count %d", c.Workers)
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.Workers: negative count %d", c.Workers)
 	}
 	if c.Trials == 0 {
 		c.Trials = 100
@@ -175,7 +175,7 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 		measure = func(golden, test []uint64) float64 { return 0 }
 		acceptable = func(float64) bool { return false }
 	} else if acceptable == nil {
-		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: campaign with Measure needs Acceptable")
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.Acceptable: required when Campaign.Measure is set")
 	}
 
 	cfg := fault.DefaultConfig()
@@ -245,6 +245,7 @@ func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign
 		SWDetectedDup:   ta.SWDetectDup,
 		SWDetectedValue: ta.SWDetectValue,
 		SWDetectedCFC:   ta.SWDetectCFC,
+		SWDetectedABFT:  ta.SWDetectABFT,
 		GoldenDyn:       rep.GoldenDyn,
 		GoldenCycles:    rep.GoldenCycles,
 		Partial:         rep.Partial,

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/profile"
+)
+
+// ABFT checksum protection (algorithm-based fault tolerance, after FT-CNN
+// and the arithmetic-intensity-guided ABFT line of work): instead of
+// comparing every redundant value as it is produced, each compute kernel —
+// a loop nest that stores computed values into memory, which in the ML and
+// vision workloads is exactly the matrix/convolution loops — maintains a
+// running row checksum over the stream of stored elements, computed twice:
+// once from the primary datapath (the value actually stored) and once from
+// an independently duplicated producer chain. The two checksums are
+// compared once, at the kernel's exit, by a cmpcheck of kind CheckABFT.
+// Detection latency moves from per-element to per-kernel, but so does the
+// comparison cost: one check per kernel instead of one per iteration.
+//
+// The checksum cells live in per-activation stack memory (entry-block
+// allocas), not in SSA registers, so no phi surgery is needed to carry them
+// through arbitrary loop nests. Fault-free the two accumulations perform
+// bit-identical operations in the same order, so the final comparison is
+// exact — the scheme inserts no statistical checks and can never false
+// positive. A corrupted compute chain, stored value, or checksum
+// accumulator register diverges one side and fires the exit check, which
+// surfaces through the existing check-failure path (SWDetect) so campaign
+// classification, recovery, and USDC accounting work unchanged.
+
+// abftKernel is one instrumentation site: an outermost loop with at least
+// one eligible store.
+type abftKernel struct {
+	loop   *ir.Loop
+	stores []*ir.Instr
+}
+
+// abftTransform applies ABFT checksum protection to every kernel of every
+// function in the module.
+func abftTransform(m *ir.Module, _ *profile.Data, p Params, stats *Stats) error {
+	nextID := nextCheckID(m)
+	for _, f := range m.Funcs {
+		var err error
+		nextID, err = abftFunc(m, f, p, stats, nextID)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abftEligible reports whether a store writes a computed value worth
+// checksumming: the stored operand is an instruction-defined I64/F64 value
+// produced by arithmetic, so its producer chain can be duplicated
+// independently. Pure copies (load-store), pointers and constants are
+// skipped — a checksum over them would add only shared single points of
+// failure, not redundancy.
+func abftEligible(st *ir.Instr) (*ir.Instr, bool) {
+	v, ok := st.Args[1].(*ir.Instr)
+	if !ok {
+		return nil, false
+	}
+	if v.Ty != ir.I64 && v.Ty != ir.F64 {
+		return nil, false
+	}
+	if !v.Op.IsArith() {
+		return nil, false
+	}
+	return v, true
+}
+
+func abftFunc(m *ir.Module, f *ir.Func, p Params, stats *Stats, nextID int) (int, error) {
+	f.ComputeCFG()
+	dt := ir.BuildDomTree(f)
+	loops := ir.FindLoops(f, dt)
+
+	// Map every block to its outermost enclosing loop; the outermost loop is
+	// the kernel boundary (the whole matrix/convolution nest drains into one
+	// checksum comparison).
+	outer := make(map[*ir.Block]*ir.Loop)
+	for _, l := range loops {
+		if l.Depth != 1 {
+			continue
+		}
+		for _, b := range l.Body {
+			outer[b] = l
+		}
+	}
+	if len(outer) == 0 {
+		return nextID, nil
+	}
+
+	// Collect eligible stores per kernel in program order (mutation starts
+	// only after collection, so positions are stable while scanning).
+	kernels := map[*ir.Loop]*abftKernel{}
+	var order []*abftKernel
+	f.Instrs(func(in *ir.Instr) bool {
+		if in.Op != ir.OpStore {
+			return true
+		}
+		l := outer[in.Blk]
+		if l == nil {
+			return true
+		}
+		if _, ok := abftEligible(in); !ok {
+			return true
+		}
+		k := kernels[l]
+		if k == nil {
+			k = &abftKernel{loop: l}
+			kernels[l] = k
+			order = append(order, k)
+		}
+		k.stores = append(k.stores, in)
+		return true
+	})
+	if len(order) == 0 {
+		return nextID, nil
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].loop.Header.Index < order[j].loop.Header.Index
+	})
+
+	d := newDuplicator(f, nil, false)
+	d.dupLoads = p.DupThroughLoads
+	entry := f.Entry()
+	entryAt := 0 // rolling insertion cursor keeps setup in program order
+
+	for _, k := range order {
+		// One checksum pair per stored value type present in the kernel.
+		type pair struct {
+			prim, shad *ir.Instr // alloca'd cells
+		}
+		pairs := map[ir.Type]*pair{}
+		var tys []ir.Type
+		cell := func(ty ir.Type) *pair {
+			if pr, ok := pairs[ty]; ok {
+				return pr
+			}
+			zero := ir.Value(ir.ConstInt(0))
+			if ty == ir.F64 {
+				zero = ir.ConstFloat(0)
+			}
+			pr := &pair{}
+			for _, cp := range []**ir.Instr{&pr.prim, &pr.shad} {
+				a := &ir.Instr{Op: ir.OpAlloca, Ty: ir.Ptr,
+					Args: []ir.Value{ir.ConstInt(1)}, UID: m.NewUID()}
+				entry.InsertBefore(a, entryAt)
+				entryAt++
+				init := &ir.Instr{Op: ir.OpStore, Ty: ir.Void,
+					Args: []ir.Value{a, zero}, UID: m.NewUID()}
+				entry.InsertBefore(init, entryAt)
+				entryAt++
+				*cp = a
+			}
+			pairs[ty] = pr
+			tys = append(tys, ty)
+			return pr
+		}
+
+		// Accumulate both checksums at every eligible store.
+		for _, st := range k.stores {
+			v, _ := abftEligible(st)
+			pr := cell(v.Ty)
+			shadow := d.dup(v)
+			blk := st.Blk
+			accum := func(cs *ir.Instr, val ir.Value) {
+				ld := &ir.Instr{Op: ir.OpLoad, Ty: v.Ty,
+					Args: []ir.Value{cs}, UID: m.NewUID()}
+				add := &ir.Instr{Op: ir.OpAdd, Ty: v.Ty,
+					Args: []ir.Value{ld, val}, UID: m.NewUID()}
+				wr := &ir.Instr{Op: ir.OpStore, Ty: ir.Void,
+					Args: []ir.Value{cs, add}, UID: m.NewUID()}
+				for _, in := range []*ir.Instr{ld, add, wr} {
+					blk.InsertBefore(in, blk.IndexOf(st))
+				}
+			}
+			accum(pr.prim, v)
+			accum(pr.shad, shadow)
+		}
+
+		// Verify at every kernel exit: reload both cells, compare once.
+		for _, exit := range kernelExits(k.loop) {
+			at := len(exit.Phis())
+			for _, ty := range tys {
+				pr := pairs[ty]
+				a := &ir.Instr{Op: ir.OpLoad, Ty: ty,
+					Args: []ir.Value{pr.prim}, UID: m.NewUID()}
+				b := &ir.Instr{Op: ir.OpLoad, Ty: ty,
+					Args: []ir.Value{pr.shad}, UID: m.NewUID()}
+				chk := &ir.Instr{Op: ir.OpCmpCheck, Ty: ir.Void,
+					Args:  []ir.Value{a, b},
+					Check: ir.CheckABFT, CheckID: nextID, UID: m.NewUID()}
+				nextID++
+				stats.ABFTChecks++
+				for _, in := range []*ir.Instr{a, b, chk} {
+					exit.InsertBefore(in, at)
+					at++
+				}
+			}
+		}
+		stats.ABFTKernels++
+	}
+	stats.DupInstrs += d.cloned
+	return nextID, nil
+}
+
+// kernelExits returns the loop's exit blocks (successors of body blocks
+// outside the body), deduplicated, in block order.
+func kernelExits(l *ir.Loop) []*ir.Block {
+	seen := map[*ir.Block]bool{}
+	var exits []*ir.Block
+	for _, b := range l.Body {
+		for _, s := range b.Succs {
+			if !l.Contains(s) && !seen[s] {
+				seen[s] = true
+				exits = append(exits, s)
+			}
+		}
+	}
+	sort.Slice(exits, func(i, j int) bool { return exits[i].Index < exits[j].Index })
+	return exits
+}

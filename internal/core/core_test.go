@@ -91,7 +91,7 @@ func TestFindStateVarsOnCRCKernel(t *testing.T) {
 func TestDupOnlyPreservesSemantics(t *testing.T) {
 	orig := compile(t, crcSrc)
 	prot := orig.Clone()
-	stats, err := Protect(prot, ModeDupOnly, nil, DefaultParams())
+	stats, err := Protect(prot, SchemeDup, nil, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestDupValPreservesSemanticsOnTrainingInput(t *testing.T) {
 	// Full coverage requirement: on the training input no check may fire.
 	p.MinRangeCoverage = 1.0
 	p.MinValueCoverage = 1.0
-	stats, err := Protect(prot, ModeDupVal, prof, p)
+	stats, err := Protect(prot, SchemeDupVal, prof, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestDupValPreservesSemanticsOnTrainingInput(t *testing.T) {
 
 func TestDupValRequiresProfiles(t *testing.T) {
 	m := compile(t, crcSrc)
-	if _, err := Protect(m, ModeDupVal, nil, DefaultParams()); err == nil {
+	if _, err := Protect(m, SchemeDupVal, nil, DefaultParams()); err == nil {
 		t.Fatal("DupVal without profiles accepted")
 	}
 }
@@ -176,7 +176,7 @@ func TestDupValRequiresProfiles(t *testing.T) {
 func TestFullDupPreservesSemantics(t *testing.T) {
 	orig := compile(t, crcSrc)
 	prot := orig.Clone()
-	stats, err := Protect(prot, ModeFullDup, nil, DefaultParams())
+	stats, err := Protect(prot, SchemeFullDup, nil, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestProtectionOverheadOrdering(t *testing.T) {
 	orig := compile(t, crcSrc)
 	prof := profileCRC(t, orig)
 
-	cycles := func(mode Mode, withProf bool) int64 {
+	cycles := func(mode string, withProf bool) int64 {
 		m := orig.Clone()
 		var pd *profile.Data
 		if withProf {
@@ -219,10 +219,10 @@ func TestProtectionOverheadOrdering(t *testing.T) {
 		return r.Cycles
 	}
 
-	c0 := cycles(ModeOriginal, false)
-	cDup := cycles(ModeDupOnly, false)
-	cVal := cycles(ModeDupVal, true)
-	cFull := cycles(ModeFullDup, false)
+	c0 := cycles(SchemeOriginal, false)
+	cDup := cycles(SchemeDup, false)
+	cVal := cycles(SchemeDupVal, true)
+	cFull := cycles(SchemeFullDup, false)
 	// Every scheme costs something; full duplication costs the most. Note
 	// DupVal may undercut DupOnly on a single kernel (the paper sees this
 	// on svm): Optimization 2 swaps duplication chains for cheaper checks.
@@ -364,7 +364,7 @@ func TestStatsFractions(t *testing.T) {
 func TestDupOnlyDetectsStateCorruption(t *testing.T) {
 	orig := compile(t, crcSrc)
 	prot := orig.Clone()
-	if _, err := Protect(prot, ModeDupOnly, nil, DefaultParams()); err != nil {
+	if _, err := Protect(prot, SchemeDup, nil, DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -9,33 +9,6 @@
 // baseline for comparison.
 package core
 
-import "fmt"
-
-// Mode selects a protection scheme.
-type Mode uint8
-
-// Protection modes, mirroring the paper's evaluated configurations.
-const (
-	ModeOriginal Mode = iota // no protection
-	ModeDupOnly              // state-variable duplication only
-	ModeDupVal               // duplication + expected value checks (+ Opt 1 & 2)
-	ModeFullDup              // SWIFT-style full duplication baseline
-)
-
-func (m Mode) String() string {
-	switch m {
-	case ModeOriginal:
-		return "Original"
-	case ModeDupOnly:
-		return "Dup only"
-	case ModeDupVal:
-		return "Dup + val chks"
-	case ModeFullDup:
-		return "Full duplication"
-	}
-	return fmt.Sprintf("mode(%d)", uint8(m))
-}
-
 // Params tunes check amenability and the two optimizations.
 type Params struct {
 	// RangeThreshold is the paper's R_thr: the maximum width of a compact
@@ -79,13 +52,15 @@ func DefaultParams() Params {
 // Stats reports what the transformation did, as fractions of the static
 // instruction count before protection (paper Figure 10).
 type Stats struct {
-	Mode         Mode
-	TotalInstrs  int // static IR instructions before protection
-	StateVars    int // loop-header phis identified as state variables
-	DupInstrs    int // duplicated instructions inserted (incl. mirror phis)
-	ValueChecks  int // expected-value checks inserted
-	DupChecks    int // duplicate-comparison checks inserted
-	CheckedInstr int // instructions covered by a value check
+	Scheme       string // canonical scheme name ("dupval", "abft+dupval", ...)
+	TotalInstrs  int    // static IR instructions before protection
+	StateVars    int    // loop-header phis identified as state variables
+	DupInstrs    int    // duplicated instructions inserted (incl. mirror phis)
+	ValueChecks  int    // expected-value checks inserted
+	DupChecks    int    // duplicate-comparison checks inserted
+	CheckedInstr int    // instructions covered by a value check
+	ABFTKernels  int    // kernel loops covered by ABFT checksums
+	ABFTChecks   int    // checksum-comparison checks inserted at kernel exits
 }
 
 // FracStateVars returns state variables over original static instructions.

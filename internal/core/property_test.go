@@ -159,10 +159,10 @@ func TestProtectionPreservesSemanticsOnRandomPrograms(t *testing.T) {
 			t.Fatalf("trial %d: profiling trap %v", trial, res.Trap)
 		}
 
-		for _, mode := range []Mode{ModeDupOnly, ModeDupVal, ModeFullDup} {
+		for _, mode := range []string{SchemeDup, SchemeDupVal, SchemeFullDup} {
 			prot := mod.Clone()
 			var pd *profile.Data
-			if mode == ModeDupVal {
+			if mode == SchemeDupVal {
 				pd = col.Data()
 			}
 			if _, err := Protect(prot, mode, pd, DefaultParams()); err != nil {

@@ -1,59 +1,41 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/ir"
 	"repro/internal/profile"
 )
 
-// Protect applies the selected protection scheme to m in place and returns
-// static statistics. Callers that need the unprotected module afterwards
-// should Clone first. prof may be nil for ModeOriginal, ModeDupOnly and
-// ModeFullDup; ModeDupVal requires it.
-func Protect(m *ir.Module, mode Mode, prof *profile.Data, p Params) (*Stats, error) {
-	total := m.NumInstrs()
-	stats := &Stats{Mode: mode, TotalInstrs: total}
+// Protect applies the named protection scheme to m in place and returns
+// static statistics — a convenience wrapper over the scheme registry (see
+// scheme.go). Callers that need the unprotected module afterwards should
+// Clone first. prof may be nil unless the scheme reports NeedsProfile.
+func Protect(m *ir.Module, scheme string, prof *profile.Data, p Params) (*Stats, error) {
+	return Apply(m, scheme, prof, p)
+}
 
-	switch mode {
-	case ModeOriginal:
-		return stats, nil
-
-	case ModeFullDup:
-		nextID := 1
-		for _, f := range m.Funcs {
-			fs, next, err := fullDuplicate(f, nextID)
-			if err != nil {
-				return nil, err
-			}
-			nextID = next
-			stats.StateVars += fs.StateVars
-			stats.DupInstrs += fs.DupInstrs
-			stats.DupChecks += fs.DupChecks
-		}
-
-	case ModeDupOnly, ModeDupVal:
-		if mode == ModeDupVal && prof == nil {
-			return nil, fmt.Errorf("core: %s requires value profiles", mode)
-		}
-		nextID := 1
+// dupTransform is the paper's selective protection: state-variable
+// duplication alone (dup), or combined with profile-derived expected-value
+// checks and the two optimizations (dupval).
+func dupTransform(valChecks bool) func(m *ir.Module, prof *profile.Data, p Params, stats *Stats) error {
+	return func(m *ir.Module, prof *profile.Data, p Params, stats *Stats) error {
+		nextID := nextCheckID(m)
 		for _, f := range m.Funcs {
 			svs := FindStateVars(f)
 			stats.StateVars += len(svs)
 
 			var specs map[*ir.Instr]CheckSpec
-			if mode == ModeDupVal {
+			if valChecks {
 				specs = planChecks(f, prof, p)
 			}
 
-			d := newDuplicator(f, specs, mode == ModeDupVal && p.Opt2)
+			d := newDuplicator(f, specs, valChecks && p.Opt2)
 			d.dupLoads = p.DupThroughLoads
 			dupChecks, next := d.mirrorStateVars(svs, nextID)
 			nextID = next
 			stats.DupInstrs += d.cloned
 			stats.DupChecks += dupChecks
 
-			if mode == ModeDupVal {
+			if valChecks {
 				// Optimization 1 prunes shallow checks, but never the ones
 				// Optimization 2 promised in lieu of duplication.
 				if p.Opt1 {
@@ -77,14 +59,22 @@ func Protect(m *ir.Module, mode Mode, prof *profile.Data, p Params) (*Stats, err
 				}
 			}
 		}
-
-	default:
-		return nil, fmt.Errorf("core: unknown mode %d", mode)
+		return nil
 	}
+}
 
-	m.Renumber()
-	if err := m.Verify(); err != nil {
-		return nil, fmt.Errorf("core: %s produced invalid IR: %w", mode, err)
+// fullDupTransform is the SWIFT-style full-duplication baseline.
+func fullDupTransform(m *ir.Module, prof *profile.Data, p Params, stats *Stats) error {
+	nextID := nextCheckID(m)
+	for _, f := range m.Funcs {
+		fs, next, err := fullDuplicate(f, nextID)
+		if err != nil {
+			return err
+		}
+		nextID = next
+		stats.StateVars += fs.StateVars
+		stats.DupInstrs += fs.DupInstrs
+		stats.DupChecks += fs.DupChecks
 	}
-	return stats, nil
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/passes"
+	"repro/internal/profile"
 	"repro/internal/vm"
 )
 
@@ -65,7 +66,7 @@ func FuzzCompileAndRun(f *testing.F) {
 		r1 := m1.Run(vm.RunOptions{})
 
 		prot := mod.Clone()
-		if _, err := core.Protect(prot, core.ModeDupOnly, nil, core.DefaultParams()); err != nil {
+		if _, err := core.Protect(prot, core.SchemeDup, nil, core.DefaultParams()); err != nil {
 			t.Fatalf("protect failed on verified module: %v\n%s", err, src)
 		}
 		prot.Renumber()
@@ -154,6 +155,116 @@ func FuzzLockstepDivergence(f *testing.F) {
 		ints, floats := InputsForSeed(7)
 		if d := diffLockstepPeel(mod, ints, floats, 200_000); d != "" {
 			t.Fatalf("lockstep divergence: %s\n%s", d, src)
+		}
+	})
+}
+
+// FuzzSchemeEnumeration pushes arbitrary source through every registered
+// protection scheme plus a composition. For each scheme: the verifier must
+// stay clean, the protected program must reproduce the unprotected outputs
+// when both runs finish fault-free, and — with the oracle's full-coverage
+// parameters and the profile taken on the same input — no check may fire.
+// A scheme added to the registry is fuzzed here with no harness changes.
+func FuzzSchemeEnumeration(f *testing.F) {
+	f.Add("global int in[8]; global int out[8];\nvoid main() { out[0] = in[0] * 2 + 1; }")
+	f.Add("global int in[8]; global int out[4];\nvoid main() { int s = 0; for (int i = 0; i < 16; i += 1) { s += in[i & 7] * i; } out[0] = s; }")
+	f.Add(Generate(4, DefaultGenConfig()).Source())
+	f.Add(Generate(8, DefaultGenConfig()).Source())
+	schemes := append(core.SchemeNames(), "abft+dupval")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, g := range prog.Globals {
+			if g.Size < 0 || g.Size > 1<<12 {
+				return
+			}
+			total += g.Size
+		}
+		if total > 1<<14 {
+			return
+		}
+		mod, err := lang.Codegen("fuzz", prog)
+		if err != nil {
+			return
+		}
+		mod.Renumber()
+		if err := mod.Verify(); err != nil {
+			t.Fatalf("verifier unclean after codegen: %v\n%s", err, src)
+		}
+		if err := passes.Normalize(mod); err != nil {
+			t.Fatalf("verifier unclean after normalize: %v\n%s", err, src)
+		}
+
+		cfg := vm.DefaultConfig()
+		cfg.MaxDyn = 200_000
+		ref, err := vm.New(mod, cfg)
+		if err != nil {
+			return // e.g. no main — fine
+		}
+		ref.Reset()
+		r0 := ref.Run(vm.RunOptions{})
+		if r0.Trap != nil {
+			return // trapping programs are FuzzCompileAndRun's territory
+		}
+
+		// Full-coverage profile on the (only) input makes "no check fires"
+		// a theorem for every scheme, composed or not.
+		profMach, err := vm.New(mod.Clone(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profMach.Reset()
+		col := profile.NewCollector(profile.DefaultBins)
+		if res := profMach.Run(vm.RunOptions{Profiler: col}); res.Trap != nil {
+			t.Fatalf("profiling run trapped where plain run completed: %v", res.Trap)
+		}
+		prof := col.Data()
+		params := core.DefaultParams()
+		params.MinRangeCoverage = 1.0
+		params.MinValueCoverage = 1.0
+		params.Opt2 = false
+
+		for _, sch := range schemes {
+			prot := mod.Clone()
+			if _, err := core.Apply(prot, sch, prof, params); err != nil {
+				t.Fatalf("scheme %s failed on verified module: %v\n%s", sch, err, src)
+			}
+			if err := prot.Verify(); err != nil {
+				t.Fatalf("verifier unclean after %s: %v\n%s", sch, err, src)
+			}
+			pcfg := cfg
+			pcfg.MaxDyn = 1_000_000 // duplication and checksums inflate dyn
+			m2, err := vm.New(prot, pcfg)
+			if err != nil {
+				t.Fatalf("vm.New after %s: %v\n%s", sch, err, src)
+			}
+			m2.Reset()
+			r2 := m2.Run(vm.RunOptions{CountChecks: true})
+			if r2.Trap != nil {
+				t.Fatalf("%s-protected run trapped where original completed: %v\n%s", sch, r2.Trap, src)
+			}
+			if r2.CheckFails != 0 {
+				t.Fatalf("%s: %d checks fired fault-free on the profiled input\n%s", sch, r2.CheckFails, src)
+			}
+			for _, g := range prog.Globals {
+				a, err1 := ref.ReadGlobal(g.Name)
+				b, err2 := m2.ReadGlobal(g.Name)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s changed %s[%d]: %#x != %#x\n%s",
+							sch, g.Name, i, a[i], b[i], src)
+					}
+				}
+			}
 		}
 	})
 }

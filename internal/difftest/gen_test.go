@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/lang"
 )
 
@@ -42,6 +43,33 @@ func TestGeneratedProgramsCompile(t *testing.T) {
 		if !strings.Contains(src, "void main()") {
 			t.Fatalf("seed %d: no main:\n%s", seed, src)
 		}
+	}
+}
+
+// TestEveryRegisteredSchemePassesOracle is the registry's property test:
+// each registered scheme — plus one composition — must individually uphold
+// the oracle invariants (output equality, no fault-free check fires,
+// verifier-clean IR) on generated programs. A scheme added to the registry
+// is picked up here with no test changes.
+func TestEveryRegisteredSchemePassesOracle(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	schemes := append(core.SchemeNames(), "abft+dupval")
+	for _, sch := range schemes {
+		sch := sch
+		t.Run(sch, func(t *testing.T) {
+			t.Parallel()
+			ocfg := DefaultOracleConfig()
+			ocfg.Only = []string{sch}
+			for seed := int64(1); seed <= seeds; seed++ {
+				if _, fail := Check(seed, DefaultGenConfig(), ocfg); fail != nil {
+					p := Generate(seed, DefaultGenConfig())
+					t.Fatalf("seed %d: %v\n%s", seed, fail, p.Source())
+				}
+			}
+		})
 	}
 }
 

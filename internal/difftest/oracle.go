@@ -13,11 +13,11 @@ import (
 
 // Invariant names reported by the oracle.
 const (
-	InvCompile   = "compile"     // frontend rejected or crashed on a generated program
-	InvVerify    = "verify"      // IR verifier unclean after a transform
-	InvTrap      = "trap"        // a fault-free run trapped
-	InvOutput    = "output"      // outputs differ across pipeline/mode combos
-	InvCheck     = "check-fired" // a software check fired on the profiled input
+	InvCompile    = "compile"         // frontend rejected or crashed on a generated program
+	InvVerify     = "verify"          // IR verifier unclean after a transform
+	InvTrap       = "trap"            // a fault-free run trapped
+	InvOutput     = "output"          // outputs differ across pipeline/mode combos
+	InvCheck      = "check-fired"     // a software check fired on the profiled input
 	InvCostOrder  = "cost-order"      // timing cost not ordered across modes
 	InvEngine     = "engine-diff"     // precompiled engine disagrees with the tree interpreter
 	InvCheckpoint = "checkpoint-diff" // suspend/snapshot/restore run disagrees with uninterrupted run
@@ -58,8 +58,11 @@ var Pipelines = []Pipeline{
 	{Name: "nodce", Mem2Reg: true, Fold: true, DCE: false},
 }
 
-// Modes exercised by the oracle, in cost order.
-var Modes = []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+// Modes exercised by the oracle: every registered protection scheme, in
+// registration order (the four paper schemes in cost order, then
+// extensions). A newly registered scheme is property-tested against the
+// oracle's invariants automatically.
+var Modes = core.SchemeNames()
 
 // OracleConfig tunes a differential check.
 type OracleConfig struct {
@@ -71,7 +74,7 @@ type OracleConfig struct {
 	// Only restricts the protection modes exercised (Original is always
 	// run as the reference). Nil means all of Modes. When set, the
 	// cost-ordering invariant is skipped — it needs the full set.
-	Only []core.Mode
+	Only []string
 }
 
 // DefaultOracleConfig bounds runs far above anything the generator emits.
@@ -79,7 +82,7 @@ func DefaultOracleConfig() OracleConfig {
 	return OracleConfig{MaxDyn: 50_000_000}
 }
 
-// checkParams are the protection parameters the oracle uses for ModeDupVal.
+// checkParams are the protection parameters the oracle uses for dupval.
 // Coverage thresholds are 1.0: a check is only planned when it admits every
 // profiled observation, which is what makes invariant 3 (no check fires on
 // the profiled input) a theorem rather than a statistical statement.
@@ -126,27 +129,27 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 
 		modes := Modes
 		if len(cfg.Only) > 0 {
-			modes = append([]core.Mode{core.ModeOriginal}, cfg.Only...)
+			modes = append([]string{core.SchemeOriginal}, cfg.Only...)
 		}
-		cycles := make(map[core.Mode]int64)
+		cycles := make(map[string]int64)
 		for _, mode := range modes {
 			pm := mod
-			if mode != core.ModeOriginal {
+			if mode != core.SchemeOriginal {
 				pm = mod.Clone()
 				if _, err := core.Protect(pm, mode, prof, checkParams()); err != nil {
-					return &Failure{Invariant: InvVerify, Pipeline: pl.Name, Mode: mode.String(),
+					return &Failure{Invariant: InvVerify, Pipeline: pl.Name, Mode: mode,
 						Detail: fmt.Sprintf("protection produced invalid IR: %v", err)}
 				}
 			}
 			r := runModule(pm, ints, floats, cfg.MaxDyn, vm.EngineFast)
 			if r.trap != nil {
-				return &Failure{Invariant: InvTrap, Pipeline: pl.Name, Mode: mode.String(),
+				return &Failure{Invariant: InvTrap, Pipeline: pl.Name, Mode: mode,
 					Detail: r.trap.Error()}
 			}
 			// Engine cross-check: the reference tree-walking interpreter
 			// must agree with the precompiled engine on every observable.
 			if d := diffEngines(r, runModule(pm, ints, floats, cfg.MaxDyn, vm.EngineTree)); d != "" {
-				return &Failure{Invariant: InvEngine, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+				return &Failure{Invariant: InvEngine, Pipeline: pl.Name, Mode: mode, Detail: d}
 			}
 			// Checkpoint cross-check (full pipeline: the invariant probes
 			// the vm's snapshot machinery, not the pass pipeline): a run
@@ -155,16 +158,16 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 			// uninterrupted run.
 			if pl.Name == "full" {
 				if d := diffCheckpoint(pm, ints, floats, cfg.MaxDyn, r); d != "" {
-					return &Failure{Invariant: InvCheckpoint, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+					return &Failure{Invariant: InvCheckpoint, Pipeline: pl.Name, Mode: mode, Detail: d}
 				}
 				// Resume cross-check (Original only — the invariant probes
 				// the campaign journal machinery, which is mode-agnostic):
 				// an interrupted-and-resumed journaled campaign must match
 				// an uninterrupted one. Programs too short for injection
 				// triggers to spread are skipped.
-				if mode == core.ModeOriginal && r.dyn >= 4 {
+				if mode == core.SchemeOriginal && r.dyn >= 4 {
 					if d := diffResume(name, pm, ints, floats); d != "" {
-						return &Failure{Invariant: InvResume, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+						return &Failure{Invariant: InvResume, Pipeline: pl.Name, Mode: mode, Detail: d}
 					}
 				}
 				// Lockstep cross-check (Original only — the batch executor is
@@ -172,19 +175,19 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 				// covered by the fault package's equivalence matrix): trials
 				// peeled from a lockstep carrier must be bit-identical to
 				// solo runs, at both the vm and the campaign level.
-				if mode == core.ModeOriginal {
+				if mode == core.SchemeOriginal {
 					if d := diffLockstep(name, pm, ints, floats, cfg.MaxDyn, r); d != "" {
-						return &Failure{Invariant: InvLockstep, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+						return &Failure{Invariant: InvLockstep, Pipeline: pl.Name, Mode: mode, Detail: d}
 					}
 				}
 			}
 			if ref == nil {
 				ref = r
 			} else if d := diffOutputs(ref, r); d != "" {
-				return &Failure{Invariant: InvOutput, Pipeline: pl.Name, Mode: mode.String(), Detail: d}
+				return &Failure{Invariant: InvOutput, Pipeline: pl.Name, Mode: mode, Detail: d}
 			}
 			if r.checkFails != 0 {
-				return &Failure{Invariant: InvCheck, Pipeline: pl.Name, Mode: mode.String(),
+				return &Failure{Invariant: InvCheck, Pipeline: pl.Name, Mode: mode,
 					Detail: fmt.Sprintf("%d check failures on the profiled input", r.checkFails)}
 			}
 			cycles[mode] = r.cycles
@@ -201,15 +204,15 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 			// duplication, which stops chains at loads) — the paper's
 			// Figure-12 ordering is an empirical property of real
 			// workloads, not a structural invariant. See EXPERIMENTS.md.
-			orderings := [][2]core.Mode{
-				{core.ModeOriginal, core.ModeDupOnly},
-				{core.ModeDupOnly, core.ModeDupVal},
-				{core.ModeDupOnly, core.ModeFullDup},
+			orderings := [][2]string{
+				{core.SchemeOriginal, core.SchemeDup},
+				{core.SchemeDup, core.SchemeDupVal},
+				{core.SchemeDup, core.SchemeFullDup},
 			}
 			for _, o := range orderings {
 				lo, hi := o[0], o[1]
 				if cycles[lo] > cycles[hi] {
-					return &Failure{Invariant: InvCostOrder, Pipeline: pl.Name, Mode: hi.String(),
+					return &Failure{Invariant: InvCostOrder, Pipeline: pl.Name, Mode: hi,
 						Detail: fmt.Sprintf("cycles(%s)=%d > cycles(%s)=%d",
 							lo, cycles[lo], hi, cycles[hi])}
 				}

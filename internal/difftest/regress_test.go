@@ -16,7 +16,7 @@ import (
 // Shared fixture for the regression tests below: all of them assert
 // oracle invariant 3 — checks planned from a profile must never fire on
 // the profiled input.
-func profileProtectRun(t *testing.T, src string, mode core.Mode, ints []int64, floats []float64) int64 {
+func profileProtectRun(t *testing.T, src string, mode string, ints []int64, floats []float64) int64 {
 	t.Helper()
 	mod, err := lang.Compile("regress", src)
 	if err != nil {
@@ -73,7 +73,7 @@ void main() {
 	}
 }`
 	huge := int64(1)<<62 + 1
-	fails := profileProtectRun(t, src, core.ModeDupVal, []int64{0, huge, 2, 0}, nil)
+	fails := profileProtectRun(t, src, core.SchemeDupVal, []int64{0, huge, 2, 0}, nil)
 	if fails != 0 {
 		t.Errorf("value checks fired on the profiled input: %d (int64 rounded through float64?)", fails)
 	}
@@ -95,7 +95,7 @@ void main() {
 		fout[i & 63] = (fin[i & 3] * 1.0);
 	}
 }`
-	fails := profileProtectRun(t, src, core.ModeDupVal, nil,
+	fails := profileProtectRun(t, src, core.SchemeDupVal, nil,
 		[]float64{0.0, math.Copysign(0, -1), 0.0, math.Copysign(0, -1)})
 	if fails != 0 {
 		t.Errorf("value checks fired on the profiled input: %d (bitwise F64 compare vs -0.0?)", fails)

@@ -45,11 +45,11 @@ func buildDupVal(w *workloads.Workload, profKind workloads.InputKind) (*Variant,
 		return nil, fmt.Errorf("%s: profiling trapped: %v", w.Name, res.Trap)
 	}
 	m := mod.Clone()
-	stats, err := core.Protect(m, core.ModeDupVal, col.Data(), core.DefaultParams())
+	stats, err := core.Protect(m, core.SchemeDupVal, col.Data(), core.DefaultParams())
 	if err != nil {
 		return nil, err
 	}
-	return &Variant{Mode: core.ModeDupVal, Module: m, Stats: stats}, nil
+	return &Variant{Mode: core.SchemeDupVal, Module: m, Stats: stats}, nil
 }
 
 // overheadOn measures runtime overhead of a variant on one input kind.
@@ -163,7 +163,7 @@ func FalsePositivesAll() ([]FalsePosRow, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		rep, err := fault.FalsePositives(w.Target(workloads.Test), p.Variants[core.ModeDupVal].Module)
+		rep, err := fault.FalsePositives(w.Target(workloads.Test), p.Variants[core.SchemeDupVal].Module)
 		if err != nil {
 			return nil, "", err
 		}

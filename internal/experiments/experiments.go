@@ -19,12 +19,15 @@ import (
 	"repro/internal/workloads"
 )
 
-// Techniques evaluated throughout the paper.
-var Techniques = []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+// Techniques evaluated by Prepare: every registered protection scheme (the
+// paper's four configurations first, then extensions). Registering a scheme
+// makes a protected variant, its fault-free timing, and campaign support
+// available to every experiment with no further wiring.
+var Techniques = core.SchemeNames()
 
 // Variant is one protected build of one workload.
 type Variant struct {
-	Mode   core.Mode
+	Mode   string
 	Module *ir.Module
 	Stats  *core.Stats
 }
@@ -34,10 +37,10 @@ type Variant struct {
 type Prepared struct {
 	Workload *workloads.Workload
 	Profile  *profile.Data
-	Variants map[core.Mode]*Variant
+	Variants map[string]*Variant
 	// Golden cycle counts per mode on the test input (Figure 12).
-	Cycles map[core.Mode]int64
-	Dyn    map[core.Mode]int64
+	Cycles map[string]int64
+	Dyn    map[string]int64
 }
 
 var (
@@ -74,14 +77,14 @@ func Prepare(w *workloads.Workload) (*Prepared, error) {
 	p := &Prepared{
 		Workload: w,
 		Profile:  col.Data(),
-		Variants: map[core.Mode]*Variant{},
-		Cycles:   map[core.Mode]int64{},
-		Dyn:      map[core.Mode]int64{},
+		Variants: map[string]*Variant{},
+		Cycles:   map[string]int64{},
+		Dyn:      map[string]int64{},
 	}
 	for _, mode := range Techniques {
 		m := mod.Clone()
 		var prof *profile.Data
-		if mode == core.ModeDupVal {
+		if sch, err := core.ParseScheme(mode); err == nil && sch.NeedsProfile() {
 			prof = p.Profile
 		}
 		stats, err := core.Protect(m, mode, prof, core.DefaultParams())
@@ -111,8 +114,8 @@ func Prepare(w *workloads.Workload) (*Prepared, error) {
 }
 
 // Overhead returns the runtime overhead of mode vs the original build.
-func (p *Prepared) Overhead(mode core.Mode) float64 {
-	base := p.Cycles[core.ModeOriginal]
+func (p *Prepared) Overhead(mode string) float64 {
+	base := p.Cycles[core.SchemeOriginal]
 	if base == 0 {
 		return 0
 	}
@@ -121,8 +124,8 @@ func (p *Prepared) Overhead(mode core.Mode) float64 {
 
 // Campaign runs a fault campaign for one workload/mode pair on the given
 // input kind.
-func Campaign(p *Prepared, mode core.Mode, kind workloads.InputKind, cfg fault.Config) (*fault.Report, error) {
-	return fault.Run(context.Background(), p.Workload.Target(kind), p.Variants[mode].Module, mode.String(), cfg)
+func Campaign(p *Prepared, mode string, kind workloads.InputKind, cfg fault.Config) (*fault.Report, error) {
+	return fault.Run(context.Background(), p.Workload.Target(kind), p.Variants[mode].Module, core.Title(mode), cfg)
 }
 
 // GeoMean returns the geometric mean of 1+x values minus 1 (for overheads)

@@ -113,26 +113,26 @@ func TestFig11And13Directional(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Aggregate USDC by mode.
-	usdc := map[core.Mode]int{}
-	trials := map[core.Mode]int{}
-	sw := map[core.Mode]int{}
+	usdc := map[string]int{}
+	trials := map[string]int{}
+	sw := map[string]int{}
 	for _, r := range rows11 {
 		usdc[r.Mode] += r.Tally.Count[fault.USDC]
 		trials[r.Mode] += r.Tally.N
 		sw[r.Mode] += r.Tally.Count[fault.SWDetect]
 	}
-	if sw[core.ModeOriginal] != 0 {
+	if sw[core.SchemeOriginal] != 0 {
 		t.Error("original binaries produced SWDetects")
 	}
-	if sw[core.ModeDupOnly] == 0 || sw[core.ModeDupVal] == 0 {
+	if sw[core.SchemeDup] == 0 || sw[core.SchemeDupVal] == 0 {
 		t.Error("protected binaries produced no SWDetects")
 	}
 	// Directional: protection must not increase aggregate USDCs.
-	if usdc[core.ModeDupVal] > usdc[core.ModeOriginal] {
-		t.Errorf("DupVal USDCs %d > original %d", usdc[core.ModeDupVal], usdc[core.ModeOriginal])
+	if usdc[core.SchemeDupVal] > usdc[core.SchemeOriginal] {
+		t.Errorf("DupVal USDCs %d > original %d", usdc[core.SchemeDupVal], usdc[core.SchemeOriginal])
 	}
 	t.Logf("aggregate USDC: orig=%d dup=%d dup+val=%d (of %d trials each)",
-		usdc[core.ModeOriginal], usdc[core.ModeDupOnly], usdc[core.ModeDupVal], trials[core.ModeOriginal])
+		usdc[core.SchemeOriginal], usdc[core.SchemeDup], usdc[core.SchemeDupVal], trials[core.SchemeOriginal])
 
 	rows13, _, err := Fig13(cfg)
 	if err != nil {

@@ -41,7 +41,7 @@ func BranchFaults(cfg fault.Config) ([]CFCRow, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		dupval := p.Variants[core.ModeDupVal].Module
+		dupval := p.Variants[core.SchemeDupVal].Module
 
 		withCFC := dupval.Clone()
 		if _, _, err := cfc.Protect(withCFC, 1_000_000); err != nil {
@@ -52,7 +52,7 @@ func BranchFaults(cfg fault.Config) ([]CFCRow, string, error) {
 			label string
 			mod   *ir.Module
 		}{
-			{"Original", p.Variants[core.ModeOriginal].Module},
+			{"Original", p.Variants[core.SchemeOriginal].Module},
 			{"Dup + val chks", dupval},
 			{"Dup + val chks + CFC", withCFC},
 		}
@@ -131,7 +131,7 @@ func MultiInputProfiling() ([]MultiProfileRow, string, error) {
 		// profile has seen.
 		build := func(prof *profile.Data) (int, int64, error) {
 			m := mod.Clone()
-			st, err := core.Protect(m, core.ModeDupVal, prof, core.DefaultParams())
+			st, err := core.Protect(m, core.SchemeDupVal, prof, core.DefaultParams())
 			if err != nil {
 				return 0, 0, err
 			}

@@ -18,7 +18,7 @@ var (
 )
 
 // cachedCampaign runs (or reuses) a campaign on the test input.
-func cachedCampaign(p *Prepared, mode core.Mode, cfg fault.Config) (*fault.Report, error) {
+func cachedCampaign(p *Prepared, mode string, cfg fault.Config) (*fault.Report, error) {
 	key := fmt.Sprintf("%s|%s|%d|%d", p.Workload.Name, mode, cfg.Trials, cfg.Seed)
 	campMu.Lock()
 	if r, ok := campCache[key]; ok {
@@ -76,7 +76,7 @@ func Fig1(cfg fault.Config) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	rep, err := cachedCampaign(p, core.ModeOriginal, cfg)
+	rep, err := cachedCampaign(p, core.SchemeOriginal, cfg)
 	if err != nil {
 		return "", err
 	}
@@ -129,7 +129,7 @@ func Fig2(cfg fault.Config) ([]Fig2Row, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		rep, err := cachedCampaign(p, core.ModeOriginal, cfg)
+		rep, err := cachedCampaign(p, core.SchemeOriginal, cfg)
 		if err != nil {
 			return nil, "", err
 		}
@@ -175,7 +175,7 @@ func Fig10() ([]Fig10Row, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		st := p.Variants[core.ModeDupVal].Stats
+		st := p.Variants[core.SchemeDupVal].Stats
 		r := Fig10Row{
 			Name:        w.Name,
 			StateVars:   st.FracStateVars(),
@@ -200,20 +200,20 @@ func Fig10() ([]Fig10Row, string, error) {
 // Fig11Row is one benchmark/technique outcome classification.
 type Fig11Row struct {
 	Name  string
-	Mode  core.Mode
+	Mode  string
 	Tally fault.Tally
 }
 
 // fig11Modes are the three bars per benchmark in Figure 11.
-var fig11Modes = []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal}
+var fig11Modes = []string{core.SchemeOriginal, core.SchemeDup, core.SchemeDupVal}
 
 // Fig11 classifies injected faults for Original, Dup only and Dup+val chks.
 // The full-duplication USDC comparison quoted in §V is appended.
 func Fig11(cfg fault.Config) ([]Fig11Row, string, error) {
 	var rows []Fig11Row
 	var cells [][]string
-	means := map[core.Mode]*[5]float64{}
-	cov := map[core.Mode][]float64{}
+	means := map[string]*[5]float64{}
+	cov := map[string][]float64{}
 	for _, mode := range fig11Modes {
 		means[mode] = &[5]float64{}
 	}
@@ -230,7 +230,7 @@ func Fig11(cfg fault.Config) ([]Fig11Row, string, error) {
 			rows = append(rows, Fig11Row{Name: w.Name, Mode: mode, Tally: rep.Tally})
 			ta := rep.Tally
 			cells = append(cells, []string{
-				w.Name, mode.String(),
+				w.Name, core.Title(mode),
 				pct(ta.Frac(fault.Masked)), pct(ta.Frac(fault.HWDetect)),
 				pct(ta.Frac(fault.SWDetect)), pct(ta.Frac(fault.Failure)),
 				pct(ta.Frac(fault.USDC)), pct(ta.Coverage()),
@@ -244,7 +244,7 @@ func Fig11(cfg fault.Config) ([]Fig11Row, string, error) {
 	n := float64(len(workloads.All()))
 	for _, mode := range fig11Modes {
 		cells = append(cells, []string{
-			"mean", mode.String(),
+			"mean", core.Title(mode),
 			pct(means[mode][0] / n), pct(means[mode][1] / n),
 			pct(means[mode][2] / n), pct(means[mode][3] / n),
 			pct(means[mode][4] / n), pct(Mean(cov[mode])),
@@ -266,7 +266,7 @@ func FullDupUSDC(cfg fault.Config) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		rep, err := cachedCampaign(p, core.ModeFullDup, cfg)
+		rep, err := cachedCampaign(p, core.SchemeFullDup, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -296,9 +296,9 @@ func Fig12() ([]Fig12Row, string, error) {
 		}
 		r := Fig12Row{
 			Name:    w.Name,
-			DupOnly: p.Overhead(core.ModeDupOnly),
-			DupVal:  p.Overhead(core.ModeDupVal),
-			FullDup: p.Overhead(core.ModeFullDup),
+			DupOnly: p.Overhead(core.SchemeDup),
+			DupVal:  p.Overhead(core.SchemeDupVal),
+			FullDup: p.Overhead(core.SchemeFullDup),
 		}
 		rows = append(rows, r)
 		od = append(od, r.DupOnly)
@@ -317,7 +317,7 @@ func Fig12() ([]Fig12Row, string, error) {
 // Fig13Row is one benchmark/technique SDC decomposition.
 type Fig13Row struct {
 	Name string
-	Mode core.Mode
+	Mode string
 	SDC  float64 // of trials
 	ASDC float64 // of trials
 	USDC float64 // of trials
@@ -328,7 +328,7 @@ type Fig13Row struct {
 func Fig13(cfg fault.Config) ([]Fig13Row, string, error) {
 	var rows []Fig13Row
 	var cells [][]string
-	sums := map[core.Mode]*Fig13Row{}
+	sums := map[string]*Fig13Row{}
 	for _, mode := range fig11Modes {
 		sums[mode] = &Fig13Row{}
 	}
@@ -354,13 +354,13 @@ func Fig13(cfg fault.Config) ([]Fig13Row, string, error) {
 			sums[mode].SDC += r.SDC
 			sums[mode].ASDC += r.ASDC
 			sums[mode].USDC += r.USDC
-			cells = append(cells, []string{w.Name, mode.String(), pct2(r.SDC), pct2(r.ASDC), pct2(r.USDC)})
+			cells = append(cells, []string{w.Name, core.Title(mode), pct2(r.SDC), pct2(r.ASDC), pct2(r.USDC)})
 		}
 	}
 	n := float64(len(workloads.All()))
 	for _, mode := range fig11Modes {
 		s := sums[mode]
-		cells = append(cells, []string{"mean", mode.String(), pct2(s.SDC / n), pct2(s.ASDC / n), pct2(s.USDC / n)})
+		cells = append(cells, []string{"mean", core.Title(mode), pct2(s.SDC / n), pct2(s.ASDC / n), pct2(s.USDC / n)})
 	}
 	table := renderTable(
 		"Figure 13: SDCs split into acceptable (ASDC) and unacceptable (USDC), percent of injected faults",

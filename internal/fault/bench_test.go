@@ -18,7 +18,7 @@ import (
 
 func benchCampaign(b *testing.B, name string, lockstep int) {
 	w := workloads.ByName(name)
-	prot := protectedForB(b, w, core.ModeFullDup)
+	prot := protectedForB(b, w, core.SchemeFullDup)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 240
 	cfg.Workers = 1
@@ -33,7 +33,7 @@ func benchCampaign(b *testing.B, name string, lockstep int) {
 
 // protectedForB mirrors checkpoint_test.go's protectedFor for benchmarks
 // (modes that need no profile).
-func protectedForB(b *testing.B, w *workloads.Workload, mode core.Mode) *ir.Module {
+func protectedForB(b *testing.B, w *workloads.Workload, mode string) *ir.Module {
 	b.Helper()
 	mod, err := w.Compile()
 	if err != nil {

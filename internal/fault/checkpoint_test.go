@@ -21,7 +21,7 @@ import (
 
 // protectedFor compiles workload name and applies mode (profiling on the
 // training input when the mode needs it).
-func protectedFor(t *testing.T, w *workloads.Workload, mode core.Mode) *ir.Module {
+func protectedFor(t *testing.T, w *workloads.Workload, mode string) *ir.Module {
 	t.Helper()
 	mod, err := w.Compile()
 	if err != nil {
@@ -29,7 +29,7 @@ func protectedFor(t *testing.T, w *workloads.Workload, mode core.Mode) *ir.Modul
 	}
 	prot := mod.Clone()
 	var prof *profile.Data
-	if mode == core.ModeDupVal {
+	if sch, err := core.ParseScheme(mode); err == nil && sch.NeedsProfile() {
 		mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
@@ -109,25 +109,25 @@ func checkpointVsScratch(t *testing.T, w *workloads.Workload, mod *ir.Module, te
 // detector (which runs ~10x slower and is after the snapshot sharing, not
 // the matrix breadth) the matrix is trimmed to representative cells.
 func TestCampaignCheckpointEquivalence(t *testing.T) {
-	modes := []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+	modes := core.SchemeNames()
 	names := make([]string, 0, 13)
 	for _, w := range workloads.All() {
 		names = append(names, w.Name)
 	}
 	if raceEnabled {
 		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
-		modes = []core.Mode{core.ModeOriginal, core.ModeDupVal}
+		modes = []string{core.SchemeOriginal, core.SchemeDupVal}
 	}
 	for _, name := range names {
 		for _, mode := range modes {
 			name, mode := name, mode
-			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+			t.Run(name+"/"+mode, func(t *testing.T) {
 				t.Parallel()
 				w := workloads.ByName(name)
 				prot := protectedFor(t, w, mode)
 				cfg := fault.DefaultConfig()
 				cfg.Trials = 12
-				checkpointVsScratch(t, w, prot, mode.String(), cfg)
+				checkpointVsScratch(t, w, prot, mode, cfg)
 			})
 		}
 	}
@@ -142,7 +142,7 @@ func TestCampaignCheckpointEquivalenceBranch(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			w := workloads.ByName(name)
-			prot := protectedFor(t, w, core.ModeDupOnly)
+			prot := protectedFor(t, w, core.SchemeDup)
 			cfg := fault.DefaultConfig()
 			cfg.Trials = 20
 			cfg.Kind = vm.FaultBranchTarget
@@ -179,7 +179,7 @@ func TestCampaignEngineEquivalenceBranch(t *testing.T) {
 // fault-free.
 func TestFalsePositivesEngineEquivalence(t *testing.T) {
 	w := workloads.ByName("svm")
-	prot := protectedFor(t, w, core.ModeDupVal)
+	prot := protectedFor(t, w, core.SchemeDupVal)
 	fast, err := fault.FalsePositivesEngine(w.Target(workloads.Test), prot, vm.EngineFast)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestFalsePositivesEngineEquivalence(t *testing.T) {
 // its from-scratch twin.
 func TestRecoveryCheckpointEquivalence(t *testing.T) {
 	w := workloads.ByName("g721dec")
-	prot := protectedFor(t, w, core.ModeDupOnly)
+	prot := protectedFor(t, w, core.SchemeDup)
 	run := func(ckpt int) *fault.RecoveryReport {
 		cfg := fault.DefaultConfig()
 		cfg.Trials = 30

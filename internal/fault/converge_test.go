@@ -35,7 +35,7 @@ func TestConvergenceShortCircuit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.Protect(mod, core.ModeFullDup, nil, core.DefaultParams()); err != nil {
+	if _, err := core.Protect(mod, core.SchemeFullDup, nil, core.DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 	target := Target{

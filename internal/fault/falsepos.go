@@ -51,6 +51,7 @@ func FalsePositivesEngine(t Target, mod *ir.Module, engine vm.EngineKind) (*Fals
 type CheckStats struct {
 	DupChecks   int
 	ValueChecks int
+	ABFTChecks  int
 }
 
 // CountChecks tallies check instructions in a module.
@@ -63,6 +64,8 @@ func CountChecks(m *ir.Module) CheckStats {
 				cs.DupChecks++
 			case ir.CheckValue:
 				cs.ValueChecks++
+			case ir.CheckABFT:
+				cs.ABFTChecks++
 			}
 			return true
 		})

@@ -45,7 +45,7 @@ func protectOn(t *testing.T, train, run []int64) (Target, *ir.Module) {
 		t.Fatal(res.Trap)
 	}
 	prot := mod.Clone()
-	if _, err := core.Protect(prot, core.ModeDupVal, col.Data(), core.DefaultParams()); err != nil {
+	if _, err := core.Protect(prot, core.SchemeDupVal, col.Data(), core.DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 	tgt := Target{

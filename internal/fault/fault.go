@@ -149,7 +149,7 @@ type Tally struct {
 	// paper's Figure 11 classification).
 	Count [5]int
 	// SWDetect attribution.
-	SWDetectDup, SWDetectValue, SWDetectCFC int
+	SWDetectDup, SWDetectValue, SWDetectCFC, SWDetectABFT int
 	// SDC view (Figures 2 and 13): any numerically different completed
 	// output. SDC = ASDC + USDC.
 	SDC, ASDC int

@@ -12,7 +12,7 @@ import (
 )
 
 // smallCampaign runs a reduced campaign for tests.
-func smallCampaign(t *testing.T, name string, mode core.Mode, trials int) *fault.Report {
+func smallCampaign(t *testing.T, name string, mode string, trials int) *fault.Report {
 	t.Helper()
 	w := workloads.ByName(name)
 	if w == nil {
@@ -24,7 +24,7 @@ func smallCampaign(t *testing.T, name string, mode core.Mode, trials int) *fault
 	}
 	prot := mod.Clone()
 	var prof *profile.Data
-	if mode == core.ModeDupVal {
+	if mode == core.SchemeDupVal {
 		mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
@@ -44,7 +44,7 @@ func smallCampaign(t *testing.T, name string, mode core.Mode, trials int) *fault
 	}
 	cfg := fault.DefaultConfig()
 	cfg.Trials = trials
-	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode.String(), cfg)
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func smallCampaign(t *testing.T, name string, mode core.Mode, trials int) *fault
 }
 
 func TestCampaignCountsAreConsistent(t *testing.T) {
-	rep := smallCampaign(t, "tiff2bw", core.ModeOriginal, 150)
+	rep := smallCampaign(t, "tiff2bw", core.SchemeOriginal, 150)
 	ta := rep.Tally
 	if ta.N != 150 {
 		t.Fatalf("N = %d", ta.N)
@@ -79,8 +79,8 @@ func TestCampaignCountsAreConsistent(t *testing.T) {
 }
 
 func TestCampaignIsDeterministic(t *testing.T) {
-	r1 := smallCampaign(t, "kmeans", core.ModeOriginal, 60)
-	r2 := smallCampaign(t, "kmeans", core.ModeOriginal, 60)
+	r1 := smallCampaign(t, "kmeans", core.SchemeOriginal, 60)
+	r2 := smallCampaign(t, "kmeans", core.SchemeOriginal, 60)
 	if r1.Tally != r2.Tally {
 		t.Fatalf("tallies differ:\n%+v\n%+v", r1.Tally, r2.Tally)
 	}
@@ -92,7 +92,7 @@ func TestCampaignIsDeterministic(t *testing.T) {
 }
 
 func TestProtectionProducesSWDetects(t *testing.T) {
-	rep := smallCampaign(t, "g721dec", core.ModeDupOnly, 200)
+	rep := smallCampaign(t, "g721dec", core.SchemeDup, 200)
 	if rep.Tally.Count[fault.SWDetect] == 0 {
 		t.Fatalf("DupOnly produced no SWDetects in 200 trials: %+v", rep.Tally)
 	}
@@ -102,11 +102,30 @@ func TestProtectionProducesSWDetects(t *testing.T) {
 }
 
 func TestDupValUsesValueChecks(t *testing.T) {
-	rep := smallCampaign(t, "jpegdec", core.ModeDupVal, 200)
+	rep := smallCampaign(t, "jpegdec", core.SchemeDupVal, 200)
 	if rep.Tally.Count[fault.SWDetect] == 0 {
 		t.Fatalf("DupVal produced no SWDetects: %+v", rep.Tally)
 	}
 	t.Logf("fault.SWDetect dup=%d value=%d", rep.Tally.SWDetectDup, rep.Tally.SWDetectValue)
+}
+
+// TestABFTDetectsKernelFaults: the ABFT scheme must convert a nonzero
+// share of injected faults into software detections attributed to its
+// kernel-exit checksum comparisons — and to nothing else, since abft alone
+// inserts no other check kind.
+func TestABFTDetectsKernelFaults(t *testing.T) {
+	rep := smallCampaign(t, "kmeans", core.SchemeABFT, 250)
+	if rep.Tally.Count[fault.SWDetect] == 0 {
+		t.Fatalf("ABFT produced no SWDetects in 250 trials: %+v", rep.Tally)
+	}
+	if rep.Tally.SWDetectABFT == 0 {
+		t.Fatal("SWDetects not attributed to ABFT checksum checks")
+	}
+	if rep.Tally.SWDetectDup != 0 || rep.Tally.SWDetectValue != 0 || rep.Tally.SWDetectCFC != 0 {
+		t.Fatalf("ABFT-only module attributed detections to other check kinds: %+v", rep.Tally)
+	}
+	t.Logf("abft: %d/%d SWDetects, coverage %.3f",
+		rep.Tally.SWDetectABFT, rep.Tally.N, rep.Tally.Coverage())
 }
 
 // TestProtectionReducesUSDCs is the paper's headline claim in miniature:
@@ -115,8 +134,8 @@ func TestDupValUsesValueChecks(t *testing.T) {
 func TestProtectionReducesUSDCs(t *testing.T) {
 	const trials = 250
 	for _, name := range []string{"g721dec", "segm"} {
-		orig := smallCampaign(t, name, core.ModeOriginal, trials)
-		dup := smallCampaign(t, name, core.ModeDupOnly, trials)
+		orig := smallCampaign(t, name, core.SchemeOriginal, trials)
+		dup := smallCampaign(t, name, core.SchemeDup, trials)
 		if dup.Tally.Count[fault.USDC] > orig.Tally.Count[fault.USDC] {
 			t.Errorf("%s: DupOnly USDCs %d > original %d", name, dup.Tally.Count[fault.USDC], orig.Tally.Count[fault.USDC])
 		}
@@ -216,7 +235,7 @@ func TestFalsePositiveMeasurement(t *testing.T) {
 	mach.Run(vm.RunOptions{Profiler: col})
 
 	prot := mod.Clone()
-	if _, err := core.Protect(prot, core.ModeDupVal, col.Data(), core.DefaultParams()); err != nil {
+	if _, err := core.Protect(prot, core.SchemeDupVal, col.Data(), core.DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := fault.FalsePositives(w.Target(workloads.Test), prot)
@@ -237,7 +256,7 @@ func TestFalsePositiveMeasurement(t *testing.T) {
 func TestGoldenFiringChecksAreDisabled(t *testing.T) {
 	// A campaign on a DupVal binary must not classify every trial as
 	// fault.SWDetect due to a persistently false-firing check.
-	rep := smallCampaign(t, "svm", core.ModeDupVal, 100)
+	rep := smallCampaign(t, "svm", core.SchemeDupVal, 100)
 	if rep.Tally.Count[fault.SWDetect] == rep.Tally.N {
 		t.Fatal("all trials fault.SWDetect: golden-firing checks not squelched")
 	}

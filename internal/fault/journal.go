@@ -87,8 +87,8 @@ type journalAnomaly struct {
 
 // journalRecord is the union envelope; exactly one field is set per line.
 type journalRecord struct {
-	H *journalHeader `json:"h,omitempty"`
-	T *journalTrial  `json:"t,omitempty"`
+	H *journalHeader  `json:"h,omitempty"`
+	T *journalTrial   `json:"t,omitempty"`
 	A *journalAnomaly `json:"a,omitempty"`
 }
 

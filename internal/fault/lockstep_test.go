@@ -30,19 +30,19 @@ import (
 // matrix is trimmed to representative cells, matching the checkpoint
 // suite's convention.
 func TestCampaignLockstepEquivalence(t *testing.T) {
-	modes := []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+	modes := core.SchemeNames()
 	names := make([]string, 0, 13)
 	for _, w := range workloads.All() {
 		names = append(names, w.Name)
 	}
 	if raceEnabled {
 		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
-		modes = []core.Mode{core.ModeOriginal, core.ModeDupVal}
+		modes = []string{core.SchemeOriginal, core.SchemeDupVal}
 	}
 	for _, name := range names {
 		for _, mode := range modes {
 			name, mode := name, mode
-			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+			t.Run(name+"/"+mode, func(t *testing.T) {
 				t.Parallel()
 				w := workloads.ByName(name)
 				prot := protectedFor(t, w, mode)
@@ -52,13 +52,13 @@ func TestCampaignLockstepEquivalence(t *testing.T) {
 				run := func(lockstep int) *fault.Report {
 					c := cfg
 					c.Lockstep = lockstep
-					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode.String(), c)
+					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode, c)
 					if err != nil {
 						t.Fatal(err)
 					}
 					return rep
 				}
-				diffReports(t, name+"/"+mode.String(), run(1), run(-1))
+				diffReports(t, name+"/"+mode, run(1), run(-1))
 			})
 		}
 	}
@@ -69,7 +69,7 @@ func TestCampaignLockstepEquivalence(t *testing.T) {
 // which the 12-trial matrix cannot produce.
 func TestCampaignLockstepEquivalenceDense(t *testing.T) {
 	w := workloads.ByName("g721dec")
-	prot := protectedFor(t, w, core.ModeDupOnly)
+	prot := protectedFor(t, w, core.SchemeDup)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 90
 	cfg.Checkpoints = 3
@@ -94,7 +94,7 @@ func TestCampaignLockstepEquivalenceBranch(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			w := workloads.ByName(name)
-			prot := protectedFor(t, w, core.ModeDupOnly)
+			prot := protectedFor(t, w, core.SchemeDup)
 			cfg := fault.DefaultConfig()
 			cfg.Trials = 20
 			cfg.Kind = vm.FaultBranchTarget
@@ -119,7 +119,7 @@ func TestCampaignLockstepEquivalenceBranch(t *testing.T) {
 // reconstruct the identical Report the solo path produces.
 func TestLockstepJournalReplayEquivalence(t *testing.T) {
 	w := workloads.ByName("tiff2bw")
-	prot := protectedFor(t, w, core.ModeDupVal)
+	prot := protectedFor(t, w, core.SchemeDupVal)
 	dir := t.TempDir()
 
 	base := fault.DefaultConfig()
@@ -170,7 +170,7 @@ func TestLockstepJournalReplayEquivalence(t *testing.T) {
 // still match a lockstep-disabled run bit for bit.
 func TestLockstepSmallBinsDegradeToSolo(t *testing.T) {
 	w := workloads.ByName("svm")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 10
 	cfg.Checkpoints = 6
@@ -193,7 +193,7 @@ func TestLockstepSmallBinsDegradeToSolo(t *testing.T) {
 // a bin that never advances far and stay bit-identical to solo.
 func TestLockstepAllTrialsDivergeImmediately(t *testing.T) {
 	w := workloads.ByName("tiff2bw")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 4
@@ -243,7 +243,7 @@ func TestLockstepAllTrialsDivergeImmediately(t *testing.T) {
 func TestLockstepPanicQuarantine(t *testing.T) {
 	const poisoned = 3
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 10
@@ -289,7 +289,7 @@ func TestLockstepPanicQuarantine(t *testing.T) {
 // supervision contract (attempts = completed + 2×timeouts).
 func TestLockstepStuckTrialsQuarantined(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 6
 	cfg.Workers = 1
@@ -327,7 +327,7 @@ func TestLockstepStuckTrialsQuarantined(t *testing.T) {
 // advance into a clean ErrBatchStopped exit.
 func TestLockstepCancellationMidBatch(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -380,7 +380,7 @@ func TestLockstepCancellationMidBatch(t *testing.T) {
 // tallies stay internally consistent.
 func TestLockstepEarlyStopping(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 4000
 	cfg.Checkpoints = 4

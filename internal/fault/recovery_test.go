@@ -16,7 +16,7 @@ func TestRestartRecoveryAlwaysProducesGoldenOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	prot := mod.Clone()
-	if _, err := core.Protect(prot, core.ModeDupOnly, nil, core.DefaultParams()); err != nil {
+	if _, err := core.Protect(prot, core.SchemeDup, nil, core.DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 	cfg := fault.DefaultConfig()
@@ -50,7 +50,7 @@ func TestRecoveryReducesUSDCVsDetectionOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 	prot := mod.Clone()
-	if _, err := core.Protect(prot, core.ModeDupOnly, nil, core.DefaultParams()); err != nil {
+	if _, err := core.Protect(prot, core.SchemeDup, nil, core.DefaultParams()); err != nil {
 		t.Fatal(err)
 	}
 	cfg := fault.DefaultConfig()

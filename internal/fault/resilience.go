@@ -226,6 +226,8 @@ func (c *campaign) finalize(ctxErr error) {
 					ta.SWDetectDup++
 				case ir.CheckCFC:
 					ta.SWDetectCFC++
+				case ir.CheckABFT:
+					ta.SWDetectABFT++
 				default:
 					ta.SWDetectValue++
 				}

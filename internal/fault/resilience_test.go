@@ -21,7 +21,7 @@ import (
 func TestPanicQuarantinesOneTrial(t *testing.T) {
 	const poisoned = 3
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 10
@@ -72,7 +72,7 @@ func TestPanicQuarantinesOneTrial(t *testing.T) {
 
 func TestAllTrialsQuarantinedYieldsEmptyTally(t *testing.T) {
 	w := workloads.ByName("tiff2bw")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 5
 	cfg.OnTrial = func(int) { panic("every trial") }
@@ -93,7 +93,7 @@ func TestAllTrialsQuarantinedYieldsEmptyTally(t *testing.T) {
 
 func TestTrialTimeoutQuarantinesWithRetry(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 6
 	cfg.Workers = 1
@@ -137,7 +137,7 @@ func TestTrialTimeoutQuarantinesWithRetry(t *testing.T) {
 // no leaked worker goroutines.
 func TestCancellationMidCampaign(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -187,7 +187,7 @@ func TestCancellationMidCampaign(t *testing.T) {
 
 func TestEarlyStoppingSavesTrials(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	cfg := fault.DefaultConfig()
 	cfg.Trials = 400
 	cfg.TargetCI = 0.8 // loose on purpose: a handful of trials satisfies it
@@ -217,7 +217,7 @@ func TestEarlyStoppingSavesTrials(t *testing.T) {
 // scratch (the schedule depends on the golden run, not the trial count).
 func TestCheckpointMoreSnapshotsThanTrials(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeDupOnly)
+	prot := protectedFor(t, w, core.SchemeDup)
 	run := func(ckpt int) *fault.Report {
 		cfg := fault.DefaultConfig()
 		cfg.Trials = 3
@@ -238,7 +238,7 @@ func TestCheckpointMoreSnapshotsThanTrials(t *testing.T) {
 func TestCheckpointAllTriggersBeforeFirstSnapshot(t *testing.T) {
 	const trials = 4
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 
 	probe := fault.DefaultConfig()
 	probe.Trials = 1

@@ -22,19 +22,19 @@ import (
 )
 
 func TestCampaignResumeEquivalence(t *testing.T) {
-	modes := []core.Mode{core.ModeOriginal, core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup}
+	modes := core.SchemeNames()
 	names := make([]string, 0, 13)
 	for _, w := range workloads.All() {
 		names = append(names, w.Name)
 	}
 	if raceEnabled {
 		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
-		modes = []core.Mode{core.ModeOriginal, core.ModeDupVal}
+		modes = []string{core.SchemeOriginal, core.SchemeDupVal}
 	}
 	for _, name := range names {
 		for _, mode := range modes {
 			name, mode := name, mode
-			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+			t.Run(name+"/"+mode, func(t *testing.T) {
 				t.Parallel()
 				w := workloads.ByName(name)
 				prot := protectedFor(t, w, mode)
@@ -45,7 +45,7 @@ func TestCampaignResumeEquivalence(t *testing.T) {
 					cfg.Trials = 12
 					cfg.JournalPath = path
 					cfg.Resume = resume
-					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode.String(), cfg)
+					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode, cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -62,7 +62,7 @@ func TestCampaignResumeEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				h := fnv.New64a()
-				h.Write([]byte(name + "/" + mode.String()))
+				h.Write([]byte(name + "/" + mode))
 				cut := int64(h.Sum64() % uint64(info.Size()+1))
 				if err := os.Truncate(path, cut); err != nil {
 					t.Fatal(err)
@@ -87,7 +87,7 @@ func TestCampaignResumeEquivalence(t *testing.T) {
 // trials may execute.
 func TestResumeCompletedCampaignRunsNothing(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	path := filepath.Join(t.TempDir(), "campaign.journal")
 
 	cfg := fault.DefaultConfig()
@@ -120,7 +120,7 @@ func TestResumeCompletedCampaignRunsNothing(t *testing.T) {
 func TestResumeReplaysQuarantinedTrials(t *testing.T) {
 	const poisoned = 2
 	w := workloads.ByName("tiff2bw")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	path := filepath.Join(t.TempDir(), "campaign.journal")
 
 	cfg := fault.DefaultConfig()
@@ -166,7 +166,7 @@ func TestResumeReplaysQuarantinedTrials(t *testing.T) {
 // campaigns.
 func TestResumeRejectsForeignJournal(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	path := filepath.Join(t.TempDir(), "campaign.journal")
 
 	cfg := fault.DefaultConfig()
@@ -188,7 +188,7 @@ func TestResumeRejectsForeignJournal(t *testing.T) {
 // campaign script).
 func TestResumeMissingJournalStartsFresh(t *testing.T) {
 	w := workloads.ByName("tiff2bw")
-	prot := protectedFor(t, w, core.ModeOriginal)
+	prot := protectedFor(t, w, core.SchemeOriginal)
 	path := filepath.Join(t.TempDir(), "campaign.journal")
 
 	cfg := fault.DefaultConfig()

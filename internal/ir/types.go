@@ -228,6 +228,7 @@ const (
 	CheckDup             // duplicate-vs-original comparison (hard check)
 	CheckValue           // expected-value / range check (soft check)
 	CheckCFC             // control-flow signature check (CFCSS-style)
+	CheckABFT            // per-kernel checksum comparison (hard check)
 )
 
 func (k CheckKind) String() string {
@@ -238,6 +239,8 @@ func (k CheckKind) String() string {
 		return "value"
 	case CheckCFC:
 		return "cfc"
+	case CheckABFT:
+		return "abft"
 	}
 	return "none"
 }

@@ -160,14 +160,14 @@ func TestEngineEquivalenceWorkloads(t *testing.T) {
 }
 
 // protectedModule profiles w on the training input and applies mode.
-func protectedModule(t *testing.T, w *workloads.Workload, mode core.Mode) *ir.Module {
+func protectedModule(t *testing.T, w *workloads.Workload, mode string) *ir.Module {
 	t.Helper()
 	mod, err := w.Compile()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var prof *profile.Data
-	if mode == core.ModeDupVal {
+	if mode == core.SchemeDupVal {
 		mach, err := vm.New(mod.Clone(), vm.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
@@ -195,14 +195,14 @@ func protectedModule(t *testing.T, w *workloads.Workload, mode core.Mode) *ir.Mo
 func TestEngineEquivalenceProtected(t *testing.T) {
 	for _, tc := range []struct {
 		workload string
-		mode     core.Mode
+		mode     string
 	}{
-		{"kmeans", core.ModeDupOnly},
-		{"jpegdec", core.ModeDupVal},
-		{"g721dec", core.ModeFullDup},
+		{"kmeans", core.SchemeDup},
+		{"jpegdec", core.SchemeDupVal},
+		{"g721dec", core.SchemeFullDup},
 	} {
 		tc := tc
-		t.Run(tc.workload+"/"+tc.mode.String(), func(t *testing.T) {
+		t.Run(tc.workload+"/"+tc.mode, func(t *testing.T) {
 			t.Parallel()
 			w := workloads.ByName(tc.workload)
 			prot := protectedModule(t, w, tc.mode)
@@ -240,7 +240,7 @@ func faultSweep(t *testing.T, w *workloads.Workload, mod *ir.Module, kind vm.Fau
 
 func TestEngineEquivalenceRegisterFaults(t *testing.T) {
 	w := workloads.ByName("kmeans")
-	prot := protectedModule(t, w, core.ModeDupOnly)
+	prot := protectedModule(t, w, core.SchemeDup)
 	faultSweep(t, w, prot, vm.FaultRegister, 40)
 }
 

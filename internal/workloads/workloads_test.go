@@ -153,17 +153,17 @@ func TestProtectionPreservesWorkloadSemantics(t *testing.T) {
 			}
 			prof := col.Data()
 
-			for _, mode := range []core.Mode{core.ModeDupOnly, core.ModeDupVal, core.ModeFullDup} {
+			for _, mode := range []string{core.SchemeDup, core.SchemeDupVal, core.SchemeFullDup} {
 				prot := mod.Clone()
 				var pd *profile.Data
-				if mode == core.ModeDupVal {
+				if mode == core.SchemeDupVal {
 					pd = prof
 				}
 				stats, err := core.Protect(prot, mode, pd, core.DefaultParams())
 				if err != nil {
 					t.Fatalf("%s: %v", mode, err)
 				}
-				if mode != core.ModeDupVal && stats.DupInstrs == 0 {
+				if mode != core.SchemeDupVal && stats.DupInstrs == 0 {
 					t.Errorf("%s: nothing duplicated", mode)
 				}
 				mach, err := vm.New(prot, vm.DefaultConfig())
@@ -239,7 +239,7 @@ func TestStaticProtectionFractionsReasonable(t *testing.T) {
 				t.Fatal(err)
 			}
 			prot := mod.Clone()
-			stats, err := core.Protect(prot, core.ModeDupOnly, nil, core.DefaultParams())
+			stats, err := core.Protect(prot, core.SchemeDup, nil, core.DefaultParams())
 			if err != nil {
 				t.Fatal(err)
 			}

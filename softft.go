@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -185,36 +186,107 @@ func (p *Program) ProfileValues(in *Input) (*Profile, error) {
 	return &Profile{data: col.Data()}, nil
 }
 
-// Mode selects a protection scheme.
-type Mode uint8
+// Mode names a protection scheme from the process-wide scheme registry. The
+// zero value is Original (no protection). Beyond the predefined modes, a
+// Mode can name any registered scheme or a '+'-composition of schemes
+// ("abft+dupval") obtained from ParseMode or Compose.
+type Mode struct {
+	name string
+}
 
-// Protection modes.
-const (
+// Predefined protection modes (the paper's four configurations plus the
+// ABFT extension).
+var (
 	// Original applies no protection.
-	Original Mode = iota
+	Original = Mode{core.SchemeOriginal}
 	// DuplicationOnly duplicates the producer chains of loop-carried state
 	// variables and compares original against duplicate each iteration.
-	DuplicationOnly
+	DuplicationOnly = Mode{core.SchemeDup}
 	// DuplicationWithValueChecks adds profile-derived expected-value
 	// checks and the paper's two optimizations; requires a Profile.
-	DuplicationWithValueChecks
+	DuplicationWithValueChecks = Mode{core.SchemeDupVal}
 	// FullDuplication is the SWIFT-style baseline: duplicate every
 	// computation chain feeding a store, branch, call or return.
-	FullDuplication
+	FullDuplication = Mode{core.SchemeFullDup}
+	// ABFT maintains per-kernel dual checksums over values stored by loop
+	// nests and compares them once at each kernel exit.
+	ABFT = Mode{core.SchemeABFT}
 )
 
-func (m Mode) String() string { return m.coreMode().String() }
-
-func (m Mode) coreMode() core.Mode {
-	switch m {
-	case DuplicationOnly:
-		return core.ModeDupOnly
-	case DuplicationWithValueChecks:
-		return core.ModeDupVal
-	case FullDuplication:
-		return core.ModeFullDup
+// ParseMode resolves a scheme name ("dupval") or a '+'-composition
+// ("abft+dupval") against the scheme registry. Matching is
+// case-insensitive; the returned Mode is canonical, so
+// ParseMode(m.String()) round-trips for every valid m.
+func ParseMode(s string) (Mode, error) {
+	sch, err := core.ParseScheme(s)
+	if err != nil {
+		return Mode{}, fmt.Errorf("softft: %w", err)
 	}
-	return core.ModeOriginal
+	return Mode{sch.Name()}, nil
+}
+
+// Compose combines modes left to right into one that applies each part in
+// order ("abft+dupval": checksum the kernels, then duplicate state
+// variables and add value checks).
+func Compose(modes ...Mode) Mode {
+	names := make([]string, len(modes))
+	for i, m := range modes {
+		names[i] = m.String()
+	}
+	m, err := ParseMode(strings.Join(names, "+"))
+	if err != nil {
+		// Unreachable for Modes produced by this package; a hand-rolled
+		// invalid Mode fails later at Protect with the same error.
+		return Mode{strings.Join(names, "+")}
+	}
+	return m
+}
+
+// Modes returns every registered protection mode in registration order (the
+// paper's cost order first, then extensions).
+func Modes() []Mode {
+	names := core.SchemeNames()
+	out := make([]Mode, len(names))
+	for i, n := range names {
+		out[i] = Mode{n}
+	}
+	return out
+}
+
+// String returns the canonical scheme name ("dupval"). It is stable across
+// releases and round-trips through ParseMode.
+func (m Mode) String() string {
+	if m.name == "" {
+		return core.SchemeOriginal
+	}
+	return m.name
+}
+
+// Title returns the human-readable label used in reports and figures
+// ("Dup + val chks").
+func (m Mode) Title() string { return core.Title(m.String()) }
+
+// NeedsProfile reports whether Protect requires a value Profile for this
+// mode.
+func (m Mode) NeedsProfile() bool {
+	sch, err := core.ParseScheme(m.String())
+	if err != nil {
+		return false
+	}
+	return sch.NeedsProfile()
+}
+
+// MarshalText implements encoding.TextMarshaler using the canonical name.
+func (m Mode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseMode.
+func (m *Mode) UnmarshalText(b []byte) error {
+	parsed, err := ParseMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // Stats summarizes what a protection pass did.
@@ -224,10 +296,95 @@ type Stats struct {
 	DuplicatedInstrs int
 	ValueChecks      int
 	DupChecks        int
+	ABFTKernels      int // kernel loops covered by ABFT checksums
+	ABFTChecks       int // checksum comparisons inserted at kernel exits
 }
 
-// Tuning exposes the check-amenability knobs (see the paper's R_thr and
-// the coverage thresholds controlling false positives).
+// Option tunes a protection pass (see the paper's R_thr and the coverage
+// thresholds controlling false positives). Options apply on top of the
+// defaults used in the paper reproduction, and explicitly setting a
+// default's value is honored — including zero.
+type Option func(*core.Params)
+
+// WithRangeThreshold sets R_thr, the maximum width of a compact range
+// eligible for a range check.
+func WithRangeThreshold(w float64) Option {
+	return func(p *core.Params) { p.RangeThreshold = w }
+}
+
+// WithMinRangeCoverage sets the fraction of profiled values a compact range
+// must cover before a range check is inserted.
+func WithMinRangeCoverage(c float64) Option {
+	return func(p *core.Params) { p.MinRangeCoverage = c }
+}
+
+// WithMinValueCoverage sets the coverage required for single-/two-value
+// checks.
+func WithMinValueCoverage(c float64) Option {
+	return func(p *core.Params) { p.MinValueCoverage = c }
+}
+
+// WithMinSamples sets the minimum number of profiled observations before an
+// instruction is considered for checks.
+func WithMinSamples(n uint64) Option {
+	return func(p *core.Params) { p.MinSamples = n }
+}
+
+// WithOpt1 toggles check pruning along producer chains (paper
+// Optimization 1).
+func WithOpt1(on bool) Option {
+	return func(p *core.Params) { p.Opt1 = on }
+}
+
+// WithOpt2 toggles terminating duplication at check-amenable producers
+// (paper Optimization 2).
+func WithOpt2(on bool) Option {
+	return func(p *core.Params) { p.Opt2 = on }
+}
+
+// WithDupThroughLoads continues duplication past load instructions (the
+// paper stops at loads to save memory traffic).
+func WithDupThroughLoads(on bool) Option {
+	return func(p *core.Params) { p.DupThroughLoads = on }
+}
+
+// Protect returns a protected copy of the program. prof may be nil unless
+// mode.NeedsProfile.
+func (p *Program) Protect(mode Mode, prof *Profile) (*Program, Stats, error) {
+	return p.ProtectWith(mode, prof)
+}
+
+// ProtectWith is Protect with explicit tuning options.
+func (p *Program) ProtectWith(mode Mode, prof *Profile, opts ...Option) (*Program, Stats, error) {
+	params := core.DefaultParams()
+	for _, opt := range opts {
+		opt(&params)
+	}
+	var data *profile.Data
+	if prof != nil {
+		data = prof.data
+	}
+	mod := p.mod.Clone()
+	st, err := core.Protect(mod, mode.String(), data, params)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("softft: %s: %w", p.name, err)
+	}
+	return &Program{name: p.name + "+" + mode.String(), mod: mod}, Stats{
+		TotalInstrs:      st.TotalInstrs,
+		StateVars:        st.StateVars,
+		DuplicatedInstrs: st.DupInstrs,
+		ValueChecks:      st.ValueChecks,
+		DupChecks:        st.DupChecks,
+		ABFTKernels:      st.ABFTKernels,
+		ABFTChecks:       st.ABFTChecks,
+	}, nil
+}
+
+// Tuning exposes the check-amenability knobs.
+//
+// Deprecated: Tuning cannot express "set a knob to zero" — zero-valued
+// fields silently fall back to the defaults. Use ProtectWith with Options
+// instead.
 type Tuning struct {
 	RangeThreshold   float64
 	MinRangeCoverage float64
@@ -238,44 +395,23 @@ type Tuning struct {
 	DisableOpt2 bool
 }
 
-// Protect returns a protected copy of the program. prof may be nil except
-// for DuplicationWithValueChecks.
-func (p *Program) Protect(mode Mode, prof *Profile) (*Program, Stats, error) {
-	return p.ProtectTuned(mode, prof, Tuning{})
-}
-
 // ProtectTuned is Protect with explicit tuning; zero-valued fields take the
 // defaults used in the paper reproduction.
+//
+// Deprecated: use ProtectWith, whose Options honor explicit zero values.
 func (p *Program) ProtectTuned(mode Mode, prof *Profile, t Tuning) (*Program, Stats, error) {
-	params := core.DefaultParams()
+	var opts []Option
 	if t.RangeThreshold > 0 {
-		params.RangeThreshold = t.RangeThreshold
+		opts = append(opts, WithRangeThreshold(t.RangeThreshold))
 	}
 	if t.MinRangeCoverage > 0 {
-		params.MinRangeCoverage = t.MinRangeCoverage
+		opts = append(opts, WithMinRangeCoverage(t.MinRangeCoverage))
 	}
 	if t.MinValueCoverage > 0 {
-		params.MinValueCoverage = t.MinValueCoverage
+		opts = append(opts, WithMinValueCoverage(t.MinValueCoverage))
 	}
-	params.Opt1 = !t.DisableOpt1
-	params.Opt2 = !t.DisableOpt2
-
-	var data *profile.Data
-	if prof != nil {
-		data = prof.data
-	}
-	mod := p.mod.Clone()
-	st, err := core.Protect(mod, mode.coreMode(), data, params)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return &Program{name: p.name + "+" + mode.String(), mod: mod}, Stats{
-		TotalInstrs:      st.TotalInstrs,
-		StateVars:        st.StateVars,
-		DuplicatedInstrs: st.DupInstrs,
-		ValueChecks:      st.ValueChecks,
-		DupChecks:        st.DupChecks,
-	}, nil
+	opts = append(opts, WithOpt1(!t.DisableOpt1), WithOpt2(!t.DisableOpt2))
+	return p.ProtectWith(mode, prof, opts...)
 }
 
 // Trace runs the program writing a per-instruction execution trace to w
