@@ -2,9 +2,10 @@ package main
 
 // Campaign throughput benchmark (-bench-campaign): measures fault-injection
 // trials per second for every built-in workload across the engine ×
-// checkpoint × lockstep grid and writes the BENCH_campaign.json artifact
-// tracked in the repository, so the perf trajectory of the campaign path is
-// recorded next to the code that moves it.
+// checkpoint × lockstep × fusion × convergence grid and writes the
+// BENCH_campaign.json artifact tracked in the repository, so the perf
+// trajectory of the campaign path is recorded next to the code that moves
+// it.
 
 import (
 	"context"
@@ -23,13 +24,15 @@ import (
 )
 
 // campaignBenchRow is one cell of the workload × technique × engine ×
-// checkpoint × lockstep grid.
+// checkpoint × lockstep × fusion × convergence grid.
 type campaignBenchRow struct {
 	Workload     string  `json:"workload"`
 	Technique    string  `json:"technique"`
 	Engine       string  `json:"engine"`
 	Checkpoint   bool    `json:"checkpoint"`
 	Lockstep     bool    `json:"lockstep"`
+	Fused        bool    `json:"fused"`
+	Converge     bool    `json:"converge"`
 	Trials       int     `json:"trials"`
 	GoldenDyn    int64   `json:"golden_dyn"`
 	Seconds      float64 `json:"seconds"`
@@ -41,8 +44,12 @@ type campaignBenchRow struct {
 // lockstep off in both cells); SpeedupLockstep compares lockstep over
 // checkpointed-solo throughput on the FullDup binary, where software
 // detection keeps post-trigger suffixes short and the shared golden prefix
-// dominates a solo trial's cost. The geomeans are the campaign-level
-// headlines.
+// dominates a solo trial's cost. FusionSpeedup* compare fused over unfused
+// dispatch on otherwise-identical cells (Original checkpointed-solo and
+// FullDup checkpointed-solo), and ConvSpeedupFullDup compares the solo
+// convergence fast-forward over a full-suffix solo run on the FullDup
+// binary, whose masked trials re-converge with the golden ladder quickly.
+// The geomeans are the campaign-level headlines.
 type campaignBenchArtifact struct {
 	Generated              string             `json:"generated"`
 	GoVersion              string             `json:"go_version"`
@@ -54,6 +61,11 @@ type campaignBenchArtifact struct {
 	SpeedupGeomean         float64            `json:"speedup_geomean"`
 	SpeedupLockstep        map[string]float64 `json:"speedup_lockstep_vs_solo"`
 	SpeedupLockstepGeomean float64            `json:"speedup_lockstep_geomean"`
+	FusionSpeedupOriginal  map[string]float64 `json:"fusion_speedup_original"`
+	FusionSpeedupFullDup   map[string]float64 `json:"fusion_speedup_fulldup"`
+	FusionSpeedupGeomean   float64            `json:"fusion_speedup_geomean"`
+	ConvSpeedupFullDup     map[string]float64 `json:"conv_speedup_fulldup_solo"`
+	ConvSpeedupGeomean     float64            `json:"conv_speedup_fulldup_geomean"`
 }
 
 // benchReps is how many times each grid cell is measured; the fastest rep is
@@ -73,27 +85,37 @@ func runCampaignBench(path string, trials int, seed int64) error {
 	// Lockstep is pinned explicitly in every cell: the off cells isolate the
 	// checkpoint-vs-scratch ratio from batching, and each auto-scheduled
 	// cell then picks its own best snapshot density (32 solo, 8 lockstep).
+	// The fuse/conv twins differ from their baseline cell in exactly one
+	// knob, so each ratio isolates one mechanism.
 	grid := []struct {
-		name      string
+		key       string // rate-map key; "" for cells no ratio reads
 		technique string
 		engine    vm.EngineKind
 		ckpt      int
 		lockstep  int
+		fuse      int
+		converge  int
 	}{
-		{"fast", "Original", vm.EngineFast, 0, -1},  // checkpointed, solo
-		{"fast", "Original", vm.EngineFast, -1, -1}, // from scratch
-		{"tree", "Original", vm.EngineTree, -1, -1},
-		{"fast", "FullDup", vm.EngineFast, 0, -1}, // checkpointed solo baseline
-		{"fast", "FullDup", vm.EngineFast, 0, 0},  // lockstep (auto batching)
+		{"orig/ckpt", "Original", vm.EngineFast, 0, -1, 0, 0},
+		{"orig/ckpt/nofuse", "Original", vm.EngineFast, 0, -1, -1, 0},
+		{"orig/scratch", "Original", vm.EngineFast, -1, -1, 0, 0},
+		{"", "Original", vm.EngineTree, -1, -1, 0, 0},
+		{"fdup/solo", "FullDup", vm.EngineFast, 0, -1, 0, 0},
+		{"fdup/solo/nofuse", "FullDup", vm.EngineFast, 0, -1, -1, 0},
+		{"fdup/solo/noconv", "FullDup", vm.EngineFast, 0, -1, 0, -1},
+		{"fdup/lockstep", "FullDup", vm.EngineFast, 0, 0, 0, 0},
 	}
 	art := &campaignBenchArtifact{
-		Generated:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:       runtime.Version(),
-		TrialsPerCell:   trials,
-		Workers:         1,
-		Seed:            seed,
-		Speedup:         make(map[string]float64),
-		SpeedupLockstep: make(map[string]float64),
+		Generated:             time.Now().UTC().Format(time.RFC3339),
+		GoVersion:             runtime.Version(),
+		TrialsPerCell:         trials,
+		Workers:               1,
+		Seed:                  seed,
+		Speedup:               make(map[string]float64),
+		SpeedupLockstep:       make(map[string]float64),
+		FusionSpeedupOriginal: make(map[string]float64),
+		FusionSpeedupFullDup:  make(map[string]float64),
+		ConvSpeedupFullDup:    make(map[string]float64),
 	}
 	for _, w := range workloads.All() {
 		mod, err := w.Compile()
@@ -107,7 +129,7 @@ func runCampaignBench(path string, trials int, seed int64) error {
 		}
 		mods["FullDup"] = fdup
 
-		var ckptRate, scratchRate, soloRate, lockRate float64
+		rate := make(map[string]float64)
 		for _, g := range grid {
 			cfg := fault.DefaultConfig()
 			cfg.Trials = trials
@@ -116,52 +138,58 @@ func runCampaignBench(path string, trials int, seed int64) error {
 			cfg.Engine = g.engine
 			cfg.Checkpoints = g.ckpt
 			cfg.Lockstep = g.lockstep
+			cfg.Fuse = g.fuse
+			cfg.Converge = g.converge
 			var rep *fault.Report
 			secs := math.Inf(1)
 			for r := 0; r < benchReps; r++ {
 				start := time.Now()
 				rr, err := fault.Run(context.Background(), w.Target(workloads.Test), mods[g.technique], g.technique, cfg)
 				if err != nil {
-					return fmt.Errorf("%s/%s/%s: %w", w.Name, g.technique, g.name, err)
+					return fmt.Errorf("%s/%s/%s: %w", w.Name, g.technique, g.key, err)
 				}
 				if s := time.Since(start).Seconds(); s < secs {
 					secs, rep = s, rr
 				}
 			}
+			engine := "fast"
+			if g.engine == vm.EngineTree {
+				engine = "tree"
+			}
 			row := campaignBenchRow{
 				Workload:     w.Name,
 				Technique:    g.technique,
-				Engine:       g.name,
+				Engine:       engine,
 				Checkpoint:   g.ckpt >= 0,
 				Lockstep:     g.lockstep >= 0,
+				Fused:        g.fuse >= 0,
+				Converge:     g.converge >= 0,
 				Trials:       rep.Tally.N,
 				GoldenDyn:    rep.GoldenDyn,
 				Seconds:      secs,
 				TrialsPerSec: float64(rep.Tally.N) / secs,
 			}
 			art.Rows = append(art.Rows, row)
-			if g.engine == vm.EngineFast {
-				switch {
-				case g.technique == "Original" && g.ckpt >= 0:
-					ckptRate = row.TrialsPerSec
-				case g.technique == "Original":
-					scratchRate = row.TrialsPerSec
-				case g.lockstep >= 0:
-					lockRate = row.TrialsPerSec
-				default:
-					soloRate = row.TrialsPerSec
-				}
+			if g.key != "" {
+				rate[g.key] = row.TrialsPerSec
 			}
-			fmt.Fprintf(os.Stderr, "bench-campaign %-10s %-8s %s ckpt=%-5v lockstep=%-5v %8.1f trials/s\n",
-				w.Name, g.technique, g.name, g.ckpt >= 0, g.lockstep >= 0, row.TrialsPerSec)
+			fmt.Fprintf(os.Stderr, "bench-campaign %-10s %-8s %s ckpt=%-5v lockstep=%-5v fuse=%-5v conv=%-5v %8.1f trials/s\n",
+				w.Name, g.technique, engine, g.ckpt >= 0, g.lockstep >= 0, g.fuse >= 0, g.converge >= 0, row.TrialsPerSec)
 		}
-		art.Speedup[w.Name] = ckptRate / scratchRate
-		art.SpeedupLockstep[w.Name] = lockRate / soloRate
+		art.Speedup[w.Name] = rate["orig/ckpt"] / rate["orig/scratch"]
+		art.SpeedupLockstep[w.Name] = rate["fdup/lockstep"] / rate["fdup/solo"]
+		art.FusionSpeedupOriginal[w.Name] = rate["orig/ckpt"] / rate["orig/ckpt/nofuse"]
+		art.FusionSpeedupFullDup[w.Name] = rate["fdup/solo"] / rate["fdup/solo/nofuse"]
+		art.ConvSpeedupFullDup[w.Name] = rate["fdup/solo"] / rate["fdup/solo/noconv"]
 	}
 	art.SpeedupGeomean = geomean(art.Speedup)
 	art.SpeedupLockstepGeomean = geomean(art.SpeedupLockstep)
-	fmt.Fprintf(os.Stderr, "bench-campaign geomean checkpoint speedup: %.2fx\n", art.SpeedupGeomean)
-	fmt.Fprintf(os.Stderr, "bench-campaign geomean lockstep speedup:   %.2fx\n", art.SpeedupLockstepGeomean)
+	art.FusionSpeedupGeomean = math.Sqrt(geomean(art.FusionSpeedupOriginal) * geomean(art.FusionSpeedupFullDup))
+	art.ConvSpeedupGeomean = geomean(art.ConvSpeedupFullDup)
+	fmt.Fprintf(os.Stderr, "bench-campaign geomean checkpoint speedup:  %.2fx\n", art.SpeedupGeomean)
+	fmt.Fprintf(os.Stderr, "bench-campaign geomean lockstep speedup:    %.2fx\n", art.SpeedupLockstepGeomean)
+	fmt.Fprintf(os.Stderr, "bench-campaign geomean fusion speedup:      %.2fx\n", art.FusionSpeedupGeomean)
+	fmt.Fprintf(os.Stderr, "bench-campaign geomean convergence speedup: %.2fx\n", art.ConvSpeedupGeomean)
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

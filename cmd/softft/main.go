@@ -39,6 +39,7 @@ func main() {
 		branch  = flag.Bool("branch-faults", false, "inject branch-target faults instead of register bit flips")
 
 		lockstep = flag.Int("lockstep", 0, "lockstep batching: 0 auto, N>0 batch bins of >= N trials, -1 off (bit-identical results; throughput only)")
+		fuse     = flag.String("fuse", "on", "superinstruction fusion in the fast engine: on or off (bit-identical results; throughput only)")
 
 		journal      = flag.String("journal", "", "append completed trials to this durable journal file")
 		resume       = flag.Bool("resume", false, "replay the -journal file and run only the remaining trials")
@@ -49,6 +50,16 @@ func main() {
 		benchTrials   = flag.Int("bench-trials", 100, "trials per grid cell for -bench-campaign")
 	)
 	flag.Parse()
+
+	fuseKnob := 0
+	switch *fuse {
+	case "on":
+	case "off":
+		fuseKnob = -1
+	default:
+		fmt.Fprintln(os.Stderr, "softft: -fuse takes on or off")
+		os.Exit(2)
+	}
 
 	if *benchCampaign != "" {
 		if err := runCampaignBench(*benchCampaign, *benchTrials, *seed); err != nil {
@@ -201,6 +212,7 @@ func main() {
 		c.Seed = *seed
 		c.BranchTargets = *branch
 		c.Lockstep = *lockstep
+		c.Fuse = fuseKnob
 		c.Journal = *journal
 		c.Resume = *resume
 		c.TrialTimeout = *trialTimeout

@@ -52,6 +52,11 @@ type Campaign struct {
 	// at least that many trials; < 0 disables it. Results are bit-identical
 	// either way — like Checkpoints, this is purely a throughput knob.
 	Lockstep int
+	// Fuse controls superinstruction dispatch in the execution engine: 0
+	// (the default) keeps fused dispatch enabled; < 0 forces per-instruction
+	// dispatch. Results are bit-identical either way — like Checkpoints and
+	// Lockstep, this is purely a throughput knob (and an escape hatch).
+	Fuse int
 	// Journal, when nonempty, names a file to which every decided trial is
 	// durably appended (checksummed, batched), so a killed campaign can be
 	// resumed without losing completed work.
@@ -197,6 +202,7 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 	}
 	cfg.Checkpoints = c.Checkpoints
 	cfg.Lockstep = c.Lockstep
+	cfg.Fuse = c.Fuse
 	cfg.JournalPath = c.Journal
 	cfg.Resume = c.Resume
 	cfg.TrialTimeout = c.TrialTimeout

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/lang"
 	"repro/internal/passes"
 	"repro/internal/profile"
@@ -155,6 +156,88 @@ func FuzzLockstepDivergence(f *testing.F) {
 		ints, floats := InputsForSeed(7)
 		if d := diffLockstepPeel(mod, ints, floats, 200_000); d != "" {
 			t.Fatalf("lockstep divergence: %s\n%s", d, src)
+		}
+	})
+}
+
+// FuzzFusionDivergence hammers the fused dispatch path with arbitrary
+// programs: the fast engine with superinstruction fusion must be
+// bit-identical to the forced per-instruction path — completed runs, runs
+// suspended inside fused spans (diffFuse cuts land mid-span), and trapping
+// runs, where both paths must die on the same instruction with the same
+// trap record. Each program is checked unprotected and under FullDup, whose
+// duplicated producers and CmpCheck signatures exercise the
+// shadow-computation patterns (add+cmpcheck, cmpcheck+jmp) that plain
+// source cannot express.
+func FuzzFusionDivergence(f *testing.F) {
+	// Seeds declare the oracle's 64-word in/fin arrays: diffFuse binds both
+	// unconditionally, and smaller (or missing) globals skip the cell.
+	const hdr = "global int in[64]; global float fin[64]; global int out[64]; global float fout[64];\n"
+	// Straight-line arithmetic chains: back-to-back add/mul spans.
+	f.Add(hdr + "void main() { out[0] = in[0] * 3 + in[1] * 5 + in[2] + 7; }")
+	// Array-indexing loop: mul+add address chains, add+load, add+store, the
+	// cmp+br latch and the add+jmp(+phi) back edge.
+	f.Add(hdr + "void main() { int s = 0; for (int i = 0; i < 24; i += 1) { s += in[i & 7] * i; out[i & 7] = s; } }")
+	// Float kernel: addf/mulf pairs.
+	f.Add(hdr + "void main() { float a = 0.0; for (int i = 0; i < 12; i += 1) { a = a * 1.5 + fin[i & 7]; } fout[0] = a; }")
+	// Trap inside a fused span's tail: the divide sits right after fusable
+	// loads, so the fused and unfused paths must agree on the trap point.
+	f.Add(hdr + "void main() { int d = in[0] - in[0]; out[0] = (in[1] + 1) / d; }")
+	// Watchdog exhaustion: MaxDyn lands inside a fused add+jmp span of the
+	// spin loop, forcing the threshold fallback at the boundary.
+	f.Add(hdr + "void main() { int s = 0; for (int i = 0; i != -1; i += 1) { s += i; } out[0] = s; }")
+	f.Add(Generate(6, DefaultGenConfig()).Source())
+	f.Add(Generate(12, DefaultGenConfig()).Source())
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, g := range prog.Globals {
+			if g.Size < 0 || g.Size > 1<<12 {
+				return
+			}
+			total += g.Size
+		}
+		if total > 1<<14 {
+			return
+		}
+		mod, err := lang.Codegen("fuzz", prog)
+		if err != nil {
+			return
+		}
+		mod.Renumber()
+		if err := mod.Verify(); err != nil {
+			return // FuzzCompileAndRun owns the verifier invariant
+		}
+		if err := passes.Normalize(mod); err != nil {
+			return
+		}
+		fdup := mod.Clone()
+		if _, err := core.Protect(fdup, core.SchemeFullDup, nil, core.DefaultParams()); err != nil {
+			return // FuzzSchemeEnumeration owns protection failures
+		}
+		ints, floats := InputsForSeed(7)
+		for _, m := range []*ir.Module{mod, fdup} {
+			ref := runModuleFuse(m, ints, floats, 200_000, vm.EngineFast, vm.FuseAuto)
+			unfused := runModuleFuse(m, ints, floats, 200_000, vm.EngineFast, vm.FuseOff)
+			if ref.trap != nil || unfused.trap != nil {
+				ft, fok := ref.trap.(*vm.Trap)
+				ut, uok := unfused.trap.(*vm.Trap)
+				if fok != uok || (fok && *ft != *ut) {
+					t.Fatalf("fusion trap divergence: fused=%v unfused=%v\n%s", ref.trap, unfused.trap, src)
+				}
+				// Both trapped identically, or both failed to bind the
+				// oracle inputs (undersized globals) — nothing to compare.
+				continue
+			}
+			if d := diffFuse(m, ints, floats, 200_000, ref); d != "" {
+				t.Fatalf("fusion divergence: %s\n%s", d, src)
+			}
 		}
 	})
 }

@@ -23,6 +23,7 @@ const (
 	InvCheckpoint = "checkpoint-diff" // suspend/snapshot/restore run disagrees with uninterrupted run
 	InvResume     = "resume-diff"     // resumed journaled campaign disagrees with uninterrupted one
 	InvLockstep   = "lockstep-diff"   // lockstep batch executor disagrees with the solo engine
+	InvFuse       = "fuse-diff"       // fused dispatch disagrees with the per-instruction path
 )
 
 // Failure describes one violated invariant. It implements error.
@@ -105,6 +106,7 @@ type runOut struct {
 	dyn        int64
 	cycles     int64
 	checkFails int64
+	opCounts   [ir.NumOps]int64
 	trap       error
 }
 
@@ -150,6 +152,15 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 			// must agree with the precompiled engine on every observable.
 			if d := diffEngines(r, runModule(pm, ints, floats, cfg.MaxDyn, vm.EngineTree)); d != "" {
 				return &Failure{Invariant: InvEngine, Pipeline: pl.Name, Mode: mode, Detail: d}
+			}
+			// Fusion cross-check (full pipeline — the superinstruction layer
+			// is pass-independent): the fast engine's fused dispatch (which
+			// produced r) must match the forced per-instruction path, whole
+			// runs and runs suspended inside fused spans alike.
+			if pl.Name == "full" {
+				if d := diffFuse(pm, ints, floats, cfg.MaxDyn, r); d != "" {
+					return &Failure{Invariant: InvFuse, Pipeline: pl.Name, Mode: mode, Detail: d}
+				}
 			}
 			// Checkpoint cross-check (full pipeline: the invariant probes
 			// the vm's snapshot machinery, not the pass pipeline): a run
@@ -309,11 +320,15 @@ func newMachineEngine(mod *ir.Module, ints []int64, floats []float64, maxDyn int
 // runModule executes a module fault-free, counting (not trapping on) check
 // failures, and captures the observable outputs.
 func runModule(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, engine vm.EngineKind) *runOut {
+	return runModuleFuse(mod, ints, floats, maxDyn, engine, vm.FuseAuto)
+}
+
+func runModuleFuse(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, engine vm.EngineKind, fuse vm.FuseMode) *runOut {
 	mach, err := newMachineEngine(mod, ints, floats, maxDyn, engine)
 	if err != nil {
 		return &runOut{trap: err}
 	}
-	res := mach.Run(vm.RunOptions{CountChecks: true})
+	res := mach.Run(vm.RunOptions{CountChecks: true, Fuse: fuse})
 	if res.Trap != nil {
 		return &runOut{trap: res.Trap}
 	}
@@ -325,7 +340,8 @@ func runModule(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, eng
 	if err != nil {
 		return &runOut{trap: err}
 	}
-	return &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles, checkFails: res.CheckFails}
+	return &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles,
+		checkFails: res.CheckFails, opCounts: res.OpCounts}
 }
 
 // diffCheckpoint re-runs the module with a mid-flight suspension, captures
@@ -377,7 +393,8 @@ func diffFinished(label string, mach *vm.Machine, ref *runOut) string {
 	if err != nil {
 		return err.Error()
 	}
-	got := &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles, checkFails: res.CheckFails}
+	got := &runOut{out: out, fout: fout, dyn: res.Dyn, cycles: res.Cycles,
+		checkFails: res.CheckFails, opCounts: res.OpCounts}
 	if d := diffOutputs(ref, got); d != "" {
 		return label + " " + d
 	}
@@ -389,6 +406,9 @@ func diffFinished(label string, mach *vm.Machine, ref *runOut) string {
 	}
 	if got.checkFails != ref.checkFails {
 		return fmt.Sprintf("%s checkFails: %d != %d", label, got.checkFails, ref.checkFails)
+	}
+	if got.opCounts != ref.opCounts {
+		return fmt.Sprintf("%s opCounts: %v != %v", label, got.opCounts, ref.opCounts)
 	}
 	return ""
 }
@@ -430,6 +450,69 @@ func diffEngines(fast, tree *runOut) string {
 	}
 	if fast.checkFails != tree.checkFails {
 		return fmt.Sprintf("checkFails: fast=%d tree=%d", fast.checkFails, tree.checkFails)
+	}
+	if fast.opCounts != tree.opCounts {
+		return fmt.Sprintf("opCounts: fast=%v tree=%v", fast.opCounts, tree.opCounts)
+	}
+	return ""
+}
+
+// diffFuse compares the fast engine's fused dispatch against the forced
+// per-instruction path. The reference ref is a fused run (FuseAuto with no
+// tracer fuses); the unfused twin must reproduce it bit for bit, including
+// the per-opcode accounting the fused handlers batch through region
+// counters. Two off-center suspension cuts then land events inside fused
+// spans: the fused and unfused machines must pause at the same instruction
+// with interchangeable snapshots and finish identically.
+func diffFuse(mod *ir.Module, ints []int64, floats []float64, maxDyn int64, ref *runOut) string {
+	unfused := runModuleFuse(mod, ints, floats, maxDyn, vm.EngineFast, vm.FuseOff)
+	if unfused.trap != nil {
+		return fmt.Sprintf("unfused run trapped where fused run completed: %v", unfused.trap)
+	}
+	if d := diffOutputs(ref, unfused); d != "" {
+		return "unfused vs fused " + d
+	}
+	if ref.dyn != unfused.dyn || ref.cycles != unfused.cycles || ref.checkFails != unfused.checkFails {
+		return fmt.Sprintf("unfused dyn/cycles/checkFails %d/%d/%d, fused %d/%d/%d",
+			unfused.dyn, unfused.cycles, unfused.checkFails, ref.dyn, ref.cycles, ref.checkFails)
+	}
+	if ref.opCounts != unfused.opCounts {
+		return fmt.Sprintf("opCounts: fused=%v unfused=%v", ref.opCounts, unfused.opCounts)
+	}
+	for _, cut := range []int64{ref.dyn / 3, ref.dyn - 1} {
+		if cut < 1 {
+			continue
+		}
+		fm, err := newMachine(mod, ints, floats, maxDyn)
+		if err != nil {
+			return err.Error()
+		}
+		um, err := newMachine(mod, ints, floats, maxDyn)
+		if err != nil {
+			return err.Error()
+		}
+		fres := fm.Run(vm.RunOptions{CountChecks: true, SuspendAtDyn: cut})
+		ures := um.Run(vm.RunOptions{CountChecks: true, SuspendAtDyn: cut, Fuse: vm.FuseOff})
+		if fres.Trap == nil || fres.Trap.Kind != vm.TrapSuspended ||
+			ures.Trap == nil || ures.Trap.Kind != vm.TrapSuspended {
+			return fmt.Sprintf("no suspension at dyn %d: fused=%v unfused=%v", cut, fres.Trap, ures.Trap)
+		}
+		if fres.Trap.Dyn != ures.Trap.Dyn {
+			return fmt.Sprintf("cut %d: fused suspended at dyn %d, unfused at %d", cut, fres.Trap.Dyn, ures.Trap.Dyn)
+		}
+		snap, err := um.Snapshot()
+		if err != nil {
+			return err.Error()
+		}
+		if !fm.MatchesSnapshot(snap) {
+			return fmt.Sprintf("cut %d: fused machine state diverges from unfused snapshot", cut)
+		}
+		if d := diffFinished(fmt.Sprintf("fused cut %d", cut), fm, ref); d != "" {
+			return d
+		}
+		if d := diffFinished(fmt.Sprintf("unfused cut %d", cut), um, ref); d != "" {
+			return d
+		}
 	}
 	return ""
 }

@@ -137,7 +137,7 @@ func takeSnapshots(t Target, mod *ir.Module, cfg Config, disabled map[int]bool, 
 	}
 	snaps := make([]*vm.Snapshot, len(snapAt))
 	for k, s := range snapAt {
-		res := mach.Run(vm.RunOptions{DisabledChecks: disabled, SuspendAtDyn: s})
+		res := mach.Run(vm.RunOptions{DisabledChecks: disabled, SuspendAtDyn: s, Fuse: fuseMode(cfg)})
 		if res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
 			return nil, fmt.Errorf("fault: snapshot run requested suspend at dyn %d, got %v", s, res.Trap)
 		}

@@ -78,6 +78,21 @@ type Config struct {
 	// Trial, Anomaly, and journal record stays bit-identical to the solo
 	// path.
 	Lockstep int
+	// Fuse controls superinstruction dispatch in the fast engine for every
+	// run in the campaign: 0 (the default) leaves fused dispatch enabled;
+	// < 0 forces the per-instruction path (vm.FuseOff). Like Checkpoints,
+	// Lockstep, and Workers it is a pure throughput knob: fused dispatch is
+	// bit-identical on every observable the campaign reads, so it is not
+	// part of the journal's result-affecting configuration.
+	Fuse int
+	// Converge controls convergence fast-forwarding for checkpointed trials
+	// (solo and lockstep alike): a trial whose machine state re-converges
+	// with a golden snapshot after its fault has fired short-circuits to
+	// Masked instead of executing the rest of its suffix
+	// (finishTrialConverging). 0 (the default) enables it; < 0 disables it.
+	// Another pure throughput knob: the short-circuited Trial is
+	// bit-identical to the one the full suffix would produce.
+	Converge int
 	// JournalPath, when nonempty, makes the campaign durable: every decided
 	// trial is appended to a checksummed journal at this path, so a crashed
 	// or killed campaign can be resumed without re-running completed trials.
@@ -233,7 +248,7 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	goldenRes := goldenMach.Run(vm.RunOptions{CountChecks: true})
+	goldenRes := goldenMach.Run(vm.RunOptions{CountChecks: true, Fuse: fuseMode(cfg)})
 	if goldenRes.Trap != nil {
 		return nil, fmt.Errorf("fault: golden run trapped: %v", goldenRes.Trap)
 	}
@@ -327,11 +342,14 @@ func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*
 // sequence matches a fresh rand.New(rand.NewSource(seed)) without the
 // allocation. With a non-nil snap the trial restores it instead of running
 // the golden prefix from dyn 0; the snapshot must precede the trial's
-// effective trigger point (the checkpoint scheduler guarantees this). A
-// nonzero deadline bounds the run in wall-clock time; a deadline hit is
-// reported as timedOut, never as an outcome — the caller decides between
-// retry and quarantine.
-func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand, deadline time.Time) (tr Trial, timedOut bool, err error) {
+// effective trigger point (the checkpoint scheduler guarantees this). With a
+// non-empty snaps ladder (the campaign's golden snapshots, ascending) the
+// suffix runs under convergence fast-forwarding: a trial whose state
+// re-converges with a golden snapshot after its fault fires short-circuits
+// to Masked (finishTrialConverging). A nonzero deadline bounds the run in
+// wall-clock time; a deadline hit is reported as timedOut, never as an
+// outcome — the caller decides between retry and quarantine.
+func runTrial(mach *vm.Machine, snap *vm.Snapshot, snaps []*vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand, deadline time.Time) (tr Trial, timedOut bool, err error) {
 	plan := drawPlan(cfg, goldenDyn, trial, src, rng)
 	if snap != nil {
 		if err := mach.Restore(snap); err != nil {
@@ -340,7 +358,11 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, t Target, cfg Config, golden 
 	} else {
 		mach.Reset()
 	}
-	tr, timedOut = finishTrial(mach, plan, t, cfg, golden, disabled, deadline)
+	if len(snaps) > 0 {
+		tr, timedOut = finishTrialConverging(mach, plan, t, cfg, golden, disabled, deadline, snaps)
+	} else {
+		tr, timedOut = finishTrial(mach, plan, t, cfg, golden, disabled, deadline)
+	}
 	return tr, timedOut, nil
 }
 
@@ -363,7 +385,7 @@ func drawPlan(cfg Config, goldenDyn int64, trial int, src rand.Source, rng *rand
 // plan and classifies the outcome. Shared by the solo and lockstep paths so
 // classification cannot drift between them.
 func finishTrial(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64, disabled map[int]bool, deadline time.Time) (tr Trial, timedOut bool) {
-	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline})
+	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, Fuse: fuseMode(cfg)})
 	return classifyTrial(mach, res, plan, t, cfg, golden)
 }
 
@@ -384,7 +406,7 @@ func finishTrialConverging(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg C
 		if s.Dyn() <= mach.Dyn() {
 			continue
 		}
-		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, SuspendAtDyn: s.Dyn()})
+		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, SuspendAtDyn: s.Dyn(), Fuse: fuseMode(cfg)})
 		if res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
 			return classifyTrial(mach, res, plan, t, cfg, golden)
 		}
@@ -392,8 +414,17 @@ func finishTrialConverging(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg C
 			return Trial{Outcome: Masked, RelChange: plan.RelChange}, false
 		}
 	}
-	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline})
+	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, Fuse: fuseMode(cfg)})
 	return classifyTrial(mach, res, plan, t, cfg, golden)
+}
+
+// fuseMode maps Config.Fuse onto the vm knob: negative disables fused
+// dispatch, anything else leaves the engine default (on).
+func fuseMode(cfg Config) vm.FuseMode {
+	if cfg.Fuse < 0 {
+		return vm.FuseOff
+	}
+	return vm.FuseAuto
 }
 
 // classifyTrial maps a terminal Result onto the §IV-C taxonomy. Shared by

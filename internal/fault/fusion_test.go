@@ -1,0 +1,198 @@
+package fault_test
+
+// Campaign-level fusion and convergence equivalence: the Fuse and Converge
+// knobs are throughput-only, so flipping either must leave the campaign
+// Report bit-identical — per-trial records included — on every scheduler
+// path: from-scratch, checkpointed solo (where convergence fast-forwards
+// masked suffixes), lockstep batching, and the durable journal.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// TestCampaignFusionEquivalence is the acceptance matrix: all workloads ×
+// all registered schemes on the default checkpointed-solo path, fused vs
+// unfused. Under the race detector the matrix trims to representative
+// cells, like the checkpoint suite.
+func TestCampaignFusionEquivalence(t *testing.T) {
+	modes := core.SchemeNames()
+	names := make([]string, 0, 13)
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	if raceEnabled {
+		names = []string{"tiff2bw", "g721dec", "svm", "kmeans"}
+		modes = []string{core.SchemeOriginal, core.SchemeFullDup}
+	}
+	for _, name := range names {
+		for _, mode := range modes {
+			name, mode := name, mode
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				t.Parallel()
+				w := workloads.ByName(name)
+				prot := protectedFor(t, w, mode)
+				run := func(fuse int) *fault.Report {
+					cfg := fault.DefaultConfig()
+					cfg.Trials = 12
+					cfg.Lockstep = -1
+					cfg.Fuse = fuse
+					rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, mode, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
+				}
+				diffReports(t, name+"/"+mode, run(0), run(-1))
+			})
+		}
+	}
+}
+
+// TestCampaignFusionEquivalencePaths covers the remaining scheduler paths
+// on representative cells: from-scratch trials, lockstep batching, the
+// branch-target fault model, and a journaled campaign resumed from a
+// truncated file with the opposite fusion setting — the journal must not
+// record (and resume must not depend on) the knob.
+func TestCampaignFusionEquivalencePaths(t *testing.T) {
+	t.Run("scratch", func(t *testing.T) {
+		t.Parallel()
+		w := workloads.ByName("kmeans")
+		prot := protectedFor(t, w, core.SchemeDup)
+		run := func(fuse int) *fault.Report {
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 30
+			cfg.Checkpoints = -1
+			cfg.Lockstep = -1
+			cfg.Fuse = fuse
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		diffReports(t, "scratch", run(0), run(-1))
+	})
+	t.Run("lockstep", func(t *testing.T) {
+		t.Parallel()
+		w := workloads.ByName("g721dec")
+		prot := protectedFor(t, w, core.SchemeFullDup)
+		run := func(fuse int) *fault.Report {
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 40
+			cfg.Lockstep = 0
+			cfg.Fuse = fuse
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "FullDup", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		diffReports(t, "lockstep", run(0), run(-1))
+	})
+	t.Run("branch", func(t *testing.T) {
+		t.Parallel()
+		w := workloads.ByName("g721enc")
+		prot := protectedFor(t, w, core.SchemeDup)
+		run := func(fuse int) *fault.Report {
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 30
+			cfg.Kind = vm.FaultBranchTarget
+			cfg.Lockstep = -1
+			cfg.Fuse = fuse
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		diffReports(t, "branch", run(0), run(-1))
+	})
+	t.Run("journal", func(t *testing.T) {
+		t.Parallel()
+		w := workloads.ByName("tiff2bw")
+		prot := protectedFor(t, w, core.SchemeOriginal)
+		path := filepath.Join(t.TempDir(), "campaign.journal")
+		run := func(fuse int, resume bool) *fault.Report {
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 12
+			cfg.Lockstep = -1
+			cfg.Fuse = fuse
+			cfg.JournalPath = path
+			cfg.Resume = resume
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		full := run(0, false)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()/2); err != nil {
+			t.Fatal(err)
+		}
+		// Resume the fused journal with fusion off: replayed and re-run
+		// trials must stitch into the same report.
+		diffReports(t, "journal", run(-1, true), full)
+	})
+}
+
+// TestCampaignConvergenceEquivalence checks the solo convergence
+// fast-forward: checkpointed non-lockstep campaigns with the golden ladder
+// (Converge on) must match full-suffix runs (Converge off) — masked trials
+// are cut short only when the machine state provably re-joined the golden
+// trajectory. FullDup is the masked-heavy scheme the fast-forward targets;
+// Original covers the no-detection shape, and the branch model the
+// shifted-trigger scheduler.
+func TestCampaignConvergenceEquivalence(t *testing.T) {
+	cells := []struct {
+		workload  string
+		mode      string
+		technique string
+		kind      vm.FaultKind
+	}{
+		{"tiff2bw", core.SchemeFullDup, "FullDup", vm.FaultRegister},
+		{"kmeans", core.SchemeFullDup, "FullDup", vm.FaultRegister},
+		{"svm", core.SchemeOriginal, "Original", vm.FaultRegister},
+		{"g721dec", core.SchemeDup, "DupOnly", vm.FaultRegister},
+		{"kmeans", core.SchemeFullDup, "FullDup", vm.FaultBranchTarget},
+	}
+	if raceEnabled {
+		cells = cells[:2]
+	}
+	for _, c := range cells {
+		c := c
+		name := c.workload + "/" + c.mode
+		if c.kind == vm.FaultBranchTarget {
+			name += "/branch"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := workloads.ByName(c.workload)
+			prot := protectedFor(t, w, c.mode)
+			run := func(conv int) *fault.Report {
+				cfg := fault.DefaultConfig()
+				cfg.Trials = 40
+				cfg.Lockstep = -1
+				cfg.Kind = c.kind
+				cfg.Converge = conv
+				rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, c.technique, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
+			diffReports(t, name, run(0), run(-1))
+		})
+	}
+}

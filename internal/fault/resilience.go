@@ -303,7 +303,7 @@ func (ws *workerState) ensureBatch() (*vm.BatchMachine, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := vm.NewBatch(carrier, vm.BatchOptions{DisabledChecks: ws.c.disabled, Stop: ws.stop})
+	b, err := vm.NewBatch(carrier, vm.BatchOptions{DisabledChecks: ws.c.disabled, Stop: ws.stop, Fuse: fuseMode(ws.c.cfg)})
 	if err != nil {
 		return nil, err
 	}
@@ -312,11 +312,13 @@ func (ws *workerState) ensureBatch() (*vm.BatchMachine, error) {
 }
 
 // runOne drives trial i to a terminal disposition — a recorded outcome or a
-// quarantined anomaly. Only infrastructure failures (machine construction,
-// journal I/O) surface as errors and abort the campaign.
-func (c *campaign) runOne(ws *workerState, i int, snap *vm.Snapshot) error {
+// quarantined anomaly. A non-empty snaps ladder enables convergence
+// fast-forwarding for the trial's suffix (see runTrial). Only infrastructure
+// failures (machine construction, journal I/O) surface as errors and abort
+// the campaign.
+func (c *campaign) runOne(ws *workerState, i int, snap *vm.Snapshot, snaps []*vm.Snapshot) error {
 	for attempt := 0; ; attempt++ {
-		tr, timedOut, panicked, stack, err := c.attempt(ws, i, snap)
+		tr, timedOut, panicked, stack, err := c.attempt(ws, i, snap, snaps)
 		if err != nil {
 			return err
 		}
@@ -338,7 +340,7 @@ func (c *campaign) runOne(ws *workerState, i int, snap *vm.Snapshot) error {
 // attempt executes one guarded trial attempt. A recovered panic discards
 // the worker's machine — its state is unknown mid-unwind — and reports the
 // stack for the quarantine record.
-func (c *campaign) attempt(ws *workerState, i int, snap *vm.Snapshot) (tr Trial, timedOut, panicked bool, stack string, err error) {
+func (c *campaign) attempt(ws *workerState, i int, snap *vm.Snapshot, snaps []*vm.Snapshot) (tr Trial, timedOut, panicked bool, stack string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -356,7 +358,7 @@ func (c *campaign) attempt(ws *workerState, i int, snap *vm.Snapshot) (tr Trial,
 	if c.cfg.TrialTimeout > 0 {
 		deadline = time.Now().Add(c.cfg.TrialTimeout)
 	}
-	tr, timedOut, err = runTrial(ws.mach, snap, c.target, c.cfg, c.golden, c.goldenDyn, c.disabled, i, ws.src, ws.rng, deadline)
+	tr, timedOut, err = runTrial(ws.mach, snap, snaps, c.target, c.cfg, c.golden, c.goldenDyn, c.disabled, i, ws.src, ws.rng, deadline)
 	return
 }
 
@@ -378,7 +380,7 @@ func (c *campaign) runScratch(ctx context.Context, pending []int, workers int) e
 				if ctx.Err() != nil || c.stopRequested() {
 					return
 				}
-				if err := c.runOne(ws, i, nil); err != nil {
+				if err := c.runOne(ws, i, nil, nil); err != nil {
 					errCh <- err
 					return
 				}
@@ -416,6 +418,14 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 		if err != nil {
 			return err
 		}
+	}
+
+	// The convergence ladder passed to every trial suffix; bin restores
+	// still use snaps directly, so disabling convergence never disables
+	// checkpointing.
+	convSnaps := snaps
+	if c.cfg.Converge < 0 {
+		convSnaps = nil
 	}
 
 	// bins[0] holds trials whose effective trigger precedes the first
@@ -468,7 +478,7 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 			for b := range binCh {
 				bw := work[b]
 				if minLanes > 0 && len(bw.trials) >= minLanes {
-					if err := c.runBinLockstep(ctx, ws, bw.trials, bw.snap, triggers, snaps); err != nil {
+					if err := c.runBinLockstep(ctx, ws, bw.trials, bw.snap, triggers, convSnaps); err != nil {
 						errCh <- err
 						return
 					}
@@ -478,7 +488,9 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 					if ctx.Err() != nil || c.stopRequested() {
 						return
 					}
-					if err := c.runOne(ws, i, bw.snap); err != nil {
+					// Solo path with the golden ladder: checkpointed trials
+					// fast-forward masked suffixes exactly like lockstep ones.
+					if err := c.runOne(ws, i, bw.snap, convSnaps); err != nil {
 						errCh <- err
 						return
 					}

@@ -57,6 +57,10 @@ type BatchOptions struct {
 	// Stop, when non-nil, aborts a carrier advance once closed; Peel then
 	// returns ErrBatchStopped.
 	Stop <-chan struct{}
+	// Fuse selects the carrier's superinstruction dispatch mode (fuse.go).
+	// Fused and unfused advances are bit-identical, so this is a pure
+	// throughput knob; it should match the trials' mode for symmetry only.
+	Fuse FuseMode
 }
 
 // BatchMachine executes one checkpoint bin of fault-campaign trials in
@@ -179,6 +183,7 @@ func (b *BatchMachine) Peel(lane int, into *Machine) error {
 			DisabledChecks: b.opts.DisabledChecks,
 			Stop:           b.opts.Stop,
 			SuspendAtDyn:   d,
+			Fuse:           b.opts.Fuse,
 		})
 		switch {
 		case res.Trap != nil && res.Trap.Kind == TrapSuspended:

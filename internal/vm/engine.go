@@ -177,6 +177,22 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 	// path, which recomputes it. nextEvent = 0 forces recomputation.
 	nextEvent := int64(0)
 
+	// Fused dispatch gate (fuse.go). A fused span of k event-checked
+	// constituents may only run when every constituent's pre-increment dyn
+	// stays below the event threshold — dyn + k <= fuseEvent — so no
+	// suspend, injection, watchdog or poll can land inside it; otherwise the
+	// span falls back to per-instruction dispatch and the event fires at
+	// exactly the constituent it would unfused. fuseEvent mirrors nextEvent
+	// and is armed only at the slow-path recomputes (and at the
+	// pendingBr-clearing transitions), so it is never stale-high: events
+	// only move later or vanish within a run. It stays 0 — no fused entry —
+	// under FuseOff, under a tracer or profiler (their per-instruction event
+	// streams take the unfused path), and while a branch-target fault is
+	// pending (the fused branch handlers omit the redirect hook).
+	fuseOn := m.opts.Fuse == FuseAuto && m.opts.Tracer == nil && m.opts.Profiler == nil
+	fuseEvent := int64(0)
+	fusedCnt := int64(0) // diagnostic tally, flushed to m.fusedSteps at escapes
+
 	// The suspend point joins the same threshold; MaxInt64 when unset, so
 	// the common non-suspending run pays one dead compare per slow pass.
 	suspendAt := m.opts.SuspendAtDyn
@@ -221,11 +237,562 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 		li := &code[pc]
 		op := li.op
 
+		// Fused dispatch (fuse.go): when this pc heads a fused pair and the
+		// whole span sits strictly below the event threshold, both
+		// constituents run in one straight-line handler. Each handler
+		// replicates the unfused per-constituent semantics exactly — operand
+		// reads, issue/latency calls, define order, trap protocol — minus the
+		// event preamble (provably dead inside the span: every constituent's
+		// pre-increment dyn is below nextEvent) and the tracer/profiler hooks
+		// (both nil whenever fuseEvent is armed). Trap-capable constituents
+		// advance dyn individually so trap Dyn values stay exact; pure pairs
+		// advance it in one add.
+		if li.fop != fNone && dyn+int64(li.fspan) <= fuseEvent {
+			l2 := &code[pc+1]
+			var done int64
+			switch li.fop {
+			case fAddAdd:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0+b1, done)
+				pc += 2
+				continue
+
+			case fAddSub:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0-b1, done)
+				pc += 2
+				continue
+
+			case fAddLt:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), cbits(int64(b0) < int64(b1)), done)
+				pc += 2
+				continue
+
+			case fMulAdd:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0*a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0+b1, done)
+				pc += 2
+				continue
+
+			case fMulSub:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0*a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0-b1, done)
+				pc += 2
+				continue
+
+			case fMulMul:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0*a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0*b1, done)
+				pc += 2
+				continue
+
+			case fSubAdd:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0-a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0+b1, done)
+				pc += 2
+				continue
+
+			case fSubMul:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0-a1, done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0*b1, done)
+				pc += 2
+				continue
+
+			case fAddAddF:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), f2b(b2f(a0)+b2f(a1)), done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), f2b(b2f(b0)+b2f(b1)), done)
+				pc += 2
+				continue
+
+			case fMulAddF:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), f2b(b2f(a0)*b2f(a1)), done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), f2b(b2f(b0)+b2f(b1)), done)
+				pc += 2
+				continue
+
+			case fMulMulF:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), f2b(b2f(a0)*b2f(a1)), done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), f2b(b2f(b0)*b2f(b1)), done)
+				pc += 2
+				continue
+
+			case fSubMulF:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), f2b(b2f(a0)-b2f(a1)), done)
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), f2b(b2f(b0)*b2f(b1)), done)
+				pc += 2
+				continue
+
+			case fAddLoad:
+				fusedCnt++
+				dyn++
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				dyn++
+				addr := fr.get(l2.a0)
+				if addr == 0 || addr >= uint64(len(mem)) {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.fusedSteps += fusedCnt
+					m.uncountTail(ef, pc+1, pc+2)
+					return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+				}
+				lat := tm.access(addr)
+				cur, slot, done = issueAt(cur, slot, width, fr.readyAt(l2.a0), lat)
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), mem[addr], done)
+				pc += 2
+				continue
+
+			case fLoadAdd:
+				fusedCnt++
+				dyn++
+				addr := fr.get(li.a0)
+				if addr == 0 || addr >= uint64(len(mem)) {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.fusedSteps += fusedCnt
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+				}
+				lat := tm.access(addr)
+				cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lat)
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), mem[addr], done)
+				dyn++
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady := maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0+b1, done)
+				pc += 2
+				continue
+
+			case fLoadSub:
+				fusedCnt++
+				dyn++
+				addr := fr.get(li.a0)
+				if addr == 0 || addr >= uint64(len(mem)) {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.fusedSteps += fusedCnt
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+				}
+				lat := tm.access(addr)
+				cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lat)
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), mem[addr], done)
+				dyn++
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady := maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0-b1, done)
+				pc += 2
+				continue
+
+			case fLoadMul:
+				fusedCnt++
+				dyn++
+				addr := fr.get(li.a0)
+				if addr == 0 || addr >= uint64(len(mem)) {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.fusedSteps += fusedCnt
+					m.uncountTail(ef, pc, pc+1)
+					return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+				}
+				lat := tm.access(addr)
+				cur, slot, done = issueAt(cur, slot, width, fr.readyAt(li.a0), lat)
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), mem[addr], done)
+				dyn++
+				b0, b1 := fr.get(l2.a0), fr.get(l2.a1)
+				opsReady := maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[l2.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(l2.dst), b0*b1, done)
+				pc += 2
+				continue
+
+			case fAddStore:
+				fusedCnt++
+				dyn++
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				dyn++
+				addr := fr.get(l2.a0)
+				if addr == 0 || addr >= uint64(len(mem)) {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.fusedSteps += fusedCnt
+					m.uncountTail(ef, pc+1, pc+2)
+					return 0, &Trap{Kind: TrapOOB, Dyn: dyn, Fn: fn.Name}
+				}
+				val := fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				tm.access(addr)
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[latStore])
+				if done > maxDone {
+					maxDone = done
+				}
+				mem[addr] = val
+				pc += 2
+				continue
+
+			case fCmpBrI:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				var bits uint64
+				switch li.op {
+				case lopEqI:
+					bits = cbits(a0 == a1)
+				case lopNeI:
+					bits = cbits(a0 != a1)
+				case lopLtI:
+					bits = cbits(int64(a0) < int64(a1))
+				case lopLeI:
+					bits = cbits(int64(a0) <= int64(a1))
+				case lopGtI:
+					bits = cbits(int64(a0) > int64(a1))
+				default: // lopGeI
+					bits = cbits(int64(a0) >= int64(a1))
+				}
+				fr.define(int(li.dst), bits, done)
+				// Like the unfused lopBr, the condition is read from the
+				// branch's own operand slot — the fused pair does not assume
+				// the compare feeds the branch.
+				cond := fr.get(l2.a0)
+				cur, slot, done = issueAt(cur, slot, width, fr.readyAt(l2.a0), 0)
+				if done > maxDone {
+					maxDone = done
+				}
+				cur, slot = branchAt(cur, slot, pred, predMask, int(l2.aux), cond != 0, bpen)
+				if cond != 0 {
+					pc = int(l2.then)
+					rc[l2.dst]++
+				} else {
+					pc = int(l2.els)
+					rc[l2.a1]++
+				}
+				continue
+
+			case fAddJmp:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				cur, slot, done = issueAt(cur, slot, width, 0, 0)
+				if done > maxDone {
+					maxDone = done
+				}
+				pc = int(l2.then)
+				rc[l2.els]++
+				continue
+
+			case fAddFJmp:
+				fusedCnt++
+				dyn += 2
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), f2b(b2f(a0)+b2f(a1)), done)
+				cur, slot, done = issueAt(cur, slot, width, 0, 0)
+				if done > maxDone {
+					maxDone = done
+				}
+				pc = int(l2.then)
+				rc[l2.els]++
+				continue
+
+			case fJmpPhi:
+				// The phi copy is a pseudo-op: it advances dyn but never
+				// passes the event preamble (matching blockLoop), which is
+				// why this span's fspan is 1.
+				fusedCnt++
+				dyn += 2
+				cur, slot, done = issueAt(cur, slot, width, 0, 0)
+				if done > maxDone {
+					maxDone = done
+				}
+				rc[li.els]++
+				pe := &code[li.then]
+				v := fr.get(pe.a0)
+				cur, slot, done = issueAt(cur, slot, width, 0, lats[latInt])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(pe.dst), v, done)
+				pc = int(pe.then)
+				rc[pe.a1]++
+				continue
+
+			case fAddCmpCheck:
+				fusedCnt++
+				dyn++
+				a0, a1 := fr.get(li.a0), fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[li.latk])
+				if done > maxDone {
+					maxDone = done
+				}
+				fr.define(int(li.dst), a0+a1, done)
+				dyn++
+				a := fr.get(l2.a0)
+				b := fr.get(l2.a1)
+				opsReady = maxi(fr.readyAt(l2.a0), fr.readyAt(l2.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[latCheck])
+				if done > maxDone {
+					maxDone = done
+				}
+				if a != b {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					if t := m.checkFailed(insTab[pc+1]); t != nil {
+						m.fusedSteps += fusedCnt
+						m.uncountTail(ef, pc+1, pc+2)
+						return 0, t
+					}
+				}
+				pc += 2
+				continue
+
+			case fCmpCheckJmp:
+				fusedCnt++
+				dyn++
+				a := fr.get(li.a0)
+				b := fr.get(li.a1)
+				opsReady := maxi(fr.readyAt(li.a0), fr.readyAt(li.a1))
+				cur, slot, done = issueAt(cur, slot, width, opsReady, lats[latCheck])
+				if done > maxDone {
+					maxDone = done
+				}
+				if a != b {
+					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					if t := m.checkFailed(insTab[pc]); t != nil {
+						m.fusedSteps += fusedCnt
+						m.uncountTail(ef, pc, pc+1)
+						return 0, t
+					}
+				}
+				dyn++
+				cur, slot, done = issueAt(cur, slot, width, 0, 0)
+				if done > maxDone {
+					maxDone = done
+				}
+				pc = int(l2.then)
+				rc[l2.els]++
+				continue
+			}
+		}
+
 		if op >= lopIntrinsic {
 			// Fast path: pure computations sharing the define tail.
 			if dyn >= nextEvent {
 				if dyn >= suspendAt {
 					m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+					m.fusedSteps += fusedCnt
 					m.susp = append(m.susp, suspLevel{ef: ef, fr: fr, pc: pc})
 					return 0, &Trap{Kind: TrapSuspended, Dyn: dyn, Fn: fn.Name}
 				}
@@ -265,6 +832,12 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 				if pendingReg && fault.TriggerDyn < nextEvent {
 					nextEvent = fault.TriggerDyn
 				}
+				fuseEvent = 0
+				if fuseOn && !pendingBr {
+					fuseEvent = nextEvent
+				}
+				m.fusedSteps += fusedCnt
+				fusedCnt = 0
 			} else {
 				dyn++
 			}
@@ -552,6 +1125,12 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 			if pendingReg && fault.TriggerDyn < nextEvent {
 				nextEvent = fault.TriggerDyn
 			}
+			fuseEvent = 0
+			if fuseOn && !pendingBr {
+				fuseEvent = nextEvent
+			}
+			m.fusedSteps += fusedCnt
+			fusedCnt = 0
 		} else {
 			dyn++
 		}
@@ -576,6 +1155,12 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 				}
 				dyn, cur, slot, maxDone = m.dyn, tm.cursor, tm.slotUsed, tm.maxDone
 				pendingBr = !fault.Injected
+				// The branch fault has fired; re-arm fused dispatch (the
+				// current nextEvent is valid — never stale-high — so the
+				// worst case is one extra unfused pass).
+				if fuseOn && !pendingBr {
+					fuseEvent = nextEvent
+				}
 				rc[regionOf[pc]]++
 			} else {
 				pc = int(li.then)
@@ -609,6 +1194,12 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 				}
 				dyn, cur, slot, maxDone = m.dyn, tm.cursor, tm.slotUsed, tm.maxDone
 				pendingBr = !fault.Injected
+				// The branch fault has fired; re-arm fused dispatch (the
+				// current nextEvent is valid — never stale-high — so the
+				// worst case is one extra unfused pass).
+				if fuseOn && !pendingBr {
+					fuseEvent = nextEvent
+				}
 				rc[regionOf[pc]]++
 			} else {
 				pc = npc
@@ -630,6 +1221,7 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 				tracer.Trace(dyn, fn.Name, insTab[pc], 0)
 			}
 			m.dyn, tm.cursor, tm.slotUsed, tm.maxDone = dyn, cur, slot, maxDone
+			m.fusedSteps += fusedCnt
 			return ret, nil
 
 		case lopCall:
@@ -659,6 +1251,7 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 				if trap.Kind == TrapSuspended {
 					// The region tail stays credited — it executes after the
 					// resume — and this level parks on the in-flight call.
+					m.fusedSteps += fusedCnt
 					m.susp = append(m.susp, suspLevel{ef: ef, fr: fr, pc: pc})
 					return 0, trap
 				}
@@ -670,6 +1263,9 @@ func (m *Machine) execLoopFrom(ef *engFunc, fr *frame, depth, pc int) (uint64, *
 			if pendingReg || pendingBr {
 				pendingReg = pendingReg && !fault.Injected
 				pendingBr = pendingBr && !fault.Injected
+				if fuseOn && !pendingBr {
+					fuseEvent = nextEvent
+				}
 			}
 			if li.dst >= 0 {
 				fr.define(int(li.dst), ret, cur)

@@ -204,12 +204,14 @@ type callSite struct {
 type linst struct {
 	op     lop
 	latk   latKind
-	prof   bool  // eligible for the value profiler (loads, I64/F64 results)
-	nargs  uint8 // operand count (consulted only in the generic-arity zone)
-	origOp ir.Op // opcode counted in Result.OpCounts
-	dst    int32 // destination frame slot, -1 for void
-	then   int32 // branch target pc / phi continuation pc
-	els    int32 // lopBr false-target pc; lopPhiBatch/lopPhiSeq batch length
+	prof   bool   // eligible for the value profiler (loads, I64/F64 results)
+	nargs  uint8  // operand count (consulted only in the generic-arity zone)
+	origOp ir.Op  // opcode counted in Result.OpCounts
+	fop    fuseOp // fused-pair pattern this instruction heads (fuse.go), fNone otherwise
+	fspan  uint8  // event-checked dyn increments in the fused span
+	dst    int32  // destination frame slot, -1 for void
+	then   int32  // branch target pc / phi continuation pc
+	els    int32  // lopBr false-target pc; lopPhiBatch/lopPhiSeq batch length
 	a0     int32
 	a1     int32
 	aux    int32 // see above
@@ -453,6 +455,13 @@ func (em *engModule) lowerFunc(ef *engFunc, base map[string]uint64) {
 			li.a1 = regionOf[li.then]
 		}
 	}
+
+	// Superinstruction annotation runs last, over the finalized stream: it
+	// reads resolved branch targets and region bounds and writes only the
+	// side-band fop/fspan bytes (fuse.go). Baked into the module-cached
+	// lowering unconditionally; whether fused dispatch actually runs is a
+	// per-run decision (RunOptions.Fuse and the engine's fuseEvent gate).
+	fuseFunc(ef)
 }
 
 func (em *engModule) lowerInstr(ef *engFunc, in *ir.Instr, base map[string]uint64, konst func(uint64) int32) linst {

@@ -121,6 +121,15 @@ type RunOptions struct {
 	// so campaign code must treat TrapDeadline as "unknown", never as an
 	// outcome. Zero (the default) disables the poll entirely.
 	Deadline time.Time
+	// Fuse controls superinstruction dispatch (fast engine only): FuseAuto
+	// (the default) executes annotated hot instruction pairs through fused
+	// straight-line handlers whenever the span fits below the unified event
+	// threshold; FuseOff forces the per-instruction path. The two settings
+	// are bit-identical in every observable — Result, OpCounts, traces,
+	// timing, snapshots, fault attribution — which the fusion equivalence
+	// suite and the difftest fuse-diff invariant enforce; FuseOff exists as
+	// an escape hatch and as the oracle's reference leg.
+	Fuse FuseMode
 }
 
 // Result summarizes a completed (or trapped) run.
@@ -187,6 +196,7 @@ type Machine struct {
 	checkFails    int64
 	perCheckFails map[int]int64
 	opCounts      [ir.NumOps]int64
+	fusedSteps    int64 // diagnostic: fused-pair handlers executed (fuse.go)
 
 	// Suspension state (fast engine only). susp holds the in-flight call
 	// chain, innermost-first, after a Run returns TrapSuspended or after
@@ -321,6 +331,7 @@ func (m *Machine) Reset() {
 	}
 	m.sp = m.stackBase
 	m.dyn = 0
+	m.fusedSteps = 0
 	m.laxPhis = false
 	m.checkFails = 0
 	m.perCheckFails = nil
