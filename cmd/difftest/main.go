@@ -23,12 +23,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/difftest"
+	"repro/internal/fault"
 )
 
 func main() {
 	n := flag.Int("n", 100, "number of seeds to test")
 	seed := flag.Int64("seed", 1, "first seed")
 	mode := flag.String("mode", "all", "protection scheme to exercise: all, list, or any registered scheme / '+'-composition")
+	fmodel := flag.String("fault-model", "all", "fault model for the model-diff invariant: all, list, or any registered model")
 	outDir := flag.String("out", "testdata/difftest", "directory for minimized reproducers")
 	flag.Parse()
 
@@ -47,6 +49,21 @@ func main() {
 			os.Exit(2)
 		}
 		ocfg.Only = []string{sch.Name()}
+	}
+	switch *fmodel {
+	case "all":
+	case "list":
+		for _, m := range fault.Models() {
+			fmt.Printf("%-14s %s\n", m.Name(), m.Title())
+		}
+		return
+	default:
+		m, err := fault.LookupModel(*fmodel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(2)
+		}
+		ocfg.Models = []string{m.Name()}
 	}
 
 	gcfg := difftest.DefaultGenConfig()

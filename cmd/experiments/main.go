@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated: tableI,tableII,fig1,fig2,fig10,fig11,fig12,fig13,crossval,falsepos,branchfaults,recovery,multiprofile,abft or 'all'")
+		runList = flag.String("run", "all", "comma-separated: tableI,tableII,fig1,fig2,fig10,fig11,fig12,fig13,crossval,falsepos,branchfaults,recovery,multiprofile,abft,faultmodels or 'all'")
 		trials  = flag.Int("trials", 300, "fault injections per benchmark/technique (paper: 1000)")
 		seed    = flag.Int64("seed", 2014, "campaign seed")
 		outPath = flag.String("out", "", "also write results to this file")
@@ -79,6 +79,7 @@ func main() {
 		{"recovery", func() (string, error) { _, t, err := experiments.Recovery(cfg); return t, err }},
 		{"multiprofile", func() (string, error) { _, t, err := experiments.MultiInputProfiling(); return t, err }},
 		{"abft", func() (string, error) { _, t, err := experiments.ABFTvsDupVal(cfg); return t, err }},
+		{"faultmodels", func() (string, error) { _, t, err := experiments.FaultModelSweep(cfg); return t, err }},
 	}
 
 	start := time.Now()

@@ -36,7 +36,8 @@ func main() {
 		profIn  = flag.String("profile-in", "", "read a saved value profile instead of re-profiling")
 		useCFC  = flag.Bool("cfc", false, "add signature-based control-flow checks")
 		trace   = flag.Int64("trace", 0, "print an execution trace of up to N instructions")
-		branch  = flag.Bool("branch-faults", false, "inject branch-target faults instead of register bit flips")
+		branch  = flag.Bool("branch-faults", false, "deprecated: same as -fault-model branch-target")
+		fmodel  = flag.String("fault-model", "", "registered fault model for -inject (default reg-flip), or 'list'")
 
 		lockstep = flag.Int("lockstep", 0, "lockstep batching: 0 auto, N>0 batch bins of >= N trials, -1 off (bit-identical results; throughput only)")
 		fuse     = flag.String("fuse", "on", "superinstruction fusion in the fast engine: on or off (bit-identical results; throughput only)")
@@ -72,6 +73,13 @@ func main() {
 		for _, name := range softft.Benchmarks() {
 			b, _ := softft.GetBenchmark(name)
 			fmt.Printf("%-10s %s\n", name, b.Description())
+		}
+		return
+	}
+
+	if *fmodel == "list" {
+		for _, name := range softft.FaultModels() {
+			fmt.Println(name)
 		}
 		return
 	}
@@ -210,6 +218,7 @@ func main() {
 		}
 		c := bm.NewCampaign(*inject)
 		c.Seed = *seed
+		c.FaultModel = *fmodel
 		c.BranchTargets = *branch
 		c.Lockstep = *lockstep
 		c.Fuse = fuseKnob

@@ -13,8 +13,19 @@ import (
 type Campaign struct {
 	// Trials is the number of single-bit fault injections.
 	Trials int
+	// FaultModel selects the fault model by registry name (FaultModels
+	// lists them): "" or "reg-flip" is the paper's model — one bit of one
+	// live register; "branch-target" corrupts branch destinations;
+	// "mem-flip" flips a bit of the memory image; "burst" corrupts 2–8
+	// adjacent bits of a register or memory word; "stuck-at" re-forces a
+	// flipped memory bit until the program retires; "intermittent" is a
+	// duration-bounded stuck-at.
+	FaultModel string
 	// BranchTargets switches the fault model from register bit flips to
 	// branch-target corruptions (see Program.WithControlFlowChecks).
+	//
+	// Deprecated: set FaultModel to "branch-target" instead. Setting both
+	// fields is a validation error.
 	BranchTargets bool
 	// Seed makes the campaign reproducible.
 	Seed int64
@@ -92,6 +103,9 @@ type Anomaly struct {
 // Outcomes aggregates a campaign: counts per outcome class plus the
 // SDC/ASDC decomposition (see the paper's §IV-C taxonomy).
 type Outcomes struct {
+	// FaultModel is the resolved registry name of the campaign's fault
+	// model ("reg-flip" when the Campaign left it empty).
+	FaultModel string
 	Trials     int
 	Masked     int // correct or acceptable-quality output
 	HWDetected int // hardware symptom within the detection window
@@ -135,6 +149,20 @@ func (o *Outcomes) USDCRate() float64 {
 	}
 	return float64(o.USDCs) / float64(o.Trials)
 }
+
+// CoverageInterval returns the 95% Wilson score interval for Coverage.
+func (o *Outcomes) CoverageInterval() (lo, hi float64) {
+	return fault.Wilson(o.Masked+o.HWDetected+o.SWDetected, o.Trials, 1.96)
+}
+
+// USDCInterval returns the 95% Wilson score interval for USDCRate.
+func (o *Outcomes) USDCInterval() (lo, hi float64) {
+	return fault.Wilson(o.USDCs, o.Trials, 1.96)
+}
+
+// FaultModels returns the registered fault-model names in registration
+// order, valid as Campaign.FaultModel values.
+func FaultModels() []string { return fault.ModelNames() }
 
 func (o *Outcomes) String() string {
 	var s string
@@ -189,7 +217,15 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 		cfg.Seed = c.Seed
 	}
 	if c.BranchTargets {
-		cfg.Kind = vm.FaultBranchTarget
+		if c.FaultModel != "" {
+			return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.BranchTargets: deprecated shim conflicts with Campaign.FaultModel %q (set FaultModel to %q and drop BranchTargets)", c.FaultModel, fault.ModelBranchTarget)
+		}
+		cfg.Model = fault.ModelBranchTarget
+	} else if c.FaultModel != "" {
+		if _, err := fault.LookupModel(c.FaultModel); err != nil {
+			return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.FaultModel: %v", err)
+		}
+		cfg.Model = c.FaultModel
 	}
 	if c.Workers > 0 {
 		cfg.Workers = c.Workers
@@ -238,8 +274,13 @@ func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign
 	if err != nil {
 		return nil, err
 	}
+	model, err := fault.LookupModel(cfg.Model)
+	if err != nil {
+		return nil, err // unreachable: fault.Run validated the name
+	}
 	ta := rep.Tally
 	out := &Outcomes{
+		FaultModel:      model.Name(),
 		Trials:          ta.N,
 		Masked:          ta.Count[fault.Masked],
 		HWDetected:      ta.Count[fault.HWDetect],

@@ -351,3 +351,70 @@ func FuzzSchemeEnumeration(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFaultModelDivergence hammers the fault-model registry with arbitrary
+// programs: every registered model's campaign — including the
+// suspend-injected memory/burst models and the re-arming stuck-at pair —
+// must produce bit-identical Reports across the scratch, checkpointed,
+// lockstep and unfused scheduler paths. This is the model-diff oracle
+// invariant on adversarial inputs: park/inject/resume chains that perturb
+// any observable, re-arm schedules that interact with checkpoint binning,
+// and trigger draws landing on edge instructions all surface here as
+// cross-path diffs.
+func FuzzFaultModelDivergence(f *testing.F) {
+	// A minimal body: triggers collapse onto the first instructions, so
+	// trigger-0 injection on a fresh machine must match a parked lane.
+	f.Add("global int out[2];\nvoid main() { out[0] = 1; out[1] = 2; }")
+	// Memory-heavy loop: the mem-flip/stuck-at address space is live and
+	// repeatedly overwritten, exercising re-arm re-forcing.
+	f.Add("global int in[8]; global int out[8];\nvoid main() { for (int i = 0; i < 30; i += 1) { out[i & 7] = out[(i + 1) & 7] + in[i & 7]; } }")
+	// Float kernel: burst corruption of float registers takes the F64
+	// rel-change attribution path.
+	f.Add("global float fin[8]; global int out[2]; global float fout[8];\nvoid main() { float a = 0.0; for (int i = 0; i < 16; i += 1) { a = a * 0.5 + fin[i & 7]; } fout[0] = a; out[0] = 1; }")
+	f.Add(Generate(3, DefaultGenConfig()).Source())
+	f.Add(Generate(9, DefaultGenConfig()).Source())
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, g := range prog.Globals {
+			if g.Size < 0 || g.Size > 1<<12 {
+				return
+			}
+			total += g.Size
+		}
+		if total > 1<<14 {
+			return
+		}
+		mod, err := lang.Codegen("fuzz", prog)
+		if err != nil {
+			return
+		}
+		mod.Renumber()
+		if err := mod.Verify(); err != nil {
+			return // FuzzCompileAndRun owns the verifier invariant
+		}
+		if err := passes.Normalize(mod); err != nil {
+			return
+		}
+		ints, floats := InputsForSeed(7)
+		// Campaigns need a fault-free golden run with room for triggers to
+		// spread; trapping and trivial programs are other targets' territory.
+		mach, err := lockstepMachine(mod, ints, floats, 200_000)
+		if err != nil {
+			return
+		}
+		res := mach.Run(vm.RunOptions{})
+		if res.Trap != nil || res.Dyn < 4 {
+			return
+		}
+		if d := diffFaultModels("fuzz", mod, ints, floats, nil); d != "" {
+			t.Fatalf("fault-model divergence: %s\n%s", d, src)
+		}
+	})
+}

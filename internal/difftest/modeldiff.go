@@ -1,0 +1,112 @@
+package difftest
+
+// Fault-model equivalence invariant. Every registered fault model promises
+// that its campaigns are execution-path independent: the scheduler knobs —
+// from-scratch vs checkpointed solo vs lockstep batching, fused vs
+// per-instruction dispatch — are throughput-only, so the same seeds must
+// yield bit-identical Reports on every path. For the suspend-injected
+// models this is the load-bearing property: their injection and re-arm
+// hooks ride the unified suspend threshold, and a park/resume chain that
+// perturbed any observable would surface here as a cross-path diff. The
+// probe runs every registered model on each generated program; reg-flip
+// rides along as the control (its paths are also pinned by the lockstep and
+// resume invariants).
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// modelTrials sizes the per-model campaign probe. Mirrors lockstepTrials:
+// enough to spread triggers over more than one checkpoint bin.
+const modelTrials = 6
+
+// diffFaultModels runs one small campaign per registered model (or per
+// model in only, when non-nil) on each of the scheduler paths and diffs
+// the Reports pairwise against the from-scratch reference. Returns ""
+// when the invariant holds.
+func diffFaultModels(name string, mod *ir.Module, ints []int64, floats []float64, only []string) string {
+	if mod.Global("out") == nil {
+		return "" // fuzzed sources may lack the campaign output
+	}
+	target := fault.Target{
+		Name: name,
+		// Bind the generator's inputs only when declared (fuzzed sources
+		// may drop either), mirroring lockstepMachine.
+		Bind: func(m *vm.Machine) error {
+			if mod.Global("in") != nil {
+				if err := m.BindInputInts("in", ints); err != nil {
+					return err
+				}
+			}
+			if mod.Global("fin") != nil {
+				return m.BindInputFloats("fin", floats)
+			}
+			return nil
+		},
+		Output:     "out",
+		Measure:    func(golden, test []uint64) float64 { return 0 },
+		Acceptable: func(float64) bool { return false },
+	}
+
+	models := fault.Models()
+	if len(only) > 0 {
+		models = models[:0:0]
+		for _, n := range only {
+			models = append(models, fault.MustModel(n))
+		}
+	}
+	for _, model := range models {
+		cfg := fault.DefaultConfig()
+		cfg.Model = model.Name()
+		cfg.Trials = modelTrials
+		cfg.Workers = 1
+		cfg.WatchdogFactor = 20
+
+		run := func(label string, checkpoints, lockstep, fuse int) (*fault.Report, string) {
+			c := cfg
+			c.Checkpoints = checkpoints
+			c.Lockstep = lockstep
+			c.Fuse = fuse
+			rep, err := fault.Run(nil, target, mod, "Original", c)
+			if err != nil {
+				return nil, fmt.Sprintf("%s/%s campaign: %v", model.Name(), label, err)
+			}
+			if len(rep.Anomalies) != 0 || rep.Partial {
+				return nil, fmt.Sprintf("%s/%s campaign: unexpected anomalies/partial state: %+v", model.Name(), label, rep)
+			}
+			return rep, ""
+		}
+		ref, d := run("scratch", -1, -1, 0)
+		if d != "" {
+			return d
+		}
+		paths := []struct {
+			label                       string
+			checkpoints, lockstep, fuse int
+		}{
+			{"checkpointed", 2, -1, 0},
+			{"lockstep", 2, 1, 0},
+			{"unfused", -1, -1, -1},
+		}
+		for _, p := range paths {
+			rep, d := run(p.label, p.checkpoints, p.lockstep, p.fuse)
+			if d != "" {
+				return d
+			}
+			if rep.Tally != ref.Tally {
+				return fmt.Sprintf("%s: tally: %s %+v != scratch %+v", model.Name(), p.label, rep.Tally, ref.Tally)
+			}
+			for i := range ref.Trials {
+				if rep.Trials[i] != ref.Trials[i] {
+					return fmt.Sprintf("%s: trial %d: %s %+v != scratch %+v",
+						model.Name(), i, p.label, rep.Trials[i], ref.Trials[i])
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -24,6 +24,7 @@ const (
 	InvResume     = "resume-diff"     // resumed journaled campaign disagrees with uninterrupted one
 	InvLockstep   = "lockstep-diff"   // lockstep batch executor disagrees with the solo engine
 	InvFuse       = "fuse-diff"       // fused dispatch disagrees with the per-instruction path
+	InvModel      = "model-diff"      // a fault model's campaign differs across scheduler paths
 )
 
 // Failure describes one violated invariant. It implements error.
@@ -76,6 +77,9 @@ type OracleConfig struct {
 	// run as the reference). Nil means all of Modes. When set, the
 	// cost-ordering invariant is skipped — it needs the full set.
 	Only []string
+	// Models restricts the fault models exercised by the model-diff
+	// invariant. Nil means every registered model.
+	Models []string
 }
 
 // DefaultOracleConfig bounds runs far above anything the generator emits.
@@ -189,6 +193,16 @@ func CheckSource(name, src string, ints []int64, floats []float64, cfg OracleCon
 				if mode == core.SchemeOriginal {
 					if d := diffLockstep(name, pm, ints, floats, cfg.MaxDyn, r); d != "" {
 						return &Failure{Invariant: InvLockstep, Pipeline: pl.Name, Mode: mode, Detail: d}
+					}
+				}
+				// Fault-model cross-check (Original only — model hooks act on
+				// the vm layer beneath protection): every registered fault
+				// model must produce bit-identical campaign Reports across
+				// scratch, checkpointed, lockstep and unfused paths. Programs
+				// too short for triggers to spread are skipped.
+				if mode == core.SchemeOriginal && r.dyn >= 4 {
+					if d := diffFaultModels(name, pm, ints, floats, cfg.Models); d != "" {
+						return &Failure{Invariant: InvModel, Pipeline: pl.Name, Mode: mode, Detail: d}
 					}
 				}
 			}

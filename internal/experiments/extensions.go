@@ -32,7 +32,7 @@ type CFCRow struct {
 // BranchFaults evaluates branch-target fault coverage for unprotected,
 // Dup+val-chks, and Dup+val-chks+CFC builds.
 func BranchFaults(cfg fault.Config) ([]CFCRow, string, error) {
-	cfg.Kind = vm.FaultBranchTarget
+	cfg.Model = fault.ModelBranchTarget
 	var rows []CFCRow
 	var cells [][]string
 	for _, name := range cfcWorkloads {

@@ -115,17 +115,12 @@ func drawTriggers(cfg Config, goldenDyn int64) []int64 {
 	return triggers
 }
 
-// effectiveTrigger is the earliest dyn index whose machine state a trial's
-// injection can observe. Register faults fire at the first fault-eligible
-// instruction with pre-increment dyn >= TriggerDyn — the suspend point
-// itself. Branch-target faults fire at the first taken branch whose
-// post-increment dyn reaches TriggerDyn, i.e. pre-increment TriggerDyn-1.
-func effectiveTrigger(kind vm.FaultKind, trigger int64) int64 {
-	if kind == vm.FaultBranchTarget {
-		return trigger - 1
-	}
-	return trigger
-}
+// The earliest dyn index whose machine state a trial's injection can
+// observe is the model's EffectiveTrigger: register and memory faults fire
+// at the first fault-eligible instruction with pre-increment dyn >=
+// TriggerDyn — the suspend point itself — while branch-target faults fire
+// at the first taken branch whose post-increment dyn reaches TriggerDyn,
+// i.e. pre-increment TriggerDyn-1.
 
 // takeSnapshots performs the instrumented golden run: one machine executes
 // the golden prefix once, suspending at each scheduled dyn index to capture

@@ -145,7 +145,7 @@ func TestCampaignCheckpointEquivalenceBranch(t *testing.T) {
 			prot := protectedFor(t, w, core.SchemeDup)
 			cfg := fault.DefaultConfig()
 			cfg.Trials = 20
-			cfg.Kind = vm.FaultBranchTarget
+			cfg.Model = fault.ModelBranchTarget
 			checkpointVsScratch(t, w, prot, "DupOnly", cfg)
 		})
 	}
@@ -164,7 +164,7 @@ func TestCampaignEngineEquivalenceBranch(t *testing.T) {
 		cfg := fault.DefaultConfig()
 		cfg.Trials = 60
 		cfg.Engine = engine
-		cfg.Kind = vm.FaultBranchTarget
+		cfg.Model = fault.ModelBranchTarget
 		rep, err := fault.Run(context.Background(), w.Target(workloads.Test), mod.Clone(), "Original", cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -80,13 +80,13 @@ func TestConvergenceShortCircuit(t *testing.T) {
 	ws := (&campaign{cfg: cfg}).newWorker()
 	shortCircuits, masked := 0, 0
 	for trial := 0; trial < 60; trial++ {
-		p1 := drawPlan(cfg, goldenDyn, trial, ws.src, ws.rng)
+		p1 := drawPlan(MustModel(cfg.Model), cfg, goldenDyn, trial, ws.src, ws.rng)
 		solo.Reset()
-		tr1, to1 := finishTrial(solo, p1, target, cfg, golden, nil, time.Time{})
+		tr1, to1 := finishTrial(solo, p1, target, cfg, golden, nil, time.Time{}, nil)
 
-		p2 := drawPlan(cfg, goldenDyn, trial, ws.src, ws.rng)
+		p2 := drawPlan(MustModel(cfg.Model), cfg, goldenDyn, trial, ws.src, ws.rng)
 		conv.Reset()
-		tr2, to2 := finishTrialConverging(conv, p2, target, cfg, golden, nil, time.Time{}, snaps)
+		tr2, to2 := finishTrial(conv, p2, target, cfg, golden, nil, time.Time{}, snaps)
 
 		if tr1 != tr2 || to1 != to2 {
 			t.Fatalf("trial %d: solo %+v (timeout %v) vs converging %+v (timeout %v)",

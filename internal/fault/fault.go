@@ -36,10 +36,14 @@ func (o Outcome) String() string { return outcomeNames[o] }
 
 // Config parameterizes a campaign.
 type Config struct {
-	// Kind selects the fault model: register bit flips (the paper's model,
-	// default) or branch-target corruptions (the class the paper defers to
-	// signature-based control-flow checking).
-	Kind vm.FaultKind
+	// Model selects the fault model by registry name (ModelNames lists
+	// them): "" or "reg-flip" is the paper's model — single bit flips in
+	// live registers; "branch-target" corrupts branch destinations;
+	// "mem-flip", "burst", "stuck-at" and "intermittent" corrupt the
+	// memory image / multi-bit spans / persistently re-forced cells.
+	// Suspend-injected models (everything beyond the first two) require
+	// the fast engine.
+	Model string
 	// Trials is the number of injections (paper: 1000 per benchmark).
 	Trials int
 	// Seed makes the whole campaign deterministic.
@@ -242,6 +246,13 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	if cfg.WatchdogFactor <= 0 {
 		cfg.WatchdogFactor = 20
 	}
+	model, err := LookupModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	if !model.EngineInjected() && cfg.Engine != vm.EngineFast {
+		return nil, fmt.Errorf("fault: fault model %q requires the fast engine (suspend-injected models park the machine via SuspendAtDyn, which only the fast engine implements)", model.Name())
+	}
 
 	// Golden run: outputs, dynamic length, and persistently failing checks.
 	goldenMach, err := newMachine(t, mod, 0, cfg.Engine)
@@ -281,9 +292,9 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	}
 	maxDyn := goldenRes.Dyn*cfg.WatchdogFactor + 100_000
 
-	c := newCampaign(t, mod, cfg, golden, goldenRes.Dyn, disabled, maxDyn, rep)
+	c := newCampaign(t, mod, cfg, model, golden, goldenRes.Dyn, disabled, maxDyn, rep)
 	if cfg.JournalPath != "" {
-		hdr := headerFor(t, technique, cfg, goldenRes.Dyn, goldenRes.Cycles)
+		hdr := headerFor(t, technique, cfg, model.Name(), goldenRes.Dyn, goldenRes.Cycles)
 		jw, st, err := openJournal(cfg.JournalPath, cfg.Resume, hdr)
 		if err != nil {
 			return nil, err
@@ -346,11 +357,11 @@ func newMachine(t Target, mod *ir.Module, maxDyn int64, engine vm.EngineKind) (*
 // non-empty snaps ladder (the campaign's golden snapshots, ascending) the
 // suffix runs under convergence fast-forwarding: a trial whose state
 // re-converges with a golden snapshot after its fault fires short-circuits
-// to Masked (finishTrialConverging). A nonzero deadline bounds the run in
-// wall-clock time; a deadline hit is reported as timedOut, never as an
-// outcome — the caller decides between retry and quarantine.
-func runTrial(mach *vm.Machine, snap *vm.Snapshot, snaps []*vm.Snapshot, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand, deadline time.Time) (tr Trial, timedOut bool, err error) {
-	plan := drawPlan(cfg, goldenDyn, trial, src, rng)
+// to Masked (finishTrial). A nonzero deadline bounds the run in wall-clock
+// time; a deadline hit is reported as timedOut, never as an outcome — the
+// caller decides between retry and quarantine.
+func runTrial(mach *vm.Machine, snap *vm.Snapshot, snaps []*vm.Snapshot, model Model, t Target, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, trial int, src rand.Source, rng *rand.Rand, deadline time.Time) (tr Trial, timedOut bool, err error) {
+	plan := drawPlan(model, cfg, goldenDyn, trial, src, rng)
 	if snap != nil {
 		if err := mach.Restore(snap); err != nil {
 			return Trial{}, false, err
@@ -358,63 +369,92 @@ func runTrial(mach *vm.Machine, snap *vm.Snapshot, snaps []*vm.Snapshot, t Targe
 	} else {
 		mach.Reset()
 	}
-	if len(snaps) > 0 {
-		tr, timedOut = finishTrialConverging(mach, plan, t, cfg, golden, disabled, deadline, snaps)
-	} else {
-		tr, timedOut = finishTrial(mach, plan, t, cfg, golden, disabled, deadline)
-	}
+	tr, timedOut = finishTrial(mach, plan, t, cfg, golden, disabled, deadline, snaps)
 	return tr, timedOut, nil
 }
 
-// drawPlan re-seeds src with the trial's seed and draws its fault plan. The
-// trigger is the first draw after seeding — the position drawTriggers and
-// the anomaly reproducer scheme rely on — and the slot/bit closures consume
-// rng lazily during the run, exactly as a fresh rand.New(seed) would.
-func drawPlan(cfg Config, goldenDyn int64, trial int, src rand.Source, rng *rand.Rand) *vm.FaultPlan {
+// drawPlan re-seeds src with the trial's seed and draws its fault plan from
+// the model. The trigger is the first draw after seeding — the position
+// drawTriggers and the anomaly reproducer scheme rely on, for every model —
+// and the model's space draws consume rng lazily at injection time, exactly
+// as a fresh rand.New(seed) would.
+func drawPlan(model Model, cfg Config, goldenDyn int64, trial int, src rand.Source, rng *rand.Rand) *Plan {
 	src.Seed(seedFor(cfg, trial))
-	return &vm.FaultPlan{
-		Kind:       cfg.Kind,
-		TriggerDyn: rng.Int63n(goldenDyn),
-		PickSlot:   func(n int) int { return rng.Intn(n) },
-		PickBit:    func() int { return rng.Intn(64) },
+	p := model.Draw(goldenDyn, rng)
+	p.model = model
+	if p.VM != nil {
+		p.pendingAt = -1 // the engine owns the injection
+	} else {
+		p.pendingAt = p.TriggerDyn
+	}
+	return p
+}
+
+// runPlanned drives one machine run under a trial plan, parking the machine
+// wherever the plan owes a hook — the suspend-injected models' injection
+// point, then each re-arm point — and running the hooks while parked. A
+// positive suspendAt additionally parks at the caller's own threshold (the
+// convergence ladder) and returns there; a park that satisfies both at once
+// returns first and defers the hook to the caller's next runPlanned call,
+// which is sound because an uninjected plan never fast-forwards. Engine-
+// injected plans owe no parks, so their fast path is a single Run, exactly
+// the pre-registry campaign body.
+func runPlanned(mach *vm.Machine, plan *Plan, cfg Config, disabled map[int]bool, deadline time.Time, suspendAt int64) *vm.Result {
+	for {
+		plan.hookNow(mach)
+		stop := plan.pendingAt
+		if suspendAt > 0 && suspendAt > mach.Dyn() && (stop < 0 || suspendAt < stop) {
+			stop = suspendAt
+		}
+		if stop < 0 {
+			stop = 0 // no park owed: run to completion
+		}
+		res := mach.Run(vm.RunOptions{Fault: plan.VM, DisabledChecks: disabled, Deadline: deadline, SuspendAtDyn: stop, Fuse: fuseMode(cfg)})
+		if res.Trap != nil && res.Trap.Kind == vm.TrapSuspended {
+			if suspendAt > 0 && mach.Dyn() >= suspendAt {
+				return res // the caller's crossing; its hooks run next call
+			}
+			continue // the plan's own park: loop runs the hook and resumes
+		}
+		return res
 	}
 }
 
 // finishTrial runs an already-positioned machine — reset, restored to a
 // snapshot, or peeled from a lockstep carrier — under the trial's fault
-// plan and classifies the outcome. Shared by the solo and lockstep paths so
-// classification cannot drift between them.
-func finishTrial(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64, disabled map[int]bool, deadline time.Time) (tr Trial, timedOut bool) {
-	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, Fuse: fuseMode(cfg)})
-	return classifyTrial(mach, res, plan, t, cfg, golden)
-}
-
-// finishTrialConverging is finishTrial with convergence fast-forwarding, used
-// by the lockstep path. snaps is the campaign's golden snapshot ladder in
-// ascending dyn order: the suffix run suspends at each snapshot index above
-// the trial's position, and a trial whose fault has already fired
-// (plan.Injected) and whose full machine state is bit-identical to the golden
-// reference state at that index has a deterministically golden future — most
-// masked trials re-converge shortly after the corrupted value dies, so their
-// remaining suffix never needs to execute. The short-circuit constructs
-// exactly the Trial the full run would: trap-free, bit-equal output, Masked.
-// Comparing before the fault fires would be unsound (the pre-fire state
-// trivially equals golden while a pending fault still changes the future),
-// hence the Injected gate.
-func finishTrialConverging(mach *vm.Machine, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64, disabled map[int]bool, deadline time.Time, snaps []*vm.Snapshot) (tr Trial, timedOut bool) {
+// plan and classifies the outcome. Shared by the scratch, checkpointed and
+// lockstep paths so classification cannot drift between them.
+//
+// A non-empty snaps ladder (the campaign's golden snapshots, ascending)
+// enables convergence fast-forwarding: the suffix parks at each snapshot
+// index above the trial's position, and a trial whose fault has already
+// fired (plan.injected()) and whose full machine state is bit-identical to
+// the golden reference state at that index has a deterministically golden
+// future — most masked trials re-converge shortly after the corrupted value
+// dies, so their remaining suffix never needs to execute. The short-circuit
+// constructs exactly the Trial the full run would: trap-free, bit-equal
+// output, Masked. Two gates keep it sound: comparing before the fault fires
+// would trivially match golden while the pending fault still changes the
+// future (the injected() gate), and a re-arming model's fault can fire
+// again after the comparison point, so present-equals-golden proves nothing
+// about its future — re-arming trials never fast-forward at all.
+func finishTrial(mach *vm.Machine, plan *Plan, t Target, cfg Config, golden []uint64, disabled map[int]bool, deadline time.Time, snaps []*vm.Snapshot) (tr Trial, timedOut bool) {
+	if plan.model.Rearms() {
+		snaps = nil // soundness rule: see above
+	}
 	for _, s := range snaps {
 		if s.Dyn() <= mach.Dyn() {
 			continue
 		}
-		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, SuspendAtDyn: s.Dyn(), Fuse: fuseMode(cfg)})
+		res := runPlanned(mach, plan, cfg, disabled, deadline, s.Dyn())
 		if res.Trap == nil || res.Trap.Kind != vm.TrapSuspended {
 			return classifyTrial(mach, res, plan, t, cfg, golden)
 		}
-		if plan.Injected && mach.MatchesSnapshot(s) {
-			return Trial{Outcome: Masked, RelChange: plan.RelChange}, false
+		if plan.injected() && mach.MatchesSnapshot(s) {
+			return Trial{Outcome: Masked, RelChange: plan.relChange()}, false
 		}
 	}
-	res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled, Deadline: deadline, Fuse: fuseMode(cfg)})
+	res := runPlanned(mach, plan, cfg, disabled, deadline, 0)
 	return classifyTrial(mach, res, plan, t, cfg, golden)
 }
 
@@ -429,8 +469,8 @@ func fuseMode(cfg Config) vm.FuseMode {
 
 // classifyTrial maps a terminal Result onto the §IV-C taxonomy. Shared by
 // every suffix path so classification cannot drift.
-func classifyTrial(mach *vm.Machine, res *vm.Result, plan *vm.FaultPlan, t Target, cfg Config, golden []uint64) (tr Trial, timedOut bool) {
-	tr = Trial{RelChange: plan.RelChange}
+func classifyTrial(mach *vm.Machine, res *vm.Result, plan *Plan, t Target, cfg Config, golden []uint64) (tr Trial, timedOut bool) {
+	tr = Trial{RelChange: plan.relChange()}
 	if res.Trap != nil {
 		tr.TrapKind = res.Trap.Kind
 		switch {

@@ -14,7 +14,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -104,7 +103,7 @@ func TestCampaignFusionEquivalencePaths(t *testing.T) {
 		run := func(fuse int) *fault.Report {
 			cfg := fault.DefaultConfig()
 			cfg.Trials = 30
-			cfg.Kind = vm.FaultBranchTarget
+			cfg.Model = fault.ModelBranchTarget
 			cfg.Lockstep = -1
 			cfg.Fuse = fuse
 			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
@@ -159,13 +158,15 @@ func TestCampaignConvergenceEquivalence(t *testing.T) {
 		workload  string
 		mode      string
 		technique string
-		kind      vm.FaultKind
+		model     string
 	}{
-		{"tiff2bw", core.SchemeFullDup, "FullDup", vm.FaultRegister},
-		{"kmeans", core.SchemeFullDup, "FullDup", vm.FaultRegister},
-		{"svm", core.SchemeOriginal, "Original", vm.FaultRegister},
-		{"g721dec", core.SchemeDup, "DupOnly", vm.FaultRegister},
-		{"kmeans", core.SchemeFullDup, "FullDup", vm.FaultBranchTarget},
+		{"tiff2bw", core.SchemeFullDup, "FullDup", fault.ModelRegFlip},
+		{"kmeans", core.SchemeFullDup, "FullDup", fault.ModelRegFlip},
+		{"svm", core.SchemeOriginal, "Original", fault.ModelRegFlip},
+		{"g721dec", core.SchemeDup, "DupOnly", fault.ModelRegFlip},
+		{"kmeans", core.SchemeFullDup, "FullDup", fault.ModelBranchTarget},
+		{"kmeans", core.SchemeFullDup, "FullDup", fault.ModelMemFlip},
+		{"g721dec", core.SchemeDup, "DupOnly", fault.ModelBurst},
 	}
 	if raceEnabled {
 		cells = cells[:2]
@@ -173,8 +174,8 @@ func TestCampaignConvergenceEquivalence(t *testing.T) {
 	for _, c := range cells {
 		c := c
 		name := c.workload + "/" + c.mode
-		if c.kind == vm.FaultBranchTarget {
-			name += "/branch"
+		if c.model != fault.ModelRegFlip {
+			name += "/" + c.model
 		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -184,7 +185,7 @@ func TestCampaignConvergenceEquivalence(t *testing.T) {
 				cfg := fault.DefaultConfig()
 				cfg.Trials = 40
 				cfg.Lockstep = -1
-				cfg.Kind = c.kind
+				cfg.Model = c.model
 				cfg.Converge = conv
 				rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, c.technique, cfg)
 				if err != nil {

@@ -33,8 +33,9 @@ import (
 )
 
 // journalVersion gates replay: a journal written by an incompatible record
-// schema is rejected rather than misread.
-const journalVersion = 1
+// schema is rejected rather than misread. Version 2 replaced the numeric
+// fault-kind field with the registry model name.
+const journalVersion = 2
 
 // journalFlushBatch bounds how many records the batched writer buffers
 // before forcing them to the OS; a crash loses at most this many trials.
@@ -55,7 +56,7 @@ type journalHeader struct {
 	Technique       string `json:"technique"`
 	Trials          int    `json:"trials"`
 	Seed            int64  `json:"seed"`
-	Kind            uint8  `json:"kind"`
+	Model           string `json:"model"`
 	SymptomWindow   int64  `json:"window"`
 	WatchdogFactor  int64  `json:"watchdog"`
 	LargeChangeBits uint64 `json:"large"`
@@ -118,14 +119,16 @@ func decodeTrial(jt *journalTrial) Trial {
 }
 
 // headerFor builds the identity record for a campaign over one golden run.
-func headerFor(t Target, technique string, cfg Config, goldenDyn, goldenCycles int64) *journalHeader {
+// model is the resolved registry name, so a default-model ("") campaign and
+// an explicit "reg-flip" one share an identity.
+func headerFor(t Target, technique string, cfg Config, model string, goldenDyn, goldenCycles int64) *journalHeader {
 	return &journalHeader{
 		Version:         journalVersion,
 		Workload:        t.Name,
 		Technique:       technique,
 		Trials:          cfg.Trials,
 		Seed:            cfg.Seed,
-		Kind:            uint8(cfg.Kind),
+		Model:           model,
 		SymptomWindow:   cfg.SymptomWindow,
 		WatchdogFactor:  cfg.WatchdogFactor,
 		LargeChangeBits: math.Float64bits(cfg.LargeChange),
@@ -148,8 +151,8 @@ func (h *journalHeader) mismatch(want *journalHeader) string {
 		return fmt.Sprintf("trial count %d, want %d", h.Trials, want.Trials)
 	case h.Seed != want.Seed:
 		return fmt.Sprintf("seed %d, want %d", h.Seed, want.Seed)
-	case h.Kind != want.Kind:
-		return fmt.Sprintf("fault kind %d, want %d", h.Kind, want.Kind)
+	case h.Model != want.Model:
+		return fmt.Sprintf("fault model %q, want %q", h.Model, want.Model)
 	case h.SymptomWindow != want.SymptomWindow:
 		return fmt.Sprintf("symptom window %d, want %d", h.SymptomWindow, want.SymptomWindow)
 	case h.WatchdogFactor != want.WatchdogFactor:

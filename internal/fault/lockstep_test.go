@@ -20,7 +20,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/vm"
 	"repro/internal/workloads"
 )
 
@@ -97,7 +96,7 @@ func TestCampaignLockstepEquivalenceBranch(t *testing.T) {
 			prot := protectedFor(t, w, core.SchemeDup)
 			cfg := fault.DefaultConfig()
 			cfg.Trials = 20
-			cfg.Kind = vm.FaultBranchTarget
+			cfg.Model = fault.ModelBranchTarget
 			cfg.Checkpoints = 6
 			run := func(lockstep int) *fault.Report {
 				c := cfg

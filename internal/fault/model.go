@@ -1,0 +1,498 @@
+package fault
+
+// The fault-model registry — the campaign engine's second axis, orthogonal
+// to the protection-scheme registry in internal/core. A Model decides what
+// one trial corrupts; everything downstream (checkpoint binning, lockstep
+// peeling, convergence fast-forwarding, journaling, the difftest oracle,
+// the experiments sweep, both CLIs) enumerates the registry, so a newly
+// registered model becomes a first-class campaign with no further wiring.
+//
+// Two injection mechanisms coexist:
+//
+//   - engine-injected models (reg-flip, branch-target) draw a vm.FaultPlan
+//     and let the engine fire it mid-run — the original path, bit-identical
+//     under the registry to what the pre-registry campaign produced;
+//   - suspend-injected models (mem-flip, burst, stuck-at, intermittent)
+//     park the machine at the injection point via RunOptions.SuspendAtDyn —
+//     the same unified event threshold the engine uses for its own fault
+//     triggers — and corrupt architectural state externally through the
+//     vm's fault-access surface, then resume. Re-arming models (stuck-at,
+//     intermittent) park again at every scheduled re-arm point.
+//
+// Soundness rule for re-arming models: convergence fast-forwarding and
+// MatchesSnapshot short-circuits prove "the future is golden" from "the
+// present state is golden". That implication fails once a fault can fire
+// again after the comparison point, so trials of models whose Rearms()
+// reports true never fast-forward — see finishTrial.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Model is one registered fault model.
+type Model interface {
+	// Name is the canonical registry identifier ("mem-flip").
+	Name() string
+	// Title is the human-readable label ("Memory bit flip").
+	Title() string
+	// Draw draws one trial's plan from a freshly seeded per-trial rng. The
+	// FIRST draw after seeding must be the trigger, rng.Int63n(goldenDyn) —
+	// the checkpoint scheduler (drawTriggers) and the anomaly reproducer
+	// scheme pin that position. Space draws (slot, address, bit, width)
+	// must be deferred to injection time, when the machine state they
+	// condition on exists.
+	Draw(goldenDyn int64, rng *rand.Rand) *Plan
+	// EngineInjected reports whether plans carry a vm.FaultPlan the engine
+	// executes itself. Suspend-injected models (false) require the fast
+	// engine: only it implements SuspendAtDyn.
+	EngineInjected() bool
+	// Inject corrupts a machine parked at the plan's injection point
+	// (suspend-injected models only). It returns false when nothing
+	// eligible is available yet — e.g. no live register — and the trial
+	// driver retries one instruction later, mirroring the engine's own
+	// pending-fault retry.
+	Inject(m *vm.Machine, p *Plan) bool
+	// Rearms is the re-arm predicate: true when an injected fault keeps
+	// firing after its first strike (the stuck-at class). Re-arming trials
+	// are excluded from convergence fast-forwarding (soundness — see the
+	// package comment above).
+	Rearms() bool
+	// Rearm re-forces the corruption on a machine parked at a re-arm point
+	// and returns the next re-arm dyn, or -1 once the fault has retired.
+	// Called only when Rearms() is true.
+	Rearm(m *vm.Machine, p *Plan) int64
+	// EffectiveTrigger is the earliest dyn index whose machine state the
+	// injection can observe — the checkpoint binning / lockstep peel bound.
+	EffectiveTrigger(trigger int64) int64
+}
+
+// Plan is one trial's drawn fault: the trigger plus either an engine
+// fault plan (VM non-nil) or the state a suspend-injected model needs to
+// fire and, for re-arming models, keep firing.
+type Plan struct {
+	// TriggerDyn is the injection point in dynamic instructions — always
+	// the first rng draw after per-trial seeding.
+	TriggerDyn int64
+	// VM is the engine-executed fault plan; nil for suspend-injected
+	// models. Injection results (Injected, RelChange) live on it.
+	VM *vm.FaultPlan
+	// Injected and RelChange mirror vm.FaultPlan's fields for
+	// suspend-injected models; read them through injected()/relChange(),
+	// which dispatch on the mechanism.
+	Injected  bool
+	RelChange float64
+
+	model Model
+	// rng feeds the model's lazy space draws at injection time; the worker
+	// re-seeds it per trial, so draws replay identically on every execution
+	// path (scratch, checkpointed, lockstep) — each parks the machine in
+	// the same state before the same draw.
+	rng *rand.Rand
+	// pendingAt is the next dyn the trial driver must park the machine at
+	// for this plan — the injection point before the fault fires, then the
+	// next re-arm point for re-arming models; -1 when no park is owed.
+	pendingAt int64
+
+	// Suspend-injected model scratch.
+	addr   uint64 // corrupted memory word (mem-flip, burst, stuck-at)
+	mask   uint64 // corrupted bit(s) within the word
+	val    uint64 // stuck-at: bit values re-forced under mask
+	until  int64  // intermittent: re-arming stops once dyn reaches this
+	stride int64  // re-arm cadence in dynamic instructions
+}
+
+// Model returns the model that drew this plan.
+func (p *Plan) Model() Model { return p.model }
+
+// injected reports whether the fault has fired, whichever mechanism
+// carries it.
+func (p *Plan) injected() bool {
+	if p.VM != nil {
+		return p.VM.Injected
+	}
+	return p.Injected
+}
+
+// relChange is the corrupted value's relative change, whichever mechanism
+// recorded it.
+func (p *Plan) relChange() float64 {
+	if p.VM != nil {
+		return p.VM.RelChange
+	}
+	return p.RelChange
+}
+
+// hookNow runs every plan hook due at the machine's current position:
+// injection when the machine is parked at (or first eligible past) the
+// trigger, re-arms at their scheduled points. The driver calls it after
+// every park; the guard also admits a fresh machine at dyn 0, whose state
+// is identical to a park at the origin (nothing has executed), so a
+// trigger-0 trial needs no unreachable SuspendAtDyn=0 run.
+func (p *Plan) hookNow(m *vm.Machine) {
+	for p.pendingAt >= 0 && p.pendingAt <= m.Dyn() && (m.Suspended() || m.Dyn() == 0) {
+		if !p.Injected {
+			if p.model.Inject(m, p) {
+				p.Injected = true
+				if p.model.Rearms() {
+					p.pendingAt = m.Dyn() + p.stride
+				} else {
+					p.pendingAt = -1
+				}
+			} else {
+				// Nothing eligible at this instruction; retry at the next,
+				// mirroring the engine's pending-register-fault retry.
+				p.pendingAt = m.Dyn() + 1
+			}
+			continue
+		}
+		p.pendingAt = p.model.Rearm(m, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Registry. Mirrors internal/core's scheme registry: init-time registration,
+// panic on invalid or duplicate names, enumeration in registration order.
+
+var (
+	modelsByName = map[string]Model{}
+	modelOrder   []string
+)
+
+// RegisterModel adds a fault model to the registry. It panics on invalid or
+// duplicate names — registration is an init-time, programmer-facing act.
+func RegisterModel(m Model) {
+	name := m.Name()
+	if name == "" || strings.ContainsAny(name, "+ \t\n") || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("fault: invalid model name %q (lowercase, no spaces or '+')", name))
+	}
+	if _, dup := modelsByName[name]; dup {
+		panic(fmt.Sprintf("fault: model %q already registered", name))
+	}
+	modelsByName[name] = m
+	modelOrder = append(modelOrder, name)
+}
+
+// Models returns every registered fault model in registration order.
+func Models() []Model {
+	out := make([]Model, len(modelOrder))
+	for i, n := range modelOrder {
+		out[i] = modelsByName[n]
+	}
+	return out
+}
+
+// ModelNames returns the registered model names in registration order.
+func ModelNames() []string {
+	return append([]string(nil), modelOrder...)
+}
+
+// LookupModel resolves a model name; "" means the default (reg-flip, the
+// paper's model). Unknown names error with the registered set, sorted.
+func LookupModel(name string) (Model, error) {
+	if name == "" {
+		name = ModelRegFlip
+	}
+	if m, ok := modelsByName[name]; ok {
+		return m, nil
+	}
+	known := append([]string(nil), modelOrder...)
+	sort.Strings(known)
+	return nil, fmt.Errorf("fault: unknown fault model %q (registered: %s)", name, strings.Join(known, ", "))
+}
+
+// MustModel is LookupModel for static names; it panics on unknown ones.
+func MustModel(name string) Model {
+	m, err := LookupModel(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Registered model names.
+const (
+	ModelRegFlip      = "reg-flip"
+	ModelBranchTarget = "branch-target"
+	ModelMemFlip      = "mem-flip"
+	ModelBurst        = "burst"
+	ModelStuckAt      = "stuck-at"
+	ModelIntermittent = "intermittent"
+)
+
+func init() {
+	RegisterModel(regFlipModel{})
+	RegisterModel(branchTargetModel{})
+	RegisterModel(memFlipModel{})
+	RegisterModel(burstModel{})
+	RegisterModel(stuckAtModel{})
+	RegisterModel(intermittentModel{})
+}
+
+// transientBase supplies the defaults shared by transient suspend-injected
+// models; engine-injected and re-arming models override what differs.
+type transientBase struct{}
+
+func (transientBase) EngineInjected() bool                 { return false }
+func (transientBase) Rearms() bool                         { return false }
+func (transientBase) Rearm(*vm.Machine, *Plan) int64       { panic("fault: model does not re-arm") }
+func (transientBase) EffectiveTrigger(trigger int64) int64 { return trigger }
+func (transientBase) Inject(m *vm.Machine, p *Plan) bool {
+	panic("fault: engine-injected model has no hook")
+}
+
+// ---------------------------------------------------------------------------
+// reg-flip: the paper's model. One bit of one live register, flipped once,
+// injected by the engine itself. The Draw below is byte-identical — same
+// trigger draw, same lazy PickSlot/PickBit closures over the same rng — to
+// the pre-registry drawPlan, which the golden rng-stability test pins.
+
+type regFlipModel struct{ transientBase }
+
+func (regFlipModel) Name() string         { return ModelRegFlip }
+func (regFlipModel) Title() string        { return "Register bit flip" }
+func (regFlipModel) EngineInjected() bool { return true }
+
+func (regFlipModel) Draw(goldenDyn int64, rng *rand.Rand) *Plan {
+	vp := &vm.FaultPlan{
+		Kind:       vm.FaultRegister,
+		TriggerDyn: rng.Int63n(goldenDyn),
+		PickSlot:   func(n int) int { return rng.Intn(n) },
+		PickBit:    func() int { return rng.Intn(64) },
+	}
+	return &Plan{TriggerDyn: vp.TriggerDyn, VM: vp}
+}
+
+// branch-target: the control-flow corruption class the paper defers to
+// signature-based checking — today a first-class model, formerly the
+// Campaign.BranchTargets side mode. A branch whose post-increment dyn
+// reaches the trigger is redirected, so the earliest observable state is
+// one instruction before the trigger.
+
+type branchTargetModel struct{ transientBase }
+
+func (branchTargetModel) Name() string                         { return ModelBranchTarget }
+func (branchTargetModel) Title() string                        { return "Branch-target corruption" }
+func (branchTargetModel) EngineInjected() bool                 { return true }
+func (branchTargetModel) EffectiveTrigger(trigger int64) int64 { return trigger - 1 }
+
+func (branchTargetModel) Draw(goldenDyn int64, rng *rand.Rand) *Plan {
+	vp := &vm.FaultPlan{
+		Kind:       vm.FaultBranchTarget,
+		TriggerDyn: rng.Int63n(goldenDyn),
+		PickSlot:   func(n int) int { return rng.Intn(n) },
+		PickBit:    func() int { return rng.Intn(64) },
+	}
+	return &Plan{TriggerDyn: vp.TriggerDyn, VM: vp}
+}
+
+// ---------------------------------------------------------------------------
+// mem-flip: one bit of one word of the snapshot-visible memory image —
+// globals plus the live stack, addresses [1, MemUsed()). A strike in DRAM
+// rather than the register file: the corruption persists until the program
+// overwrites the word, but the cell itself stays healthy (transient).
+
+type memFlipModel struct{ transientBase }
+
+func (memFlipModel) Name() string  { return ModelMemFlip }
+func (memFlipModel) Title() string { return "Memory bit flip" }
+
+func (memFlipModel) Draw(goldenDyn int64, rng *rand.Rand) *Plan {
+	return &Plan{TriggerDyn: rng.Int63n(goldenDyn), rng: rng}
+}
+
+func (memFlipModel) Inject(m *vm.Machine, p *Plan) bool {
+	used := m.MemUsed()
+	if used <= 1 {
+		return false // no image yet (no globals, nothing alloca'd)
+	}
+	addr := 1 + uint64(p.rng.Int63n(int64(used-1)))
+	bit := p.rng.Intn(64)
+	old := m.MemWord(addr)
+	now := old ^ (1 << uint(bit))
+	m.SetMemWord(addr, now)
+	p.addr, p.mask = addr, 1<<uint(bit)
+	p.RelChange = relChangeInt(old, now)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// burst: 2–8 adjacent bits of one register or one memory word, corrupted in
+// a single strike (a multi-cell upset along a physical row). The space draw
+// picks the domain first; an empty domain falls over to the other, and a
+// machine with neither live registers nor a memory image retries at the
+// next instruction.
+
+type burstModel struct{ transientBase }
+
+func (burstModel) Name() string  { return ModelBurst }
+func (burstModel) Title() string { return "Multi-bit burst" }
+
+func (burstModel) Draw(goldenDyn int64, rng *rand.Rand) *Plan {
+	return &Plan{TriggerDyn: rng.Int63n(goldenDyn), rng: rng}
+}
+
+func (burstModel) Inject(m *vm.Machine, p *Plan) bool {
+	width := 2 + p.rng.Intn(7)      // 2..8 adjacent bits
+	start := p.rng.Intn(65 - width) // the burst fits inside one word
+	mask := (uint64(1)<<uint(width) - 1) << uint(start)
+	inReg := p.rng.Intn(2) == 0
+	if inReg && m.LiveRegCount() == 0 {
+		inReg = false
+	}
+	if !inReg && m.MemUsed() <= 1 {
+		if m.LiveRegCount() == 0 {
+			return false
+		}
+		inReg = true
+	}
+	p.mask = mask
+	if inReg {
+		i := p.rng.Intn(m.LiveRegCount())
+		old, ty := m.LiveReg(i)
+		now := old ^ mask
+		m.SetLiveReg(i, now)
+		p.RelChange = relChangeTyped(ty, old, now)
+		return true
+	}
+	addr := 1 + uint64(p.rng.Int63n(int64(m.MemUsed()-1)))
+	old := m.MemWord(addr)
+	now := old ^ mask
+	m.SetMemWord(addr, now)
+	p.addr = addr
+	p.RelChange = relChangeInt(old, now)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// stuck-at: a memory cell whose bit is stuck at the flipped value. The
+// first strike flips one bit of one word of the memory image; the trial
+// driver then parks the machine every rearmStride instructions — re-arms
+// ride the same unified event threshold (SuspendAtDyn) as every other
+// engine event — and the model re-forces the bit, so program writes that
+// would heal the word are re-corrupted until the trial retires.
+
+type stuckAtModel struct{ transientBase }
+
+func (stuckAtModel) Name() string  { return ModelStuckAt }
+func (stuckAtModel) Title() string { return "Stuck-at bit" }
+func (stuckAtModel) Rearms() bool  { return true }
+
+func (stuckAtModel) Draw(goldenDyn int64, rng *rand.Rand) *Plan {
+	return &Plan{
+		TriggerDyn: rng.Int63n(goldenDyn),
+		rng:        rng,
+		stride:     rearmStride(goldenDyn),
+		until:      math.MaxInt64, // stuck until the program retires
+	}
+}
+
+func (stuckAtModel) Inject(m *vm.Machine, p *Plan) bool { return stuckAtInject(m, p) }
+
+func (stuckAtModel) Rearm(m *vm.Machine, p *Plan) int64 {
+	if m.Dyn() >= p.until {
+		return -1
+	}
+	m.SetMemWord(p.addr, m.MemWord(p.addr)&^p.mask|p.val)
+	return m.Dyn() + p.stride
+}
+
+// stuckAtInject performs the initial strike shared by stuck-at and
+// intermittent: flip one bit of one memory word and record the stuck value
+// the re-arms will keep forcing.
+func stuckAtInject(m *vm.Machine, p *Plan) bool {
+	used := m.MemUsed()
+	if used <= 1 {
+		return false
+	}
+	addr := 1 + uint64(p.rng.Int63n(int64(used-1)))
+	bit := p.rng.Intn(64)
+	old := m.MemWord(addr)
+	now := old ^ (1 << uint(bit))
+	m.SetMemWord(addr, now)
+	p.addr, p.mask = addr, 1<<uint(bit)
+	p.val = now & p.mask
+	p.RelChange = relChangeInt(old, now)
+	return true
+}
+
+// rearmStride is the re-arm cadence: coarse enough that a re-arming trial
+// costs a bounded number of parks (the watchdog caps runs at a multiple of
+// goldenDyn), fine enough that short-lived overwrites still get re-struck.
+func rearmStride(goldenDyn int64) int64 {
+	if s := goldenDyn / 64; s > 1 {
+		return s
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------------
+// intermittent: a duration-bounded stuck-at — the cell misbehaves for a
+// random window after the strike, then heals (marginal hardware, not a hard
+// fault). The duration is drawn lazily at injection time, after the space
+// draws, keeping the trigger the first draw of the trial.
+
+type intermittentModel struct{ stuckAtModel }
+
+func (intermittentModel) Name() string  { return ModelIntermittent }
+func (intermittentModel) Title() string { return "Intermittent stuck-at" }
+
+func (intermittentModel) Draw(goldenDyn int64, rng *rand.Rand) *Plan {
+	p := stuckAtModel{}.Draw(goldenDyn, rng)
+	// Duration bound: up to a quarter of the golden run (at least one
+	// instruction), drawn per trial at injection time.
+	p.until = 0 // set by Inject; 0 marks "duration pending"
+	return p
+}
+
+func (intermittentModel) Inject(m *vm.Machine, p *Plan) bool {
+	if !stuckAtInject(m, p) {
+		return false
+	}
+	max := p.strideBase() / 4
+	if max < 1 {
+		max = 1
+	}
+	p.until = m.Dyn() + 1 + p.rng.Int63n(max)
+	return true
+}
+
+// strideBase recovers the golden length the stride was derived from, so the
+// duration bound scales with the workload without re-plumbing goldenDyn.
+func (p *Plan) strideBase() int64 {
+	if p.stride > 1 {
+		return p.stride * 64
+	}
+	return 64
+}
+
+// ---------------------------------------------------------------------------
+// Relative-change attribution, mirroring the in-engine injector's rules so
+// every model feeds the same USDC large/small split (Figure 2).
+
+func relChangeTyped(ty ir.Type, old, now uint64) float64 {
+	if ty == ir.F64 {
+		o, n := math.Float64frombits(old), math.Float64frombits(now)
+		d := math.Abs(n - o)
+		den := math.Max(math.Abs(o), 1)
+		rc := d / den
+		if math.IsNaN(rc) || math.IsInf(rc, 0) {
+			rc = math.Inf(1)
+		}
+		return rc
+	}
+	return relChangeInt(old, now)
+}
+
+func relChangeInt(old, now uint64) float64 {
+	o, n := int64(old), int64(now)
+	d := math.Abs(float64(n) - float64(o))
+	den := math.Max(math.Abs(float64(o)), 1)
+	return d / den
+}

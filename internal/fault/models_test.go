@@ -1,0 +1,76 @@
+package fault_test
+
+// Black-box per-model campaign coverage: every registered fault model must
+// run a campaign end to end on the public API, and a journaled campaign
+// must refuse to resume under a different model — the model is part of the
+// journal's identity, and silently mixing trial streams would corrupt the
+// tally.
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workloads"
+)
+
+func TestEveryModelCampaignSmoke(t *testing.T) {
+	w := workloads.ByName("g721dec")
+	prot := protectedFor(t, w, core.SchemeDup)
+	for _, name := range fault.ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := fault.DefaultConfig()
+			cfg.Trials = 12
+			cfg.Model = name
+			rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "DupOnly", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Tally.N != cfg.Trials {
+				t.Fatalf("tally N = %d, want %d (anomalies: %+v)", rep.Tally.N, cfg.Trials, rep.Anomalies)
+			}
+			if len(rep.Anomalies) != 0 || rep.Partial {
+				t.Fatalf("unexpected anomalies/partial: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestCrossModelResumeRejected(t *testing.T) {
+	w := workloads.ByName("tiff2bw")
+	prot := protectedFor(t, w, core.SchemeOriginal)
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+
+	cfg := fault.DefaultConfig()
+	cfg.Trials = 8
+	cfg.Model = fault.ModelMemFlip
+	cfg.JournalPath = path
+	if _, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Model = fault.ModelStuckAt
+	cfg.Resume = true
+	_, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err == nil {
+		t.Fatal("resume under a different fault model accepted")
+	}
+	if !strings.Contains(err.Error(), "fault model") || !strings.Contains(err.Error(), fault.ModelMemFlip) {
+		t.Fatalf("rejection does not name the model mismatch: %v", err)
+	}
+
+	// Same model resumes fine (identity check is on the resolved name).
+	cfg.Model = fault.ModelMemFlip
+	rep, err := fault.Run(context.Background(), w.Target(workloads.Test), prot, "Original", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replayed != cfg.Trials {
+		t.Fatalf("replayed %d trials, want %d", rep.Replayed, cfg.Trials)
+	}
+}

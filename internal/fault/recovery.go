@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -63,6 +64,13 @@ func RunWithRecovery(ctx context.Context, t Target, mod *ir.Module, technique st
 	if cfg.WatchdogFactor <= 0 {
 		cfg.WatchdogFactor = 20
 	}
+	model, err := LookupModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	if !model.EngineInjected() && cfg.Engine != vm.EngineFast {
+		return nil, fmt.Errorf("fault: fault model %q requires the fast engine (suspend-injected models park the machine via SuspendAtDyn, which only the fast engine implements)", model.Name())
+	}
 
 	goldenMach, err := newMachine(t, mod, 0, cfg.Engine)
 	if err != nil {
@@ -119,17 +127,13 @@ func RunWithRecovery(ctx context.Context, t Target, mod *ir.Module, technique st
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		src.Seed(cfg.Seed + int64(i)*7919)
-		plan := &vm.FaultPlan{
-			Kind:       cfg.Kind,
-			TriggerDyn: rng.Int63n(goldenRes.Dyn),
-			PickSlot:   func(n int) int { return rng.Intn(n) },
-			PickBit:    func() int { return rng.Intn(64) },
-		}
-		if err := start(effectiveTrigger(cfg.Kind, plan.TriggerDyn)); err != nil {
+		plan := drawPlan(model, cfg, goldenRes.Dyn, i, src, rng)
+		if err := start(model.EffectiveTrigger(plan.TriggerDyn)); err != nil {
 			return nil, err
 		}
-		res := mach.Run(vm.RunOptions{Fault: plan, DisabledChecks: disabled})
+		res := runPlanned(mach, plan, cfg, disabled, time.Time{}, 0)
+		// Cycle counters accumulate across the suspend/resume chain, so the
+		// terminal Result's Cycles already covers every resumed leg.
 		totalCycles += res.Cycles
 
 		if res.Trap != nil {

@@ -69,6 +69,7 @@ const (
 // used by both the from-scratch and the checkpointed worker pools.
 type campaign struct {
 	cfg       Config
+	model     Model
 	target    Target
 	mod       *ir.Module
 	golden    []uint64
@@ -90,9 +91,10 @@ type campaign struct {
 	stopOnce  sync.Once
 }
 
-func newCampaign(t Target, mod *ir.Module, cfg Config, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, rep *Report) *campaign {
+func newCampaign(t Target, mod *ir.Module, cfg Config, model Model, golden []uint64, goldenDyn int64, disabled map[int]bool, maxDyn int64, rep *Report) *campaign {
 	return &campaign{
 		cfg:       cfg,
+		model:     model,
 		target:    t,
 		mod:       mod,
 		golden:    golden,
@@ -358,7 +360,7 @@ func (c *campaign) attempt(ws *workerState, i int, snap *vm.Snapshot, snaps []*v
 	if c.cfg.TrialTimeout > 0 {
 		deadline = time.Now().Add(c.cfg.TrialTimeout)
 	}
-	tr, timedOut, err = runTrial(ws.mach, snap, snaps, c.target, c.cfg, c.golden, c.goldenDyn, c.disabled, i, ws.src, ws.rng, deadline)
+	tr, timedOut, err = runTrial(ws.mach, snap, snaps, c.model, c.target, c.cfg, c.golden, c.goldenDyn, c.disabled, i, ws.src, ws.rng, deadline)
 	return
 }
 
@@ -433,7 +435,7 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 	// b >= 1 restores snaps[b-1].
 	bins := make([][]int, len(snapAt)+1)
 	for _, i := range pending {
-		eff := effectiveTrigger(c.cfg.Kind, triggers[i])
+		eff := c.model.EffectiveTrigger(triggers[i])
 		b := sort.Search(len(snapAt), func(k int) bool { return snapAt[k] > eff })
 		bins[b] = append(bins[b], i)
 	}
@@ -527,7 +529,7 @@ func (c *campaign) runCheckpointed(ctx context.Context, pending []int, workers i
 func (c *campaign) runBinLockstep(ctx context.Context, ws *workerState, bin []int, base *vm.Snapshot, triggers []int64, snaps []*vm.Snapshot) error {
 	order := append([]int(nil), bin...)
 	sort.SliceStable(order, func(a, b int) bool {
-		return effectiveTrigger(c.cfg.Kind, triggers[order[a]]) < effectiveTrigger(c.cfg.Kind, triggers[order[b]])
+		return c.model.EffectiveTrigger(triggers[order[a]]) < c.model.EffectiveTrigger(triggers[order[b]])
 	})
 	lanes := make([]int, len(order))
 	arm := func(from int) error {
@@ -537,7 +539,7 @@ func (c *campaign) runBinLockstep(ctx context.Context, ws *workerState, bin []in
 		}
 		b.Reset(base)
 		for k := from; k < len(order); k++ {
-			d := effectiveTrigger(c.cfg.Kind, triggers[order[k]])
+			d := c.model.EffectiveTrigger(triggers[order[k]])
 			// Binning compares against the *requested* snapshot indices, but
 			// the snapshot itself parks at the first fault-eligible
 			// instruction at or after its index — possibly past a trigger
@@ -623,7 +625,7 @@ func (c *campaign) attemptLockstep(ws *workerState, i, lane int, snaps []*vm.Sna
 	if err = ws.ensureMachine(); err != nil {
 		return
 	}
-	plan := drawPlan(c.cfg, c.goldenDyn, i, ws.src, ws.rng)
+	plan := drawPlan(c.model, c.cfg, c.goldenDyn, i, ws.src, ws.rng)
 	if err = ws.batch.Peel(lane, ws.mach); err != nil {
 		return
 	}
@@ -631,6 +633,6 @@ func (c *campaign) attemptLockstep(ws *workerState, i, lane int, snaps []*vm.Sna
 	if c.cfg.TrialTimeout > 0 {
 		deadline = time.Now().Add(c.cfg.TrialTimeout)
 	}
-	tr, timedOut = finishTrialConverging(ws.mach, plan, c.target, c.cfg, c.golden, c.disabled, deadline, snaps)
+	tr, timedOut = finishTrial(ws.mach, plan, c.target, c.cfg, c.golden, c.disabled, deadline, snaps)
 	return
 }

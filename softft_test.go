@@ -340,3 +340,69 @@ func TestCampaignJournalResumeThroughPublicAPI(t *testing.T) {
 		t.Fatalf("resumed outcomes differ:\nfull=%+v\nresumed=%+v", full, resumed)
 	}
 }
+
+func TestCampaignFaultModelField(t *testing.T) {
+	prog, err := Compile("kernel", testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default campaigns resolve to the paper's model.
+	out, err := prog.InjectFaults(testInput(), Campaign{Trials: 20, Seed: 3, Output: "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FaultModel != "reg-flip" {
+		t.Fatalf("default FaultModel = %q, want reg-flip", out.FaultModel)
+	}
+	// Every registered model runs through the facade and reports itself.
+	for _, name := range FaultModels() {
+		out, err := prog.InjectFaults(testInput(), Campaign{Trials: 10, Seed: 3, Output: "out", FaultModel: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.FaultModel != name {
+			t.Fatalf("FaultModel = %q, want %q", out.FaultModel, name)
+		}
+		lo, hi := out.CoverageInterval()
+		if lo < 0 || hi > 1 || lo > out.Coverage() || hi < out.Coverage() {
+			t.Fatalf("%s: coverage interval [%f,%f] does not bracket %f", name, lo, hi, out.Coverage())
+		}
+	}
+	// Unknown models are rejected with the registered set.
+	if _, err := prog.InjectFaults(testInput(), Campaign{Trials: 10, Output: "out", FaultModel: "cosmic-ray"}); err == nil || !strings.Contains(err.Error(), "unknown fault model") {
+		t.Fatalf("unknown model: %v", err)
+	}
+}
+
+func TestBranchTargetsShim(t *testing.T) {
+	prog, err := Compile("kernel", testKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated flag is a shim over the branch-target model: same
+	// seeds, bit-identical outcomes, and the resolved model is reported.
+	shim, err := prog.InjectFaults(testInput(), Campaign{Trials: 40, Seed: 5, Output: "out", BranchTargets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shim.FaultModel != "branch-target" {
+		t.Fatalf("shim FaultModel = %q", shim.FaultModel)
+	}
+	direct, err := prog.InjectFaults(testInput(), Campaign{Trials: 40, Seed: 5, Output: "out", FaultModel: "branch-target"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(shim, direct) {
+		t.Fatalf("shim outcomes differ from -fault-model branch-target:\nshim=%+v\ndirect=%+v", shim, direct)
+	}
+	// Setting both fields is ambiguous and must be rejected, naming both.
+	_, err = prog.InjectFaults(testInput(), Campaign{Trials: 10, Output: "out", BranchTargets: true, FaultModel: "mem-flip"})
+	if err == nil || !strings.Contains(err.Error(), "BranchTargets") || !strings.Contains(err.Error(), "FaultModel") {
+		t.Fatalf("conflicting fields: %v", err)
+	}
+	// The recovery path shares campaignSetup and must reject identically.
+	_, err = prog.InjectFaultsWithRecovery(testInput(), Campaign{Trials: 10, Output: "out", BranchTargets: true, FaultModel: "mem-flip"})
+	if err == nil || !strings.Contains(err.Error(), "BranchTargets") {
+		t.Fatalf("recovery: conflicting fields: %v", err)
+	}
+}
