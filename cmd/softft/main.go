@@ -9,6 +9,12 @@
 //	softft -bench mp3dec -dump
 //	softft -src prog.sf -run
 //	softft -bench-campaign BENCH_campaign.json
+//
+// Distributed campaigns (see DESIGN.md, "Campaign service"):
+//
+//	softft serve -addr 127.0.0.1:7077 -dir /tmp/journals
+//	softft work -coordinator http://127.0.0.1:7077
+//	softft submit -bench jpegdec -mode dupval -inject 500 -wait
 package main
 
 import (
@@ -17,11 +23,29 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		var sub func([]string) error
+		switch os.Args[1] {
+		case "serve":
+			sub = runServe
+		case "work":
+			sub = runWork
+		case "submit":
+			sub = runSubmit
+		}
+		if sub != nil {
+			if err := sub(os.Args[2:]); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
 	var (
 		list    = flag.Bool("list", false, "list built-in benchmarks")
 		bench   = flag.String("bench", "", "built-in benchmark name")
@@ -227,9 +251,9 @@ func main() {
 		c.TrialTimeout = *trialTimeout
 		c.TargetCI = *targetCI
 
-		// SIGINT degrades gracefully: the campaign stops between trials and
-		// the completed work is still reported (and journaled).
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		// SIGINT and SIGTERM degrade gracefully: the campaign stops between
+		// trials and the completed work is still reported (and journaled).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		out, err := prog.InjectFaultsContext(ctx, bm.TestInput(), c)
 		stop()
 		if err != nil {
@@ -240,25 +264,37 @@ func main() {
 		if out.Replayed > 0 {
 			fmt.Fprintf(os.Stderr, "softft: resumed %d trials from %s\n", out.Replayed, *journal)
 		}
-		for _, a := range out.Anomalies {
-			fmt.Fprintf(os.Stderr, "softft: trial %d quarantined (%s, seed %d)\n", a.Trial, a.Reason, a.Seed)
-		}
 		if out.Partial {
+			for _, a := range out.Anomalies {
+				fmt.Fprintf(os.Stderr, "softft: trial %d quarantined (%s, seed %d)\n", a.Trial, a.Reason, a.Seed)
+			}
 			fmt.Fprintf(os.Stderr, "softft: campaign interrupted after %d trials; rerun with -journal/-resume to continue\n", out.Trials)
 			fmt.Fprintf(os.Stderr, "softft: partial outcomes: %s\n", out)
 			return
 		}
-		if out.EarlyStopped {
-			fmt.Fprintf(os.Stderr, "softft: early stop at %d trials (target CI %.3f reached, %d trials saved)\n",
-				out.Trials, *targetCI, out.TrialsSaved)
-		}
-		fmt.Printf("%s under %s: %s\n", bm.Name(), m, out)
-		fmt.Printf("  SDCs=%d (acceptable %d, unacceptable %d)  USDC rate %.2f%%\n",
-			out.SDCs, out.ASDCs, out.USDCs, 100*out.USDCRate())
-		if out.SWDetected > 0 {
-			fmt.Printf("  SWDetect breakdown: %d duplication, %d value, %d control-flow, %d abft\n",
-				out.SWDetectedDup, out.SWDetectedValue, out.SWDetectedCFC, out.SWDetectedABFT)
-		}
+		reportOutcomes(bm.Name(), m, out, *targetCI)
+	}
+}
+
+// reportOutcomes prints a finished campaign's report. The stdout lines
+// are a pure function of the Outcomes, and the distributed journal merge
+// is bit-reproducible, so a `submit -wait` and a solo `-inject` of the
+// same spec print byte-identical stdout; run-shape details (quarantines,
+// early stop) go to stderr.
+func reportOutcomes(bench string, m softft.Mode, out *softft.Outcomes, targetCI float64) {
+	for _, a := range out.Anomalies {
+		fmt.Fprintf(os.Stderr, "softft: trial %d quarantined (%s, seed %d)\n", a.Trial, a.Reason, a.Seed)
+	}
+	if out.EarlyStopped {
+		fmt.Fprintf(os.Stderr, "softft: early stop at %d trials (target CI %.3f reached, %d trials saved)\n",
+			out.Trials, targetCI, out.TrialsSaved)
+	}
+	fmt.Printf("%s under %s: %s\n", bench, m, out)
+	fmt.Printf("  SDCs=%d (acceptable %d, unacceptable %d)  USDC rate %.2f%%\n",
+		out.SDCs, out.ASDCs, out.USDCs, 100*out.USDCRate())
+	if out.SWDetected > 0 {
+		fmt.Printf("  SWDetect breakdown: %d duplication, %d value, %d control-flow, %d abft\n",
+			out.SWDetectedDup, out.SWDetectedValue, out.SWDetectedCFC, out.SWDetectedABFT)
 	}
 }
 

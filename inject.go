@@ -68,9 +68,19 @@ type Campaign struct {
 	// dispatch. Results are bit-identical either way — like Checkpoints and
 	// Lockstep, this is purely a throughput knob (and an escape hatch).
 	Fuse int
+	// ShardStart and ShardEnd restrict the campaign to the trial subrange
+	// [ShardStart, ShardEnd). Both zero (the default) runs every trial.
+	// Trial indices are absolute: seeds, fault plans, and outcomes of a
+	// shard run are identical to the same trials of a full run, so a
+	// campaign may be split into disjoint shards executed by separate
+	// processes and their journals merged (MergeShardOutcomes) into
+	// Outcomes bit-identical to a single-process run. Sharding requires a
+	// Journal (a shard's results are its journal).
+	ShardStart int
+	ShardEnd   int
 	// Journal, when nonempty, names a file to which every decided trial is
-	// durably appended (checksummed, batched), so a killed campaign can be
-	// resumed without losing completed work.
+	// durably appended (checksummed, batched, fsynced per batch), so a
+	// killed campaign can be resumed without losing completed work.
 	Journal string
 	// Resume replays an existing Journal before running: decided trials are
 	// restored and only the remainder executes. A resumed campaign's
@@ -88,6 +98,13 @@ type Campaign struct {
 	// OnTrial, when non-nil, is invoked at the start of each trial attempt
 	// with the trial index. It runs under the trial's panic isolation.
 	OnTrial func(trial int)
+	// OnProgress, when non-nil, is invoked after every decided trial
+	// (including journal-replayed ones) with the campaign's running
+	// totals: trials decided so far, of which covered (masked or
+	// detected) and unacceptable silent corruptions. Calls come from
+	// worker goroutines and may arrive out of order; treat the triple
+	// with the largest done as current. It must not block.
+	OnProgress func(done, covered, usdc int)
 }
 
 // Anomaly describes a quarantined trial: one that panicked or repeatedly
@@ -151,11 +168,20 @@ func (o *Outcomes) USDCRate() float64 {
 }
 
 // CoverageInterval returns the 95% Wilson score interval for Coverage.
+// The interval always contains the point estimate, stays within [0, 1]
+// even for zero or unanimous counts (where the normal approximation
+// degenerates), and narrows as Trials grows; Campaign.TargetCI compares
+// its width (and USDCInterval's) against the requested precision when
+// deciding to stop a campaign early.
 func (o *Outcomes) CoverageInterval() (lo, hi float64) {
 	return fault.Wilson(o.Masked+o.HWDetected+o.SWDetected, o.Trials, 1.96)
 }
 
-// USDCInterval returns the 95% Wilson score interval for USDCRate.
+// USDCInterval returns the 95% Wilson score interval for USDCRate. Its
+// guarantees match CoverageInterval's: the point estimate lies inside,
+// bounds stay in [0, 1], and width shrinks as Trials grows — USDC rates
+// are typically near zero, exactly where Wilson intervals remain sound
+// and Wald intervals collapse.
 func (o *Outcomes) USDCInterval() (lo, hi float64) {
 	return fault.Wilson(o.USDCs, o.Trials, 1.96)
 }
@@ -239,11 +265,17 @@ func (p *Program) campaignSetup(in *Input, c Campaign) (fault.Target, fault.Conf
 	cfg.Checkpoints = c.Checkpoints
 	cfg.Lockstep = c.Lockstep
 	cfg.Fuse = c.Fuse
+	if (c.ShardStart != 0 || c.ShardEnd != 0) && c.Journal == "" {
+		return fault.Target{}, fault.Config{}, fmt.Errorf("softft: Campaign.ShardStart/ShardEnd: sharding requires Campaign.Journal (a shard's results are its journal)")
+	}
+	cfg.ShardStart = c.ShardStart
+	cfg.ShardEnd = c.ShardEnd
 	cfg.JournalPath = c.Journal
 	cfg.Resume = c.Resume
 	cfg.TrialTimeout = c.TrialTimeout
 	cfg.TargetCI = c.TargetCI
 	cfg.OnTrial = c.OnTrial
+	cfg.OnProgress = c.OnProgress
 	target := fault.Target{
 		Name:       p.name,
 		Bind:       func(m *vm.Machine) error { return in.bind(m) },
@@ -274,13 +306,16 @@ func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign
 	if err != nil {
 		return nil, err
 	}
-	model, err := fault.LookupModel(cfg.Model)
-	if err != nil {
-		return nil, err // unreachable: fault.Run validated the name
-	}
+	return outcomesFromReport(rep), nil
+}
+
+// outcomesFromReport maps a campaign Report onto the public Outcomes
+// shape. It is the single mapping shared by direct campaigns and shard
+// merges, so the two can never drift.
+func outcomesFromReport(rep *fault.Report) *Outcomes {
 	ta := rep.Tally
 	out := &Outcomes{
-		FaultModel:      model.Name(),
+		FaultModel:      rep.FaultModel,
 		Trials:          ta.N,
 		Masked:          ta.Count[fault.Masked],
 		HWDetected:      ta.Count[fault.HWDetect],
@@ -303,7 +338,23 @@ func (p *Program) InjectFaultsContext(ctx context.Context, in *Input, c Campaign
 	for _, a := range rep.Anomalies {
 		out.Anomalies = append(out.Anomalies, Anomaly(a))
 	}
-	return out, nil
+	return out
+}
+
+// MergeShardOutcomes folds the journals of one campaign's shard runs (see
+// Campaign.ShardStart) into a single Outcomes, bit-identical — counts,
+// SDC decomposition, Anomalies ordering — to the Outcomes a
+// single-process run of the whole campaign produces. The journals must
+// share one campaign identity (workload, scheme, fault model, seed, trial
+// count, golden statistics); journals that never received a header (a
+// crash before the first write batch) are tolerated and contribute
+// nothing. Trials no journal decided leave the merged Outcomes Partial.
+func MergeShardOutcomes(paths []string) (*Outcomes, error) {
+	rep, err := fault.MergeShardJournals(paths)
+	if err != nil {
+		return nil, err
+	}
+	return outcomesFromReport(rep), nil
 }
 
 // RecoveryOutcome summarizes a campaign run under restart recovery

@@ -1,0 +1,210 @@
+package campaignd
+
+// White-box coordinator tests under a fake clock: lease grant/renew/
+// expiry, capped-backoff requeueing, the attempt cap, and fencing of
+// stale lease IDs. No campaigns run here — the protocol is exercised
+// directly, with journals absent (a crashed-before-first-write worker).
+// End-to-end behavior with real workers lives in service_test.go and
+// equivalence_test.go.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) Now() time.Time          { return f.now }
+func (f *fakeClock) advance(d time.Duration) { f.now = f.now.Add(d) }
+
+func testCoordinator(t *testing.T, clk *fakeClock, maxAttempts int) *Coordinator {
+	t.Helper()
+	co, err := New(Config{
+		Dir:         t.TempDir(),
+		LeaseTTL:    10 * time.Second,
+		BaseBackoff: 1 * time.Second,
+		MaxBackoff:  4 * time.Second,
+		MaxAttempts: maxAttempts,
+		Clock:       clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co
+}
+
+func submitJob(t *testing.T, co *Coordinator, shards int) string {
+	t.Helper()
+	id, err := co.Submit(JobSpec{Bench: "tiff2bw", Mode: "original", Trials: 8, Seed: 1, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestSubmitValidation(t *testing.T) {
+	co := testCoordinator(t, &fakeClock{now: time.Unix(1000, 0)}, 3)
+	for _, spec := range []JobSpec{
+		{Bench: "no-such-bench", Mode: "original", Trials: 8},
+		{Bench: "tiff2bw", Mode: "no-such-mode", Trials: 8},
+		{Bench: "tiff2bw", Mode: "original", Trials: 8, FaultModel: "cosmic-ray"},
+		{Bench: "tiff2bw", Mode: "original", Trials: 0},
+		{Bench: "tiff2bw", Mode: "original", Trials: 8, Shards: -1},
+	} {
+		if _, err := co.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted", spec)
+		}
+	}
+	// More shards than trials clamps rather than creating empty shards.
+	id, err := co.Submit(JobSpec{Bench: "tiff2bw", Mode: "original", Trials: 3, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := co.Status(id)
+	if len(st.Shards) != 3 {
+		t.Fatalf("3-trial job got %d shards", len(st.Shards))
+	}
+}
+
+func TestShardRangesSplit(t *testing.T) {
+	got := shardRanges(10, 3)
+	want := [][2]int{{0, 4}, {4, 7}, {7, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("ranges %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranges %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	co := testCoordinator(t, clk, 5)
+	id := submitJob(t, co, 2)
+
+	g1 := co.Lease("w1")
+	g2 := co.Lease("w2")
+	if !g1.OK || !g2.OK || g1.JobID != id || g1.Shard == g2.Shard {
+		t.Fatalf("grants: %+v / %+v", g1, g2)
+	}
+	if g1.Lo != 0 || g1.Hi != 4 || g2.Lo != 4 || g2.Hi != 8 {
+		t.Fatalf("ranges: [%d,%d) [%d,%d)", g1.Lo, g1.Hi, g2.Lo, g2.Hi)
+	}
+	if g1.Journal == g2.Journal || g1.Journal == "" {
+		t.Fatalf("journal paths not distinct: %q %q", g1.Journal, g2.Journal)
+	}
+	if g := co.Lease("w3"); g.OK {
+		t.Fatalf("third lease granted with no shards left: %+v", g)
+	}
+
+	// Heartbeats renew: w1 beats every 9s and stays alive across what
+	// would otherwise be two expiries; w2 goes silent and loses its lease.
+	clk.advance(9 * time.Second)
+	if hb := co.Heartbeat(heartbeatRequest{LeaseID: g1.LeaseID, Worker: "w1"}); !hb.OK {
+		t.Fatal("live heartbeat fenced")
+	}
+	clk.advance(9 * time.Second) // w2 now 18s silent, TTL 10s
+	if hb := co.Heartbeat(heartbeatRequest{LeaseID: g1.LeaseID, Worker: "w1"}); !hb.OK {
+		t.Fatal("renewed heartbeat fenced")
+	}
+	if hb := co.Heartbeat(heartbeatRequest{LeaseID: g2.LeaseID, Worker: "w2"}); hb.OK {
+		t.Fatal("expired lease's heartbeat not fenced")
+	}
+
+	// w2's shard is behind a 1s backoff gate (attempt 1), then re-grants
+	// as attempt 2 with a fresh journal path.
+	if g := co.Lease("w3"); g.OK {
+		t.Fatalf("re-grant before backoff gate: %+v", g)
+	}
+	clk.advance(2 * time.Second)
+	g3 := co.Lease("w3")
+	if !g3.OK || g3.Shard != g2.Shard || g3.Journal == g2.Journal {
+		t.Fatalf("reassignment: %+v (was %+v)", g3, g2)
+	}
+	if g3.Resume {
+		t.Fatal("resume set with no journaled work to resume")
+	}
+
+	// The dead worker's completion is fenced off.
+	if c := co.Complete(completeRequest{LeaseID: g2.LeaseID, Worker: "w2"}); c.OK {
+		t.Fatal("stale complete accepted")
+	}
+
+	st, _ := co.Status(id)
+	if st.State != "running" {
+		t.Fatalf("state %q", st.State)
+	}
+}
+
+func TestBackoffCapsAndAttemptLimit(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	co := testCoordinator(t, clk, 3)
+	id, err := co.Submit(JobSpec{Bench: "tiff2bw", Mode: "original", Trials: 4, Seed: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burn all 3 attempts through incomplete completions (no journal).
+	wantGate := []time.Duration{1 * time.Second, 2 * time.Second, 4 * time.Second}
+	for attempt := 1; attempt <= 3; attempt++ {
+		clk.advance(10 * time.Second)
+		g := co.Lease("w")
+		if !g.OK {
+			t.Fatalf("attempt %d not granted", attempt)
+		}
+		if c := co.Complete(completeRequest{LeaseID: g.LeaseID, Worker: "w", Err: "boom"}); !c.OK {
+			t.Fatalf("attempt %d complete fenced", attempt)
+		}
+		sh := co.jobs[id].shards[0]
+		if gate := sh.gate.Sub(clk.now); gate != wantGate[attempt-1] {
+			t.Fatalf("attempt %d backoff %v, want %v (capped at %v)", attempt, gate, wantGate[attempt-1], co.cfg.MaxBackoff)
+		}
+	}
+
+	// Attempt 4 would exceed MaxAttempts: the job fails instead.
+	clk.advance(10 * time.Second)
+	if g := co.Lease("w"); g.OK {
+		t.Fatalf("lease granted past the attempt cap: %+v", g)
+	}
+	st, _ := co.Status(id)
+	if st.State != "failed" || !strings.Contains(st.Failure, "exhausted") {
+		t.Fatalf("job state %q, failure %q", st.State, st.Failure)
+	}
+}
+
+func TestEarlyStopRevokesLeases(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	co := testCoordinator(t, clk, 3)
+	// 0.6 sits between the pooled coverage CI width at 3 trials (~0.73)
+	// and at 7 trials (~0.56), so the stop decision flips exactly on the
+	// second heartbeat below.
+	id, err := co.Submit(JobSpec{Bench: "tiff2bw", Mode: "original", Trials: 8, Seed: 1, Shards: 2, TargetCI: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := co.Lease("w1"), co.Lease("w2")
+
+	// A loose target and a few pooled trials: the next heartbeat after
+	// the CIs tighten must carry Stop for every lease of the job.
+	if hb := co.Heartbeat(heartbeatRequest{LeaseID: g1.LeaseID, Worker: "w1", Done: 3, Covered: 2}); hb.Stop {
+		t.Fatal("stopped on 3 pooled trials with CI still wide")
+	}
+	hb := co.Heartbeat(heartbeatRequest{LeaseID: g2.LeaseID, Worker: "w2", Done: 4, Covered: 3})
+	if !hb.OK || !hb.Stop {
+		t.Fatalf("heartbeat after CI tightened: %+v", hb)
+	}
+	if hb := co.Heartbeat(heartbeatRequest{LeaseID: g1.LeaseID, Worker: "w1", Done: 3, Covered: 2}); !hb.Stop {
+		t.Fatal("other lease not revoked")
+	}
+	st, _ := co.Status(id)
+	if st.State != "stopping" {
+		t.Fatalf("state %q, want stopping", st.State)
+	}
+	// No new grants while stopping.
+	if g := co.Lease("w3"); g.OK {
+		t.Fatalf("lease granted on a stopping job: %+v", g)
+	}
+}

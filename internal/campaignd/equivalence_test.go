@@ -1,0 +1,75 @@
+package campaignd_test
+
+// The distributed equivalence matrix: every benchmark × every registered
+// scheme, run once in-process and once sharded 3 ways across in-process
+// workers over real HTTP, requiring bit-identical Outcomes. This is the
+// service-level counterpart of the fault package's shard_equiv_test —
+// here the full stack is in the loop: coordinator scheduling, lease
+// grants, worker program construction (including value profiling),
+// journaling, and the final merge. Fault models rotate across cells so
+// the matrix also covers the registry beyond reg-flip.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	softft "repro"
+
+	"repro/internal/campaignd"
+)
+
+func TestDistributedEquivalenceMatrix(t *testing.T) {
+	type cell struct {
+		bench, mode, model string
+	}
+	models := softft.FaultModels()
+	var cells []cell
+	i := 0
+	for _, bench := range softft.Benchmarks() {
+		for _, mode := range softft.Modes() {
+			cells = append(cells, cell{bench, mode.String(), models[i%len(models)]})
+			i++
+		}
+	}
+	if raceEnabled {
+		// Representative subset under the detector: the full grid re-runs
+		// the same coordinator/worker code 65 times at 10x slowdown for
+		// no extra interleaving coverage.
+		trimmed := cells[:0]
+		for _, c := range cells {
+			switch {
+			case c.bench == "tiff2bw" && c.mode == "original",
+				c.bench == "g721dec" && c.mode == "dupval",
+				c.bench == "svm" && c.mode == "abft",
+				c.bench == "kmeans" && c.mode == "fulldup":
+				trimmed = append(trimmed, c)
+			}
+		}
+		cells = trimmed
+	}
+
+	for _, c := range cells {
+		c := c
+		t.Run(c.bench+"/"+c.mode+"/"+c.model, func(t *testing.T) {
+			t.Parallel()
+			spec := campaignd.JobSpec{
+				Bench: c.bench, Mode: c.mode, FaultModel: c.model,
+				Trials: 12, Seed: 2014, Shards: 3,
+			}
+			solo := soloOutcomes(t, spec)
+			co, _ := startService(t, campaignd.Config{LeaseTTL: 5 * time.Second, Logf: nil}, 3, 1)
+			id, err := co.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := waitDone(t, co, id)
+			if st.State != "done" {
+				t.Fatalf("job: %+v", st)
+			}
+			if !reflect.DeepEqual(st.Outcomes, solo) {
+				t.Fatalf("distributed outcomes differ from solo run:\ndist=%+v\nsolo=%+v", st.Outcomes, solo)
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package campaignd
+
+// HTTP binding for the coordinator. All protocol endpoints live under
+// /api/; /progress and /metrics are human-facing observability.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the coordinator's HTTP interface:
+//
+//	POST /api/jobs       submit a JobSpec, returns {"job_id": ...}
+//	GET  /api/jobs       list job statuses
+//	GET  /api/jobs/{id}  one job's status (incl. merged outcomes when done)
+//	POST /api/lease      worker asks for a shard
+//	POST /api/heartbeat  worker renews a lease, streams progress
+//	POST /api/complete   worker reports a shard run ended
+//	GET  /progress       all jobs, pooled counts and CIs (JSON)
+//	GET  /metrics        flat text counters
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := co.Submit(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, submitResponse{JobID: id})
+	})
+	mux.HandleFunc("GET /api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, co.Jobs())
+	})
+	mux.HandleFunc("GET /api/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := co.Status(r.PathValue("id"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("POST /api/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, co.Lease(req.Worker))
+	})
+	mux.HandleFunc("POST /api/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, co.Heartbeat(req))
+	})
+	mux.HandleFunc("POST /api/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, co.Complete(req))
+	})
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, co.Jobs())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, co.renderMetrics())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

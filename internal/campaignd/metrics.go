@@ -1,0 +1,63 @@
+package campaignd
+
+// Service counters, exposed as a flat text /metrics endpoint (one
+// "name value" line each, prometheus-style without types or labels).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type metrics struct {
+	JobsSubmitted int64
+	JobsDone      int64
+	JobsFailed    int64
+	LeaseGrants   int64
+	LeaseExpiries int64
+	Retries       int64 // re-grants after failure or expiry
+	Heartbeats    int64
+	EarlyStops    int64
+	TrialsDecided int64 // journaled decisions across finished jobs
+}
+
+// render emits the counters plus per-job pooled progress.
+func (co *Coordinator) renderMetrics() string {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.sweep()
+
+	vals := map[string]int64{
+		"campaignd_jobs_submitted": co.m.JobsSubmitted,
+		"campaignd_jobs_done":      co.m.JobsDone,
+		"campaignd_jobs_failed":    co.m.JobsFailed,
+		"campaignd_lease_grants":   co.m.LeaseGrants,
+		"campaignd_lease_expiries": co.m.LeaseExpiries,
+		"campaignd_retries":        co.m.Retries,
+		"campaignd_heartbeats":     co.m.Heartbeats,
+		"campaignd_early_stops":    co.m.EarlyStops,
+		"campaignd_trials_decided": co.m.TrialsDecided,
+	}
+	var running, streaming int64
+	for _, jid := range co.order {
+		j := co.jobs[jid]
+		if !j.finished {
+			running++
+			done, _, _ := pooledCounts(j)
+			streaming += int64(done)
+		}
+	}
+	vals["campaignd_jobs_running"] = running
+	vals["campaignd_trials_streaming"] = streaming
+
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, vals[n])
+	}
+	return b.String()
+}

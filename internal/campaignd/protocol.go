@@ -1,0 +1,145 @@
+// Package campaignd is the fault-tolerant distributed campaign service:
+// a coordinator that shards fault-injection campaigns across worker
+// processes over a local HTTP/JSON protocol, with time-bounded leases,
+// capped-backoff retries, journal-based fencing, and a merge step that
+// reproduces the single-process campaign bit for bit.
+//
+// The design leans on two properties the fault package guarantees. First,
+// trials are individually deterministic: trial i of a campaign draws from
+// seed + i*7919 regardless of which process runs it, so a shard's results
+// are a pure function of the campaign spec and the subrange. Second,
+// every shard run is journaled: the coordinator never trusts a worker's
+// word for finished work — completeness is judged by replaying the
+// shard's journal, and the final report is assembled exclusively from
+// journal contents (softft.MergeShardOutcomes). Workers are therefore
+// free to crash, hang, or be SIGKILLed at any point: their lease expires,
+// their journal's intact prefix is consolidated for the next attempt, and
+// the trials they completed are never re-executed.
+package campaignd
+
+import softft "repro"
+
+// Wire types for the coordinator's HTTP/JSON protocol. Everything rides
+// over POST bodies and JSON responses; there is no versioning or auth —
+// the service binds a local address and trusts its peers, like a build
+// daemon.
+
+// JobSpec describes one campaign to shard across workers. It carries
+// only result-affecting knobs (benchmark, scheme, model, trials, seed)
+// plus the sharding and early-stop policy; throughput knobs stay
+// worker-local.
+type JobSpec struct {
+	// Bench names a built-in benchmark (softft.Benchmarks).
+	Bench string `json:"bench"`
+	// Mode is the protection scheme spec (softft.ParseMode syntax).
+	Mode string `json:"mode"`
+	// FaultModel selects the fault model ("" = reg-flip).
+	FaultModel string `json:"fault_model,omitempty"`
+	// Trials is the campaign size; Seed its base seed.
+	Trials int   `json:"trials"`
+	Seed   int64 `json:"seed"`
+	// Shards is the number of contiguous trial subranges to schedule
+	// independently (0 = the coordinator's default).
+	Shards int `json:"shards,omitempty"`
+	// TargetCI, when positive, enables streaming early stopping: the
+	// coordinator pools per-shard progress counts and revokes every lease
+	// once the pooled 95% CIs for coverage and USDC rate are both no
+	// wider than this.
+	TargetCI float64 `json:"target_ci,omitempty"`
+}
+
+// submitResponse answers POST /api/jobs.
+type submitResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// leaseRequest asks for a shard to work on.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseResponse grants a shard lease (OK) or reports none available.
+type leaseResponse struct {
+	OK    bool    `json:"ok"`
+	JobID string  `json:"job_id,omitempty"`
+	Spec  JobSpec `json:"spec,omitempty"`
+	// Shard is the shard index; the worker runs trials [Lo, Hi).
+	Shard int `json:"shard,omitempty"`
+	Lo    int `json:"lo,omitempty"`
+	Hi    int `json:"hi,omitempty"`
+	// Journal is the path the shard run must journal to — unique per
+	// attempt, so a superseded worker keeps writing to a file nobody
+	// reads again (the fencing mechanism). Resume is set when the path
+	// holds consolidated work from previous attempts.
+	Journal string `json:"journal,omitempty"`
+	Resume  bool   `json:"resume,omitempty"`
+	// LeaseID names this grant; heartbeats and completion must quote it.
+	// TTLMS is the lease duration — miss it and the shard is reassigned.
+	LeaseID string `json:"lease_id,omitempty"`
+	TTLMS   int64  `json:"ttl_ms,omitempty"`
+}
+
+// heartbeatRequest renews a lease and streams progress counts. Counts are
+// provisional (the journal is authoritative); they feed the pooled
+// early-stop decision and /progress.
+type heartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	Done    int    `json:"done"`
+	Covered int    `json:"covered"`
+	USDC    int    `json:"usdc"`
+}
+
+// heartbeatResponse: OK is false for stale (fenced) leases — the worker
+// must abandon the shard. Stop asks the worker to cancel the shard run
+// gracefully (early stop); the journaled work is kept.
+type heartbeatResponse struct {
+	OK   bool `json:"ok"`
+	Stop bool `json:"stop,omitempty"`
+}
+
+// completeRequest reports a shard run finished (successfully or not).
+// There is deliberately no "done" flag: the coordinator replays the
+// shard's journal to decide completeness. Err carries the run error, if
+// any, for diagnostics and retry accounting.
+type completeRequest struct {
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	Err     string `json:"err,omitempty"`
+}
+
+// completeResponse: OK is false for stale leases.
+type completeResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ShardStatus describes one shard in a JobStatus.
+type ShardStatus struct {
+	Shard   int    `json:"shard"`
+	Lo      int    `json:"lo"`
+	Hi      int    `json:"hi"`
+	State   string `json:"state"` // queued, leased, done, skipped, failed
+	Attempt int    `json:"attempt"`
+	Worker  string `json:"worker,omitempty"`
+	Done    int    `json:"done"` // streamed progress, provisional
+}
+
+// JobStatus is the public view of a job (GET /api/jobs/{id}, /progress).
+type JobStatus struct {
+	JobID string  `json:"job_id"`
+	Spec  JobSpec `json:"spec"`
+	// State is "running", "stopping" (early-stop revocation in flight),
+	// "done", or "failed".
+	State  string        `json:"state"`
+	Shards []ShardStatus `json:"shards"`
+	// Pooled streamed counts across shards, and the Wilson 95% CIs the
+	// early-stop decision evaluates.
+	Done       int        `json:"done"`
+	Covered    int        `json:"covered"`
+	USDC       int        `json:"usdc"`
+	CoverageCI [2]float64 `json:"coverage_ci"`
+	USDCCI     [2]float64 `json:"usdc_ci"`
+	// Outcomes is the merged final report (done jobs only).
+	Outcomes *softft.Outcomes `json:"outcomes,omitempty"`
+	Failure  string           `json:"failure,omitempty"`
+}

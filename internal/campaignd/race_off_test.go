@@ -1,0 +1,7 @@
+//go:build !race
+
+package campaignd_test
+
+// raceEnabled trims the heaviest equivalence matrices when the race
+// detector (≈10x slowdown) is active; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package campaignd_test
+
+// Under -race the distributed equivalence matrix runs on representative
+// cells only: the detector is there to catch unsynchronized coordinator
+// or progress-streaming state, which a subset exercises just as well as
+// the full grid.
+const raceEnabled = true

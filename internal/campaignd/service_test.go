@@ -1,0 +1,362 @@
+package campaignd_test
+
+// End-to-end service tests: a real coordinator behind httptest, real
+// workers running real shard campaigns, and the failure modes the service
+// exists for — a worker that dies mid-shard and loses its lease, fencing
+// of the dead worker's credentials, and cross-shard streaming early stop.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+
+	softft "repro"
+
+	"repro/internal/campaignd"
+)
+
+// buildProgram mirrors the worker's program construction (and the CLI's):
+// benchmark -> protect (profiling on the train input when needed).
+func buildProgram(t *testing.T, bench, mode string) (*softft.Benchmark, *softft.Program) {
+	t.Helper()
+	bm, err := softft.GetBenchmark(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := bm.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := softft.ParseMode(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != softft.Original {
+		var prof *softft.Profile
+		if m.NeedsProfile() {
+			if prof, err = prog.ProfileValues(bm.TrainInput()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if prog, _, err = prog.Protect(m, prof); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bm, prog
+}
+
+// soloOutcomes runs the whole campaign in-process — the reference every
+// distributed result must match bit for bit.
+func soloOutcomes(t *testing.T, spec campaignd.JobSpec) *softft.Outcomes {
+	t.Helper()
+	bm, prog := buildProgram(t, spec.Bench, spec.Mode)
+	c := bm.NewCampaign(spec.Trials)
+	c.Seed = spec.Seed
+	c.FaultModel = spec.FaultModel
+	out, err := prog.InjectFaults(bm.TestInput(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// startService brings up a coordinator behind httptest and n workers,
+// each with campaignWorkers-bounded intra-shard parallelism.
+func startService(t *testing.T, cfg campaignd.Config, n, campaignWorkers int) (*campaignd.Coordinator, string) {
+	t.Helper()
+	cfg.Dir = t.TempDir()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	co, err := campaignd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(co.Handler())
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < n; i++ {
+		w := campaignd.NewWorker(campaignd.WorkerConfig{
+			Coordinator:     srv.URL,
+			ID:              fmt.Sprintf("w%d", i+1),
+			Poll:            10 * time.Millisecond,
+			CampaignWorkers: campaignWorkers,
+			Logf:            t.Logf,
+		})
+		go w.Run(ctx)
+	}
+	return co, srv.URL
+}
+
+// waitDone polls until the job leaves the running states.
+func waitDone(t *testing.T, co *campaignd.Coordinator, id string) campaignd.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		co.Tick()
+		st, ok := co.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, _ := co.Status(id)
+	t.Fatalf("job %s still %q after 120s: %+v", id, st.State, st)
+	return st
+}
+
+func postJSON(t *testing.T, url string, body any) map[string]any {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+	return out
+}
+
+func metricValue(t *testing.T, baseURL, name string) int {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(buf.String())
+	if m == nil {
+		t.Fatalf("metric %s missing in:\n%s", name, buf.String())
+	}
+	v, _ := strconv.Atoi(m[1])
+	return v
+}
+
+// TestServiceWorkerDeathReassignment is the service's reason to exist: a
+// worker takes a shard lease, journals a few trials, and dies without a
+// word. The lease expires, the shard is consolidated and reassigned to a
+// healthy worker which resumes past the dead worker's trials, and the
+// merged outcome is bit-identical to a single-process run. The dead
+// worker's credentials are fenced the moment the shard is reassigned.
+func TestServiceWorkerDeathReassignment(t *testing.T) {
+	spec := campaignd.JobSpec{Bench: "g721dec", Mode: "dup", Trials: 40, Seed: 2014, Shards: 2}
+	solo := soloOutcomes(t, spec)
+
+	co, url := startService(t, campaignd.Config{
+		LeaseTTL:    300 * time.Millisecond,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	}, 0, 0) // no workers yet: the doomed lease must go to our fake worker
+	if _, err := co.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker leases the first shard by hand and runs it only
+	// partially — then goes silent forever (no heartbeat, no complete),
+	// as a SIGKILLed process would.
+	grant := co.Lease("doomed")
+	if !grant.OK || grant.Lo != 0 {
+		t.Fatalf("grant: %+v", grant)
+	}
+	bm, prog := buildProgram(t, spec.Bench, spec.Mode)
+	ctx, cancel := context.WithCancel(context.Background())
+	c := bm.NewCampaign(spec.Trials)
+	c.Seed = spec.Seed
+	c.ShardStart, c.ShardEnd = grant.Lo, grant.Hi
+	c.Journal = grant.Journal
+	c.Workers = 1
+	var done atomic.Int64
+	c.OnProgress = func(d, _, _ int) {
+		if done.Store(int64(d)); d >= 5 {
+			cancel()
+		}
+	}
+	out, err := prog.InjectFaultsContext(ctx, bm.TestInput(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Partial || out.Trials < 5 {
+		t.Fatalf("doomed shard run: %+v", out)
+	}
+
+	// Now the healthy workers arrive and finish everything.
+	hctx, hcancel := context.WithCancel(context.Background())
+	t.Cleanup(hcancel)
+	for i := 0; i < 2; i++ {
+		w := campaignd.NewWorker(campaignd.WorkerConfig{
+			Coordinator: url, ID: fmt.Sprintf("healthy%d", i+1),
+			Poll: 10 * time.Millisecond, Logf: t.Logf,
+		})
+		go w.Run(hctx)
+	}
+	st := waitDone(t, co, grant.JobID)
+	if st.State != "done" {
+		t.Fatalf("job %+v", st)
+	}
+	if st.Shards[0].Attempt < 2 {
+		t.Fatalf("dead worker's shard never reassigned: %+v", st.Shards)
+	}
+	if n := metricValue(t, url, "campaignd_lease_expiries"); n < 1 {
+		t.Fatalf("lease_expiries = %d, want >= 1", n)
+	}
+
+	// Fencing: the dead worker's lease ID is rejected on both protocol
+	// paths.
+	hb := postJSON(t, url+"/api/heartbeat", map[string]any{"lease_id": grant.LeaseID, "worker": "doomed"})
+	if hb["ok"] == true {
+		t.Fatal("dead lease heartbeat accepted")
+	}
+	cp := postJSON(t, url+"/api/complete", map[string]any{"lease_id": grant.LeaseID, "worker": "doomed"})
+	if cp["ok"] == true {
+		t.Fatal("dead lease completion accepted")
+	}
+
+	if !reflect.DeepEqual(st.Outcomes, solo) {
+		t.Fatalf("merged outcomes differ from solo run:\nmerged=%+v\nsolo=  %+v", st.Outcomes, solo)
+	}
+}
+
+// TestServiceEarlyStopAcrossShards checks the streaming generalization of
+// Wilson early stopping: no single shard reaches the precision alone —
+// the coordinator pools heartbeat counts across shards, decides, and
+// revokes every lease; the merged report carries the pooled TrialsSaved.
+func TestServiceEarlyStopAcrossShards(t *testing.T) {
+	spec := campaignd.JobSpec{
+		Bench: "kmeans", Mode: "original", Trials: 4000, Seed: 2014,
+		Shards: 3, TargetCI: 0.25,
+	}
+	// CampaignWorkers 1 keeps per-shard progress slow relative to the
+	// heartbeat cadence, so the pooled stop decision lands well before
+	// any shard finishes on its own.
+	co, _ := startService(t, campaignd.Config{
+		LeaseTTL:    300 * time.Millisecond,
+		BaseBackoff: 20 * time.Millisecond,
+	}, 3, 1)
+	id, err := co.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitDone(t, co, id)
+	if st.State != "done" {
+		t.Fatalf("job %+v", st)
+	}
+	out := st.Outcomes
+	if !out.EarlyStopped || out.Partial {
+		t.Fatalf("outcomes not early-stopped: %+v", out)
+	}
+	if out.TrialsSaved <= 0 {
+		t.Fatalf("early stop saved no trials: %+v", out)
+	}
+	if decided := out.Trials + len(out.Anomalies); decided+out.TrialsSaved != spec.Trials {
+		t.Fatalf("decided %d + saved %d != %d trials", decided, out.TrialsSaved, spec.Trials)
+	}
+	// The stop decision is made on the pooled *streamed* counts; the
+	// merged report is journal-backed and typically holds a few more
+	// trials (workers journal trials decided between their last heartbeat
+	// and the revocation). Wilson width is not monotone across different
+	// proportions, so the exact target width is not guaranteed on the
+	// merged counts — what is guaranteed is that enough trials were pooled
+	// for the target to have been reachable at the decision point, with a
+	// defensible margin on the merged interval.
+	minDecided := 1
+	for {
+		// Tightest possible width at this many trials (p at an extreme).
+		if lo, hi := fault.Wilson(minDecided, minDecided, 1.96); hi-lo <= spec.TargetCI {
+			break
+		}
+		minDecided++
+	}
+	if decided := out.Trials + len(out.Anomalies); decided < minDecided {
+		t.Fatalf("stopped on %d merged trials; even an extreme proportion needs %d for width %v",
+			decided, minDecided, spec.TargetCI)
+	}
+	if lo, hi := out.CoverageInterval(); hi-lo > 2*spec.TargetCI {
+		t.Fatalf("merged coverage CI [%v,%v] nowhere near target %v", lo, hi, spec.TargetCI)
+	}
+}
+
+// TestServiceHTTPRoundTrip drives the whole job lifecycle through the
+// HTTP API alone, as the softft CLI subcommands do.
+func TestServiceHTTPRoundTrip(t *testing.T) {
+	_, url := startService(t, campaignd.Config{LeaseTTL: time.Second}, 2, 0)
+
+	sub := postJSON(t, url+"/api/jobs", campaignd.JobSpec{
+		Bench: "tiff2bw", Mode: "original", Trials: 12, Seed: 7, Shards: 3,
+	})
+	id, _ := sub["job_id"].(string)
+	if id == "" {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	var st campaignd.JobStatus
+	for {
+		resp, err := http.Get(url + "/api/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "done" || st.Outcomes == nil || st.Outcomes.Trials != 12 {
+		t.Fatalf("status %+v", st)
+	}
+
+	// /progress lists the job; bad submissions are 400s.
+	resp, err := http.Get(url + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []campaignd.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 1 || jobs[0].JobID != id {
+		t.Fatalf("progress %+v", jobs)
+	}
+	bad, err := http.Post(url+"/api/jobs", "application/json", bytes.NewReader([]byte(`{"bench":"nope","mode":"original","trials":5}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad submit: %s", bad.Status)
+	}
+	if n := metricValue(t, url, "campaignd_jobs_done"); n != 1 {
+		t.Fatalf("jobs_done = %d", n)
+	}
+}

@@ -1,0 +1,271 @@
+package campaignd
+
+// The worker: a lease -> run -> complete loop around the ordinary
+// single-process campaign machinery. A shard run is just softft's
+// InjectFaultsContext restricted to [Lo, Hi) with the granted journal
+// path; everything that makes the distributed result bit-identical to a
+// solo run (absolute trial indices, per-trial seeding, journal identity)
+// is the fault package's problem, not the worker's. The worker's own
+// obligations are liveness ones: heartbeat at a fraction of the TTL,
+// cancel the shard promptly when revoked or stopped, and always report
+// completion — the coordinator decides what the run was worth by
+// replaying the journal.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	softft "repro"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://127.0.0.1:7077".
+	Coordinator string
+	// ID names this worker in leases and logs. Defaults to host:pid.
+	ID string
+	// Poll is the idle delay between lease attempts when no work is
+	// available. Default 500ms.
+	Poll time.Duration
+	// CampaignWorkers bounds intra-shard parallelism (Campaign.Workers).
+	CampaignWorkers int
+	// Client is the HTTP client (test hook; default a plain &http.Client{}).
+	Client *http.Client
+	// Logf, when non-nil, receives one line per shard event.
+	Logf func(format string, args ...any)
+}
+
+// Worker runs shard leases against a coordinator until its context ends.
+type Worker struct {
+	cfg WorkerConfig
+	// programs caches protected programs per (bench, mode) so a worker
+	// granted many shards of one job builds and profiles once.
+	mu       sync.Mutex
+	programs map[string]*softft.Program
+}
+
+// NewWorker creates a Worker; see WorkerConfig for defaults.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{cfg: cfg, programs: make(map[string]*softft.Program)}
+}
+
+// Run leases and executes shards until ctx is done. Transport errors are
+// retried at the poll cadence (the coordinator may simply not be up yet);
+// shard-run errors are reported to the coordinator and the loop continues.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		var grant leaseResponse
+		err := w.post(ctx, "/api/lease", leaseRequest{Worker: w.cfg.ID}, &grant)
+		switch {
+		case err != nil || !grant.OK:
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(w.cfg.Poll):
+			}
+		default:
+			w.runShard(ctx, grant)
+		}
+	}
+}
+
+// runShard executes one granted shard and reports completion. The
+// heartbeat loop runs at TTL/3 so two beats can be lost before the lease
+// expires; a fenced or stopped reply cancels the campaign between trials,
+// journal intact.
+func (w *Worker) runShard(ctx context.Context, grant leaseResponse) {
+	w.cfg.Logf("campaignd: worker %s: shard %d [%d,%d) of %s (journal %s)",
+		w.cfg.ID, grant.Shard, grant.Lo, grant.Hi, grant.JobID, grant.Journal)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Progress streams from OnProgress (worker goroutines, out of order)
+	// into the heartbeat loop; largest done wins.
+	var pmu sync.Mutex
+	var done, covered, usdc int
+
+	// The heartbeat loop outlives a Stop: a revoked campaign still needs
+	// time to cancel between trials and flush its journal, and the lease
+	// must stay alive until Complete hands the shard back — otherwise the
+	// coordinator would expire it and finalize without this shard's work.
+	// Beats therefore ride the loop ctx, not runCtx, and only fencing
+	// (!OK) or the campaign's own exit ends the loop.
+	execDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	beat := time.Duration(grant.TTLMS) * time.Millisecond / 3
+	if beat <= 0 {
+		beat = time.Second
+	}
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(beat)
+		defer tick.Stop()
+		stopped := false
+		for {
+			select {
+			case <-execDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			pmu.Lock()
+			req := heartbeatRequest{LeaseID: grant.LeaseID, Worker: w.cfg.ID, Done: done, Covered: covered, USDC: usdc}
+			pmu.Unlock()
+			var resp heartbeatResponse
+			if err := w.post(ctx, "/api/heartbeat", req, &resp); err != nil {
+				continue // transient; the TTL tolerates missed beats
+			}
+			if !resp.OK {
+				// Fenced: the lease was reassigned. Stop burning trials;
+				// the journal keeps whatever was decided, and nothing
+				// reads this attempt's file again.
+				w.cfg.Logf("campaignd: worker %s: shard %d fenced", w.cfg.ID, grant.Shard)
+				cancel()
+				return
+			}
+			if resp.Stop && !stopped {
+				stopped = true
+				w.cfg.Logf("campaignd: worker %s: shard %d revoked (early stop)", w.cfg.ID, grant.Shard)
+				cancel() // keep beating until the campaign exits
+			}
+		}
+	}()
+
+	runErr := w.execute(runCtx, grant, func(d, c, u int) {
+		pmu.Lock()
+		if d > done {
+			done, covered, usdc = d, c, u
+		}
+		pmu.Unlock()
+	})
+	close(execDone)
+	cancel()
+	wg.Wait()
+
+	req := completeRequest{LeaseID: grant.LeaseID, Worker: w.cfg.ID}
+	if runErr != nil {
+		req.Err = runErr.Error()
+		w.cfg.Logf("campaignd: worker %s: shard %d failed: %v", w.cfg.ID, grant.Shard, runErr)
+	}
+	// Complete must go out even though runCtx is dead; use the loop ctx,
+	// falling back to a short deadline when the worker itself is exiting
+	// so a SIGTERMed worker still hands its shard back promptly.
+	postCtx := ctx
+	if ctx.Err() != nil {
+		var stop context.CancelFunc
+		postCtx, stop = context.WithTimeout(context.Background(), 2*time.Second)
+		defer stop()
+	}
+	var resp completeResponse
+	if err := w.post(postCtx, "/api/complete", req, &resp); err != nil {
+		// The lease will expire and the shard will be reassigned; the
+		// journal preserves the work either way.
+		w.cfg.Logf("campaignd: worker %s: complete failed: %v", w.cfg.ID, err)
+	}
+}
+
+// execute runs the shard campaign itself.
+func (w *Worker) execute(ctx context.Context, grant leaseResponse, onProgress func(done, covered, usdc int)) error {
+	bm, err := softft.GetBenchmark(grant.Spec.Bench)
+	if err != nil {
+		return err
+	}
+	prog, err := w.program(bm, grant.Spec.Mode)
+	if err != nil {
+		return err
+	}
+	c := bm.NewCampaign(grant.Spec.Trials)
+	c.Seed = grant.Spec.Seed
+	c.FaultModel = grant.Spec.FaultModel
+	c.ShardStart, c.ShardEnd = grant.Lo, grant.Hi
+	c.Journal = grant.Journal
+	c.Resume = grant.Resume
+	c.Workers = w.cfg.CampaignWorkers
+	c.OnProgress = onProgress
+	_, err = prog.InjectFaultsContext(ctx, bm.TestInput(), c)
+	return err
+}
+
+// program builds (and caches) the protected program for a (bench, mode)
+// pair. Profiling uses the train input, exactly as the single-process
+// CLI does, so the protected module is identical across processes.
+func (w *Worker) program(bm *softft.Benchmark, mode string) (*softft.Program, error) {
+	key := bm.Name() + "\x00" + mode
+	w.mu.Lock()
+	cached := w.programs[key]
+	w.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+
+	prog, err := bm.Program()
+	if err != nil {
+		return nil, err
+	}
+	m, err := softft.ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if m != softft.Original {
+		var prof *softft.Profile
+		if m.NeedsProfile() {
+			if prof, err = prog.ProfileValues(bm.TrainInput()); err != nil {
+				return nil, err
+			}
+		}
+		if prog, _, err = prog.Protect(m, prof); err != nil {
+			return nil, err
+		}
+	}
+	w.mu.Lock()
+	w.programs[key] = prog
+	w.mu.Unlock()
+	return prog, nil
+}
+
+// post sends one JSON request and decodes the JSON reply.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("campaignd: %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

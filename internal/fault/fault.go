@@ -46,6 +46,15 @@ type Config struct {
 	Model string
 	// Trials is the number of injections (paper: 1000 per benchmark).
 	Trials int
+	// ShardStart/ShardEnd restrict execution to the trial subrange
+	// [ShardStart, ShardEnd) of a Trials-sized campaign; both zero (the
+	// default) runs the full range. Trial indices stay absolute — every
+	// trial draws from seedFor(cfg, trial) regardless of sharding — so
+	// disjoint shards of one campaign are independently computable and
+	// their journals merge (MergeShardJournals) into a Report bit-identical
+	// to a single-process run. A shard run's journal header records the
+	// range; resuming a shard requires the same range.
+	ShardStart, ShardEnd int
 	// Seed makes the whole campaign deterministic.
 	Seed int64
 	// SymptomWindow is the detection window in dynamic instructions for a
@@ -121,6 +130,14 @@ type Config struct {
 	// with the trial index. It runs inside the trial's panic isolation —
 	// test hooks may panic or stall to exercise quarantine paths.
 	OnTrial func(trial int)
+	// OnProgress, when non-nil, is called after every decided trial
+	// (including journal-replayed ones) with the campaign's cumulative
+	// decided/covered/USDC counts. Calls may arrive from concurrent workers
+	// and therefore out of order; each call's triple is a consistent
+	// snapshot, so consumers should keep the triple with the largest done.
+	// The distributed coordinator streams these counts into its pooled
+	// cross-shard confidence intervals.
+	OnProgress func(done, covered, usdc int)
 }
 
 // Target abstracts the program under injection: how to bind its inputs,
@@ -206,8 +223,10 @@ func (t *Tally) MarginOfError(p float64) float64 {
 type Report struct {
 	Workload  string
 	Technique string
-	Tally     Tally
-	Trials    []Trial
+	// FaultModel is the resolved registry name of the campaign's fault model.
+	FaultModel string
+	Tally      Tally
+	Trials     []Trial
 	// Golden-run statistics.
 	GoldenDyn    int64
 	GoldenCycles int64
@@ -243,6 +262,13 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("fault: non-positive trial count")
 	}
+	shardLo, shardHi := cfg.ShardStart, cfg.ShardEnd
+	if shardLo == 0 && shardHi == 0 {
+		shardHi = cfg.Trials
+	}
+	if shardLo < 0 || shardHi > cfg.Trials || shardLo >= shardHi {
+		return nil, fmt.Errorf("fault: shard range [%d,%d) invalid for %d trials", shardLo, shardHi, cfg.Trials)
+	}
 	if cfg.WatchdogFactor <= 0 {
 		cfg.WatchdogFactor = 20
 	}
@@ -277,6 +303,7 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	rep := &Report{
 		Workload:       t.Name,
 		Technique:      technique,
+		FaultModel:     model.Name(),
 		GoldenDyn:      goldenRes.Dyn,
 		GoldenCycles:   goldenRes.Cycles,
 		DisabledChecks: len(disabled),
@@ -287,14 +314,15 @@ func Run(ctx context.Context, t Target, mod *ir.Module, technique string, cfg Co
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	if workers > shardHi-shardLo {
+		workers = shardHi - shardLo
 	}
 	maxDyn := goldenRes.Dyn*cfg.WatchdogFactor + 100_000
 
 	c := newCampaign(t, mod, cfg, model, golden, goldenRes.Dyn, disabled, maxDyn, rep)
+	c.excludeOutsideShard(shardLo, shardHi)
 	if cfg.JournalPath != "" {
-		hdr := headerFor(t, technique, cfg, model.Name(), goldenRes.Dyn, goldenRes.Cycles)
+		hdr := headerFor(t, technique, cfg, model.Name(), shardLo, shardHi, len(disabled), goldenRes.Dyn, goldenRes.Cycles)
 		jw, st, err := openJournal(cfg.JournalPath, cfg.Resume, hdr)
 		if err != nil {
 			return nil, err

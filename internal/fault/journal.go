@@ -34,8 +34,10 @@ import (
 
 // journalVersion gates replay: a journal written by an incompatible record
 // schema is rejected rather than misread. Version 2 replaced the numeric
-// fault-kind field with the registry model name.
-const journalVersion = 2
+// fault-kind field with the registry model name; version 3 added the shard
+// range and the disabled-check count, making a journal a self-describing
+// shard artifact the distributed campaign service can merge.
+const journalVersion = 3
 
 // journalFlushBatch bounds how many records the batched writer buffers
 // before forcing them to the OS; a crash loses at most this many trials.
@@ -62,6 +64,17 @@ type journalHeader struct {
 	LargeChangeBits uint64 `json:"large"`
 	GoldenDyn       int64  `json:"golden_dyn"`
 	GoldenCycles    int64  `json:"golden_cycles"`
+	// ShardStart/ShardEnd describe the trial subrange this journal covers
+	// ([0, Trials) for an unsharded campaign). Trials stays the campaign
+	// total, so record indices are absolute and shard journals from one
+	// campaign merge without renumbering.
+	ShardStart int `json:"shard_lo"`
+	ShardEnd   int `json:"shard_hi"`
+	// Disabled is the golden run's squelched-check count. It is implied by
+	// the module and inputs (GoldenDyn/GoldenCycles already pin those), and
+	// recording it lets a merge reconstruct the full Report without a
+	// golden re-run.
+	Disabled int `json:"disabled"`
 }
 
 // journalTrial is one completed trial. Fidelity and RelChange are bit
@@ -120,8 +133,9 @@ func decodeTrial(jt *journalTrial) Trial {
 
 // headerFor builds the identity record for a campaign over one golden run.
 // model is the resolved registry name, so a default-model ("") campaign and
-// an explicit "reg-flip" one share an identity.
-func headerFor(t Target, technique string, cfg Config, model string, goldenDyn, goldenCycles int64) *journalHeader {
+// an explicit "reg-flip" one share an identity. lo/hi is the resolved shard
+// range and disabled the golden run's squelched-check count.
+func headerFor(t Target, technique string, cfg Config, model string, lo, hi, disabled int, goldenDyn, goldenCycles int64) *journalHeader {
 	return &journalHeader{
 		Version:         journalVersion,
 		Workload:        t.Name,
@@ -134,6 +148,9 @@ func headerFor(t Target, technique string, cfg Config, model string, goldenDyn, 
 		LargeChangeBits: math.Float64bits(cfg.LargeChange),
 		GoldenDyn:       goldenDyn,
 		GoldenCycles:    goldenCycles,
+		ShardStart:      lo,
+		ShardEnd:        hi,
+		Disabled:        disabled,
 	}
 }
 
@@ -159,11 +176,25 @@ func (h *journalHeader) mismatch(want *journalHeader) string {
 		return fmt.Sprintf("watchdog factor %d, want %d", h.WatchdogFactor, want.WatchdogFactor)
 	case h.LargeChangeBits != want.LargeChangeBits:
 		return "large-change threshold differs"
+	case h.ShardStart != want.ShardStart || h.ShardEnd != want.ShardEnd:
+		return fmt.Sprintf("shard range [%d,%d), want [%d,%d)",
+			h.ShardStart, h.ShardEnd, want.ShardStart, want.ShardEnd)
+	case h.Disabled != want.Disabled:
+		return fmt.Sprintf("disabled-check count %d, want %d — module or inputs changed", h.Disabled, want.Disabled)
 	case h.GoldenDyn != want.GoldenDyn || h.GoldenCycles != want.GoldenCycles:
 		return fmt.Sprintf("golden run (%d dyn, %d cycles), want (%d, %d) — module or inputs changed",
 			h.GoldenDyn, h.GoldenCycles, want.GoldenDyn, want.GoldenCycles)
 	}
 	return ""
+}
+
+// mergeMismatch is mismatch with the shard range neutralized: two shard
+// journals of the same campaign agree on every identity field except the
+// subrange they cover.
+func (h *journalHeader) mergeMismatch(want *journalHeader) string {
+	a := *h
+	a.ShardStart, a.ShardEnd = want.ShardStart, want.ShardEnd
+	return a.mismatch(want)
 }
 
 // journalWriter appends checksummed records through a shared batch buffer.
@@ -195,7 +226,11 @@ func encodeLine(rec *journalRecord) ([]byte, error) {
 }
 
 // append writes one record, flushing every journalFlushBatch records so a
-// crash forfeits a bounded number of trials.
+// crash forfeits a bounded number of trials. Each batch flush is followed by
+// an fsync: a batch is only "durable" once the OS can no longer lose it, so
+// a power-loss-style kill (not just a process kill) forfeits at most one
+// in-flight batch — never records a coordinator may already have counted
+// from a replay of this journal.
 func (w *journalWriter) append(rec *journalRecord) error {
 	line, err := encodeLine(rec)
 	if err != nil {
@@ -216,6 +251,12 @@ func (w *journalWriter) append(rec *journalRecord) error {
 		if err := w.bw.Flush(); err != nil {
 			w.err = err
 			return err
+		}
+		if w.f != nil {
+			if err := w.f.Sync(); err != nil {
+				w.err = err
+				return err
+			}
 		}
 	}
 	return nil

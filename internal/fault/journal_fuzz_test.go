@@ -1,0 +1,100 @@
+package fault
+
+// Fuzzing the journal replayer. Replay is the recovery path for every
+// crash mode the campaign service tolerates, so it must hold three
+// invariants for arbitrary bytes — not just for the damage shapes the
+// unit tests enumerate: it never panics, the intact prefix it reports
+// never extends past the input, and replaying that prefix again yields
+// the identical state (truncate-then-resume depends on this).
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzJournalImage renders records into one journal image for the seed
+// corpus (journalBytes needs a *testing.T, which FuzzXxx does not have).
+func fuzzJournalImage(f *testing.F, recs ...*journalRecord) []byte {
+	f.Helper()
+	var buf []byte
+	for _, rec := range recs {
+		line, err := encodeLine(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf = append(buf, line...)
+	}
+	return buf
+}
+
+func FuzzJournalReplay(f *testing.F) {
+	hdr := testHeader()
+	whole := fuzzJournalImage(f,
+		&journalRecord{H: hdr},
+		&journalRecord{T: encodeTrial(0, Trial{Outcome: Masked})},
+		&journalRecord{T: encodeTrial(1, Trial{Outcome: USDC, SDC: true, Fidelity: 0.25})},
+		&journalRecord{A: &journalAnomaly{Index: 3, Seed: 99, Reason: AnomalyPanic, Stack: "stack"}},
+		&journalRecord{T: encodeTrial(5, Trial{Outcome: Failure})},
+	)
+	f.Add([]byte{})
+	f.Add([]byte("not a journal\n"))
+	f.Add(whole)
+	// Systematic damage over the well-formed image: truncations (torn
+	// writes) and single-byte corruptions (media damage) at a spread of
+	// offsets, so the plain `go test` run already covers both families
+	// even without a long fuzzing session.
+	for cut := 0; cut < len(whole); cut += 13 {
+		f.Add(append([]byte{}, whole[:cut]...))
+	}
+	for pos := 0; pos < len(whole); pos += 17 {
+		bad := append([]byte{}, whole...)
+		bad[pos] ^= 0x40
+		f.Add(bad)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := replayJournal(bytes.NewReader(data))
+		if st.valid < 0 || st.valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside input of %d bytes", st.valid, len(data))
+		}
+		if st.header == nil && (st.valid != 0 || len(st.trials) != 0 || len(st.anomalies) != 0) {
+			t.Fatalf("state recovered without a header: %+v", st)
+		}
+		if st.header != nil {
+			for i := range st.trials {
+				if i < 0 || i >= st.header.Trials {
+					t.Fatalf("trial index %d outside [0,%d)", i, st.header.Trials)
+				}
+			}
+			for i := range st.anomalies {
+				if i < 0 || i >= st.header.Trials {
+					t.Fatalf("anomaly index %d outside [0,%d)", i, st.header.Trials)
+				}
+			}
+		}
+
+		// Replaying the reported intact prefix must reproduce the state
+		// exactly — this is what resume's truncate-to-valid relies on.
+		st2 := replayJournal(bytes.NewReader(data[:st.valid]))
+		if st2.valid != st.valid || len(st2.trials) != len(st.trials) || len(st2.anomalies) != len(st.anomalies) {
+			t.Fatalf("prefix replay differs: %d/%d/%d vs %d/%d/%d",
+				st2.valid, len(st2.trials), len(st2.anomalies), st.valid, len(st.trials), len(st.anomalies))
+		}
+		for i, tr := range st.trials {
+			tr2, ok := st2.trials[i]
+			if !ok {
+				t.Fatalf("trial %d lost on prefix replay", i)
+			}
+			if math.Float64bits(tr.Fidelity) != math.Float64bits(tr2.Fidelity) ||
+				math.Float64bits(tr.RelChange) != math.Float64bits(tr2.RelChange) {
+				t.Fatalf("trial %d floats drifted on prefix replay", i)
+			}
+		}
+		for i, a := range st.anomalies {
+			if st2.anomalies[i] != a {
+				t.Fatalf("anomaly %d drifted on prefix replay", i)
+			}
+		}
+	})
+}

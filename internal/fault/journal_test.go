@@ -26,6 +26,9 @@ func testHeader() *journalHeader {
 		LargeChangeBits: math.Float64bits(1.0),
 		GoldenDyn:       12345,
 		GoldenCycles:    23456,
+		ShardStart:      0,
+		ShardEnd:        8,
+		Disabled:        0,
 	}
 }
 
@@ -202,6 +205,103 @@ func TestOpenJournalResumeTruncatesDamage(t *testing.T) {
 	st2 := replayJournal(f)
 	if len(st2.trials) != 2 {
 		t.Fatalf("after resume-append: recovered %d trials, want 2", len(st2.trials))
+	}
+}
+
+func TestJournalWriterBatchDurability(t *testing.T) {
+	// The writer's contract: records become durable in batches of
+	// journalFlushBatch (flush + fsync), so a kill at any point forfeits
+	// at most one in-flight batch. Observed through the file itself: no
+	// bytes land before the batch fills, the whole batch lands when it
+	// does, and close drains the remainder.
+	path := filepath.Join(t.TempDir(), "j.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newJournalWriter(f)
+	hdr := testHeader()
+	hdr.Trials = journalFlushBatch + 8
+	hdr.ShardEnd = hdr.Trials
+
+	replayFile := func() *journalState {
+		t.Helper()
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rf.Close()
+		return replayJournal(rf)
+	}
+	size := func() int64 {
+		t.Helper()
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+
+	// Header plus batch-2 trials: one short of a full batch, nothing on disk.
+	if err := w.append(&journalRecord{H: hdr}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < journalFlushBatch-2; i++ {
+		if err := w.append(&journalRecord{T: encodeTrial(i, Trial{Outcome: Masked})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := size(); n != 0 {
+		t.Fatalf("%d bytes on disk before the batch filled", n)
+	}
+	// One more record completes the batch: everything buffered lands at once.
+	if err := w.append(&journalRecord{T: encodeTrial(journalFlushBatch-2, Trial{Outcome: Masked})}); err != nil {
+		t.Fatal(err)
+	}
+	if st := replayFile(); st.header == nil || len(st.trials) != journalFlushBatch-1 {
+		t.Fatalf("after batch flush: %d trials on disk, want %d", len(st.trials), journalFlushBatch-1)
+	}
+	// The next record starts a new batch and stays buffered...
+	if err := w.append(&journalRecord{T: encodeTrial(journalFlushBatch-1, Trial{Outcome: Failure})}); err != nil {
+		t.Fatal(err)
+	}
+	if st := replayFile(); len(st.trials) != journalFlushBatch-1 {
+		t.Fatalf("partial batch leaked to disk: %d trials", len(st.trials))
+	}
+	// ...until close drains it.
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := replayFile(); len(st.trials) != journalFlushBatch {
+		t.Fatalf("after close: %d trials on disk, want %d", len(st.trials), journalFlushBatch)
+	}
+}
+
+func TestWilsonProperties(t *testing.T) {
+	// Properties the campaign's early-stop logic relies on, over a grid of
+	// (successes, n): the interval is inside [0,1], contains the point
+	// estimate k/n, and narrows when the sample grows at the same
+	// proportion (so a tightness target, once reached, stays reached).
+	for n := 1; n <= 500; n = n*3 + 1 {
+		step := n / 7
+		if step == 0 {
+			step = 1
+		}
+		for k := 0; k <= n; k += step {
+			lo, hi := Wilson(k, n, z95)
+			if lo < 0 || hi > 1 || lo >= hi {
+				t.Fatalf("Wilson(%d,%d): degenerate interval [%v,%v]", k, n, lo, hi)
+			}
+			p := float64(k) / float64(n)
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Fatalf("Wilson(%d,%d): point estimate %v outside [%v,%v]", k, n, p, lo, hi)
+			}
+			lo4, hi4 := Wilson(4*k, 4*n, z95)
+			if hi4-lo4 >= hi-lo {
+				t.Fatalf("Wilson(%d,%d) width %v did not shrink at 4x the sample (%v)",
+					k, n, hi-lo, hi4-lo4)
+			}
+		}
 	}
 }
 

@@ -264,6 +264,8 @@ func TestJournalMismatchReasons(t *testing.T) {
 		{func(h *journalHeader) { h.Workload = "other" }, `workload "other"`},
 		{func(h *journalHeader) { h.Trials = 99 }, "trial count 99"},
 		{func(h *journalHeader) { h.GoldenDyn = 1 }, "module or inputs changed"},
+		{func(h *journalHeader) { h.ShardStart, h.ShardEnd = 2, 6 }, "shard range [2,6)"},
+		{func(h *journalHeader) { h.Disabled = 3 }, "disabled-check count 3"},
 	}
 	for _, c := range cases {
 		h := testHeader()

@@ -63,6 +63,11 @@ const (
 	trialPending uint8 = iota
 	trialDone
 	trialQuarantined
+	// trialExcluded marks trials outside the campaign's shard range: they
+	// belong to another shard's run, are never executed here, and count
+	// neither as pending (a fully-decided shard is not Partial) nor in the
+	// Tally.
+	trialExcluded
 )
 
 // campaign is the shared state of one in-flight fault-injection campaign,
@@ -112,6 +117,16 @@ func newCampaign(t Target, mod *ir.Module, cfg Config, model Model, golden []uin
 // of truth shared by runTrial, drawTriggers and anomaly reproducers.
 func seedFor(cfg Config, trial int) int64 { return cfg.Seed + int64(trial)*7919 }
 
+// excludeOutsideShard marks every trial outside [lo, hi) as another shard's
+// responsibility before any disposition is taken.
+func (c *campaign) excludeOutsideShard(lo, hi int) {
+	for i := range c.state {
+		if i < lo || i >= hi {
+			c.state[i] = trialExcluded
+		}
+	}
+}
+
 // stopRequested reports whether the early-stop criterion has fired.
 func (c *campaign) stopRequested() bool {
 	select {
@@ -122,8 +137,9 @@ func (c *campaign) stopRequested() bool {
 	}
 }
 
-// noteDone folds one completed trial into the early-stop tallies and fires
-// the stop signal once both Wilson intervals are tight enough.
+// noteDone folds one completed trial into the early-stop tallies, reports
+// progress to the OnProgress hook, and fires the stop signal once both
+// Wilson intervals are tight enough.
 func (c *campaign) noteDone(tr Trial) {
 	c.mu.Lock()
 	c.nDone++
@@ -133,10 +149,14 @@ func (c *campaign) noteDone(tr Trial) {
 	case USDC:
 		c.nUSDC++
 	}
+	done, covered, usdc := c.nDone, c.nCovered, c.nUSDC
 	stop := c.cfg.TargetCI > 0 &&
 		ciTight(c.nCovered, c.nDone, c.cfg.TargetCI) &&
 		ciTight(c.nUSDC, c.nDone, c.cfg.TargetCI)
 	c.mu.Unlock()
+	if c.cfg.OnProgress != nil {
+		c.cfg.OnProgress(done, covered, usdc)
+	}
 	if stop {
 		c.stopOnce.Do(func() { close(c.stopEarly) })
 	}
@@ -172,18 +192,27 @@ func (c *campaign) quarantine(i int, reason, stack string) error {
 }
 
 // restoreFromJournal splices a replayed journal state into the campaign so
-// already-decided trials are never re-run.
+// already-decided trials are never re-run. Records outside the campaign's
+// shard range are skipped defensively (the header identity check already
+// rejects a journal from a different shard).
 func (c *campaign) restoreFromJournal(st *journalState) {
 	for i, tr := range st.trials {
+		if c.state[i] == trialExcluded {
+			continue
+		}
 		c.rep.Trials[i] = tr
 		c.state[i] = trialDone
 		c.noteDone(tr)
+		c.rep.Replayed++
 	}
 	for i, a := range st.anomalies {
+		if c.state[i] == trialExcluded {
+			continue
+		}
 		c.state[i] = trialQuarantined
 		c.anomalies[i] = a
+		c.rep.Replayed++
 	}
-	c.rep.Replayed = len(st.trials) + len(st.anomalies)
 }
 
 // pendingTrials lists the trial indices still without a disposition.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/fidelity"
@@ -66,20 +67,26 @@ type Workload struct {
 	// the active input's dimensions.
 	Measure func(golden, test []uint64, kind InputKind) float64
 
-	mod *ir.Module // compile cache
+	// Compile cache. Guarded by compileOnce: concurrent callers (e.g.
+	// several in-process campaign workers building programs for the same
+	// benchmark) must not race on the lazy init.
+	compileOnce sync.Once
+	mod         *ir.Module
+	compileErr  error
 }
 
 // Compile returns the workload's SSA module (cached; callers Clone before
-// mutating).
+// mutating). Safe for concurrent use.
 func (w *Workload) Compile() (*ir.Module, error) {
-	if w.mod == nil {
+	w.compileOnce.Do(func() {
 		m, err := lang.Compile(w.Name, w.Source)
 		if err != nil {
-			return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+			w.compileErr = fmt.Errorf("workload %s: %w", w.Name, err)
+			return
 		}
 		w.mod = m
-	}
-	return w.mod, nil
+	})
+	return w.mod, w.compileErr
 }
 
 // Acceptable reports whether a fidelity value passes this workload's
